@@ -1,0 +1,42 @@
+"""EXP-A3 benchmark: frequency-grid granularity (paper line L18).
+
+The paper's processor steps its clock in 1 MHz increments and always rounds
+the requested frequency up.  Coarser grids round up further, costing power;
+this bench quantifies how much of the ideal (continuous) saving each
+granularity retains.
+"""
+
+from repro.experiments.ablations import run_frequency_grid_ablation
+
+
+def test_frequency_grid_ablation(benchmark, artifact):
+    """LPFPS on INS across grid steps from continuous to 50 MHz."""
+    result = benchmark.pedantic(
+        lambda: run_frequency_grid_ablation(application="ins", seeds=(1, 2)),
+        rounds=1, iterations=1,
+    )
+    artifact("ablation_freqgrid", result.render())
+
+    by_label = {row[0]: row[1] for row in result.rows}
+    continuous = by_label["continuous"]
+    round_up = [
+        (label, power) for label, power in by_label.items()
+        if label.endswith("round-up")
+    ]
+    # Coarser grids are monotonically (weakly) worse under round-up.
+    powers = [continuous] + [p for _, p in round_up]
+    for earlier, later in zip(powers, powers[1:]):
+        assert earlier <= later + 1e-6
+    # The paper's 1 MHz grid is nearly ideal on INS.
+    assert by_label["step=1 MHz, round-up"] <= continuous * 1.02
+    # Ishihara-Yasuura dual-level quantisation recovers most of the
+    # coarse-grid loss (paper ref. [16]).
+    coarse_up = by_label["step=25 MHz, round-up"]
+    coarse_dual = by_label["step=25 MHz, dual-level"]
+    assert coarse_dual < coarse_up
+    assert coarse_dual - continuous < 0.4 * (coarse_up - continuous)
+    # Deadlines hold at every granularity and in both quantisation modes.
+    assert all(row[3] == 0 for row in result.rows)
+    benchmark.extra_info["continuous_power"] = round(continuous, 4)
+    benchmark.extra_info["coarse_roundup_power"] = round(coarse_up, 4)
+    benchmark.extra_info["coarse_dual_power"] = round(coarse_dual, 4)

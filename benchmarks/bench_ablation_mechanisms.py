@@ -1,0 +1,38 @@
+"""EXP-A2 benchmark: LPFPS mechanisms in isolation vs the baseline field.
+
+Checks the paper's §3.2 argument — lowering frequency+voltage beats running
+at full speed and sleeping — and positions LPFPS against EDF, AVR, static
+DVS, and the conventional threshold power-down.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_mechanism_ablation
+
+
+@pytest.mark.parametrize("app", ["ins", "avionics"])
+def test_mechanism_ablation(benchmark, artifact, app):
+    """Every mechanism / baseline on one application at BCET/WCET = 0.5."""
+    result = benchmark.pedantic(
+        lambda: run_mechanism_ablation(application=app, seeds=(1, 2)),
+        rounds=1, iterations=1,
+    )
+    artifact(f"ablation_mechanisms_{app}", result.render())
+
+    fps = result.power_of("FPS (busy-wait idle)")
+    both = result.power_of("LPFPS (both)")
+    dvs_only = result.power_of("LPFPS DVS only")
+    pd_only = result.power_of("LPFPS power-down only")
+    threshold = result.power_of("FPS + threshold power-down")
+    exact = result.power_of("FPS + exact-timer power-down")
+
+    assert both < fps
+    assert both < pd_only
+    assert both < dvs_only
+    # Quadratic voltage dependence: slow-down beats run-fast-then-sleep.
+    assert dvs_only < pd_only
+    # Exact timers (possible only with the delay-queue knowledge) beat the
+    # conventional idle-threshold heuristic of section 2.1.
+    assert exact <= threshold + 1e-9
+    benchmark.extra_info["lpfps_power"] = round(both, 4)
+    benchmark.extra_info["fps_power"] = round(fps, 4)

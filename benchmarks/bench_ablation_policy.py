@@ -1,0 +1,31 @@
+"""EXP-A1 benchmark: heuristic vs optimal speed-ratio policy.
+
+The paper's section 5 trade-off: the heuristic is cheap and safe but leaves
+savings on the table when timing parameters are comparable to the
+transition delay.  CNC (sub-millisecond periods, 10 us ramps) is that
+regime; INS (millisecond periods) is the benign one.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_policy_ablation
+
+
+@pytest.mark.parametrize("app", ["cnc", "ins"])
+def test_policy_ablation(benchmark, artifact, app):
+    """Compare Eq. (3) vs Eq. (2) on one application."""
+    result = benchmark.pedantic(
+        lambda: run_policy_ablation(application=app, seeds=(1, 2)),
+        rounds=1, iterations=1,
+    )
+    artifact(f"ablation_policy_{app}", result.render())
+    fps = result.power_of("FPS")
+    heu = result.power_of("LPFPS (heuristic, Eq.3)")
+    opt = result.power_of("LPFPS (optimal, Eq.2)")
+    assert heu < fps and opt < fps
+    # The optimal ratio is never larger than the heuristic one, so its
+    # power is at most marginally higher (quantisation can reorder
+    # hairline differences on benign workloads).
+    assert opt <= heu * 1.02
+    benchmark.extra_info["heuristic_power"] = round(heu, 4)
+    benchmark.extra_info["optimal_power"] = round(opt, 4)

@@ -1,0 +1,30 @@
+"""EXP-A4 benchmark: DVS ramp-rate (rho) sensitivity.
+
+Figure 7's discussion in hardware terms: slower voltage regulators shrink
+the windows in which slowing down pays off.  CNC — whose periods are within
+two orders of magnitude of the transition delay — is the sensitive case.
+"""
+
+from repro.experiments.ablations import run_rho_ablation
+
+
+def test_rho_ablation(benchmark, artifact):
+    """LPFPS on CNC across regulator speeds."""
+    result = benchmark.pedantic(
+        lambda: run_rho_ablation(application="cnc", seeds=(1, 2)),
+        rounds=1, iterations=1,
+    )
+    artifact("ablation_rho", result.render())
+
+    labels = [row[0] for row in result.rows]
+    powers = [row[1] for row in result.rows]
+    assert labels[0] == "instantaneous"
+    # Slower regulators are monotonically (weakly) worse.
+    for earlier, later in zip(powers, powers[1:]):
+        assert earlier <= later + 1e-6
+    # The paper's regulator (rho=0.07/us) already pays a visible penalty on
+    # CNC relative to an instantaneous one.
+    paper = dict(zip(labels, powers))["rho=0.07/us"]
+    assert paper > powers[0]
+    benchmark.extra_info["instantaneous_power"] = round(powers[0], 4)
+    benchmark.extra_info["paper_rho_power"] = round(paper, 4)

@@ -1,0 +1,51 @@
+"""Simulator micro-benchmarks: engine throughput in jobs per second.
+
+Not a paper artefact, but the number a downstream user sizing larger
+studies cares about: how fast the exact event-driven engine processes
+scheduling events under each policy.
+"""
+
+import pytest
+
+from repro.core.lpfps import LpfpsScheduler
+from repro.schedulers.fps import FpsScheduler
+from repro.sim.engine import simulate
+from repro.tasks.generation import GaussianModel
+from repro.workloads.registry import get_workload
+
+_DURATION = 2_000_000.0
+
+
+@pytest.mark.parametrize(
+    "scheduler_factory", [FpsScheduler, LpfpsScheduler],
+    ids=["fps", "lpfps"],
+)
+def test_engine_throughput_ins(benchmark, scheduler_factory):
+    """Jobs simulated per wall-clock second on the INS workload."""
+    taskset = get_workload("ins").prioritized().with_bcet_ratio(0.5)
+
+    def run():
+        return simulate(
+            taskset, scheduler_factory(), execution_model=GaussianModel(),
+            duration=_DURATION, seed=1,
+        )
+
+    result = benchmark(run)
+    assert not result.missed
+    benchmark.extra_info["jobs_completed"] = result.jobs_completed
+    benchmark.extra_info["simulated_us"] = _DURATION
+
+
+def test_engine_throughput_cnc_high_rate(benchmark):
+    """CNC's 1.2 ms servo periods stress the event loop hardest."""
+    taskset = get_workload("cnc").prioritized().with_bcet_ratio(0.5)
+
+    def run():
+        return simulate(
+            taskset, LpfpsScheduler(), execution_model=GaussianModel(),
+            duration=_DURATION, seed=1,
+        )
+
+    result = benchmark(run)
+    assert not result.missed
+    benchmark.extra_info["jobs_completed"] = result.jobs_completed

@@ -1,0 +1,40 @@
+"""EXP-A6 benchmark: LPFPS against the offline-optimal (YDS) energy.
+
+Positions the paper's run-time policy between the FPS baseline and the
+provable lower bound of Yao, Demers & Shenker's critical-interval schedule
+(§2.2's static-optimal reference).
+"""
+
+import pytest
+
+from repro.experiments.extensions import run_oracle_gap
+
+
+@pytest.mark.parametrize("app", ["cnc", "flight_control"])
+def test_oracle_gap(benchmark, artifact, app):
+    """FPS vs LPFPS vs YDS oracle across variation levels."""
+    result = benchmark.pedantic(
+        lambda: run_oracle_gap(application=app, seeds=(1, 2)),
+        rounds=1, iterations=1,
+    )
+    artifact(f"ext_oracle_gap_{app}", result.render())
+
+    assert result.peak_intensity <= 1.0
+    for ratio, fps, lpfps, yds in result.rows:
+        assert lpfps < fps
+        assert yds < fps
+    # At WCET demands the sandwich holds and nothing beats the analytic
+    # lower bound (it is a bound on the *worst-case* workload only).
+    wcet_row = result.rows[-1]
+    assert wcet_row[0] == 1.0
+    _, fps_w, lpfps_w, yds_w = wcet_row
+    assert yds_w < lpfps_w < fps_w
+    assert yds_w >= result.lower_bound_power - 1e-6
+    # The static oracle cannot exploit execution-time variation (§2.2):
+    # LPFPS's gap to the oracle shrinks — or flips sign — as BCET falls.
+    gap_low = result.rows[0][2] - result.rows[0][3]
+    gap_wcet = lpfps_w - yds_w
+    assert gap_low < gap_wcet
+    benchmark.extra_info["lower_bound_power"] = round(result.lower_bound_power, 4)
+    benchmark.extra_info["lpfps_at_wcet"] = round(result.rows[-1][2], 4)
+    benchmark.extra_info["oracle_at_wcet"] = round(result.rows[-1][3], 4)

@@ -1,0 +1,39 @@
+"""EXP-A5 benchmark: the §5 heuristic-vs-optimal scheduler-cost trade-off.
+
+"We can use the optimal solution at the cost of increased execution time
+and power consumption of the scheduler; this approach needs a trade-off
+analysis, which is included in our future work."  — this bench performs it.
+"""
+
+from repro.experiments.extensions import run_overhead_tradeoff
+
+
+def test_overhead_tradeoff(benchmark, artifact):
+    """Sweep per-invocation scheduler cost on CNC with both policies."""
+    result = benchmark.pedantic(
+        lambda: run_overhead_tradeoff(
+            application="cnc",
+            overheads=(0.0, 0.5, 1.0, 2.0, 5.0),
+            optimal_extra_cost=1.0,
+            seeds=(1, 2),
+        ),
+        rounds=1, iterations=1,
+    )
+    artifact("ext_overhead_tradeoff", result.render())
+
+    # Power rises monotonically with the charged overhead for both.
+    heu = [p.heuristic_power for p in result.points]
+    opt = [p.optimal_power for p in result.points]
+    assert heu == sorted(heu)
+    assert opt == sorted(opt)
+    # The optimal policy's per-invocation surcharge is visible at every
+    # base overhead (same invocation pattern, strictly more charged time).
+    for p in result.points:
+        assert p.optimal_power > 0
+    # Hard deadlines hold across the sweep on this slack-rich workload.
+    assert all(p.heuristic_misses == 0 and p.optimal_misses == 0
+               for p in result.points)
+    cross = result.crossover()
+    benchmark.extra_info["crossover_overhead_us"] = (
+        cross if cross is not None else "never"
+    )

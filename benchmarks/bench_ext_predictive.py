@@ -1,0 +1,26 @@
+"""EXP-A7 benchmark: predictive interval DVS misses hard deadlines (§2.2).
+
+"Because latency exists when the prediction fails, these methods cannot be
+applied to real-time systems" — measured: on bursty demand the PAST policy
+saves power over FPS while missing deadlines; LPFPS matches its power with
+zero misses.
+"""
+
+from repro.experiments.extensions import run_predictive_failure
+
+
+def test_predictive_failure(benchmark, artifact):
+    """PAST vs FPS vs LPFPS on INS with bimodal (bursty) demand."""
+    result = benchmark.pedantic(
+        lambda: run_predictive_failure(application="ins", seed=1),
+        rounds=1, iterations=1,
+    )
+    artifact("ext_predictive_failure", result.render())
+
+    assert result.past_power < result.fps_power       # it does save power...
+    assert result.past_misses > 0                     # ...by missing deadlines
+    assert result.lpfps_misses == 0                   # LPFPS never does
+    assert result.lpfps_power < result.fps_power
+    benchmark.extra_info["past_misses"] = result.past_misses
+    benchmark.extra_info["past_power"] = round(result.past_power, 4)
+    benchmark.extra_info["lpfps_power"] = round(result.lpfps_power, 4)

@@ -1,0 +1,14 @@
+"""EXP-F1 benchmark: regenerate Figure 1 (BCET/WCET motivation)."""
+
+from repro.experiments.figure1 import run_figure1
+
+
+def test_figure1(benchmark, artifact):
+    """Rebuild the Figure 1 table/chart and check its qualitative claim."""
+    result = benchmark(run_figure1)
+    artifact("figure1", result.render())
+    ratios = [r[2] for r in result.rows]
+    # The motivation: execution times often fall far below the WCET.
+    assert min(ratios) <= 0.2
+    assert max(ratios) >= 0.9
+    benchmark.extra_info["mean_bcet_wcet_ratio"] = round(result.mean, 3)

@@ -1,0 +1,20 @@
+"""EXP-F7 benchmark: regenerate Figure 7 (r_opt vs r_heu curves)."""
+
+from repro.experiments.figure7 import run_figure7
+
+
+def test_figure7(benchmark, artifact):
+    """Rebuild the optimal-vs-heuristic curves over the paper's grid."""
+    result = benchmark(run_figure7)
+    artifact("figure7", result.render())
+
+    # Theorem 1 on every grid point: r_opt never exceeds r_heu.
+    for r_heu, curve in result.r_opt.items():
+        assert all(v <= r_heu + 1e-12 for v in curve)
+    # "Closely matches r_opt except for small values of t_a - t_c and for
+    # low r_heu": converged at the wide end, collapsed at the narrow one.
+    for r_heu, curve in result.r_opt.items():
+        assert abs(curve[-1] - r_heu) < 0.01
+    assert result.r_opt[0.1][0] < 0.05
+    benchmark.extra_info["convergence_window_r01"] = result.convergence_window(0.1)
+    benchmark.extra_info["convergence_window_r09"] = result.convergence_window(0.9)

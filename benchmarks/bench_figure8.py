@@ -1,0 +1,85 @@
+"""EXP-F8 benchmark: regenerate Figure 8 (a)-(d), the headline result.
+
+For each application, sweep BCET from 10% to 100% of WCET, drawing
+execution times from the paper's clamped Gaussian, and compare the average
+power of FPS and LPFPS on the ARM8-like processor.  The asserted *shape*
+(per DESIGN.md's acceptance criteria):
+
+* LPFPS <= FPS at every point, with zero deadline misses;
+* the reduction grows (weakly) as the BCET shrinks;
+* a reduction exists even at BCET = WCET (inherent schedule slack);
+* INS shows the largest peak reduction of the four applications.
+"""
+
+import pytest
+
+from repro.experiments.figure8 import run_figure8
+
+_SEEDS = (1, 2, 3)
+_PANELS = ("avionics", "ins", "flight_control", "cnc")
+
+_results = {}
+
+
+def _panel(app):
+    if app not in _results:
+        _results[app] = run_figure8(app, seeds=_SEEDS)
+    return _results[app]
+
+
+@pytest.mark.parametrize("app", _PANELS)
+def test_figure8_panel(benchmark, artifact, app):
+    """One panel of Figure 8."""
+    result = benchmark.pedantic(
+        lambda: run_figure8(app, seeds=_SEEDS), rounds=1, iterations=1
+    )
+    _results[app] = result
+    artifact(f"figure8_{app}", result.render())
+
+    for point in result.points:
+        assert point.lpfps_power < point.fps_power, (
+            f"{app}: LPFPS must beat FPS at BCET ratio {point.bcet_ratio}"
+        )
+        assert point.lpfps_misses == 0 and point.fps_misses == 0
+
+    reductions = [p.reduction for p in result.points]
+    # Gain grows as variation grows (monotone up to small noise).
+    assert reductions[0] == max(reductions)
+    assert reductions[0] > reductions[-1]
+    # Gain from inherent slack alone.
+    assert result.reduction_at_wcet > 0.02
+
+    benchmark.extra_info["max_reduction_pct"] = round(100 * result.max_reduction, 1)
+    benchmark.extra_info["reduction_at_wcet_pct"] = round(
+        100 * result.reduction_at_wcet, 1
+    )
+
+
+def test_figure8_ins_gains_most(benchmark, artifact):
+    """Paper section 4: 'the LPFPS obtains the most power gain for INS'."""
+
+    def collect():
+        return {app: _panel(app) for app in _PANELS}
+
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+    peak = {app: r.max_reduction for app, r in results.items()}
+    lines = [
+        f"{results[app].application}: max reduction "
+        f"{100 * peak[app]:.1f}%, at BCET=WCET "
+        f"{100 * results[app].reduction_at_wcet:.1f}%"
+        for app in _PANELS
+    ]
+    artifact("figure8_summary", "\n".join(lines))
+    assert max(peak, key=peak.get) == "ins"
+    # "For FPS, the average power consumption is proportional to processor
+    # utilization": the FPS power ordering follows the utilisation ordering.
+    by_util = sorted(_PANELS, key=lambda a: results[a].utilization)
+    by_fps_power = sorted(_PANELS, key=lambda a: results[a].points[0].fps_power)
+    assert by_util == by_fps_power
+    # "However, it is not true for LPFPS": INS keeps the deepest relative
+    # saving despite its high utilisation.
+    relative = {
+        app: results[app].points[0].lpfps_power / results[app].points[0].fps_power
+        for app in _PANELS
+    }
+    assert min(relative, key=relative.get) == "ins"

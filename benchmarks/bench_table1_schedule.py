@@ -1,0 +1,16 @@
+"""EXP-T1 benchmark: replay Table 1 / Figure 2 and verify the narrative."""
+
+from repro.experiments.table1_schedule import run_table1
+
+
+def test_table1_schedule(benchmark, artifact):
+    """Replay the motivating schedules under FPS and LPFPS."""
+    result = benchmark(run_table1)
+    artifact("table1_figure2", result.render())
+    failed = [name for name, ok in result.checks if not ok]
+    assert not failed, f"unreproduced paper events: {failed}"
+    benchmark.extra_info["checkpoints"] = len(result.checks)
+    benchmark.extra_info["fps_avg_power"] = round(result.fps.average_power, 4)
+    benchmark.extra_info["lpfps_avg_power"] = round(
+        result.lpfps.average_power, 4
+    )

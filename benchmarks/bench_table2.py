@@ -1,0 +1,19 @@
+"""EXP-T2 benchmark: regenerate Table 2 (task sets for experiments)."""
+
+from repro.experiments.table2 import run_table2
+
+
+def test_table2(benchmark, artifact):
+    """Rebuild the workload summary and check it against the paper's rows."""
+    result = benchmark(run_table2)
+    artifact("table2", result.render())
+    by_name = {r.name: r for r in result.rows}
+    assert by_name["Avionics"].tasks == 17
+    assert (by_name["Avionics"].wcet_min, by_name["Avionics"].wcet_max) == (1_000, 9_000)
+    assert by_name["INS"].tasks == 6
+    assert (by_name["INS"].wcet_min, by_name["INS"].wcet_max) == (1_180, 100_280)
+    assert by_name["Flight control"].tasks == 6
+    assert (by_name["Flight control"].wcet_min, by_name["Flight control"].wcet_max) == (10_000, 60_000)
+    assert by_name["CNC"].tasks == 8
+    assert (by_name["CNC"].wcet_min, by_name["CNC"].wcet_max) == (35, 720)
+    assert all(r.schedulable for r in result.rows)

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works in offline environments whose setuptools
+lacks wheel support for PEP 660 editable installs; all project metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

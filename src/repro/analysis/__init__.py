@@ -1,0 +1,58 @@
+"""Fixed-priority schedulability analysis substrate."""
+
+from .breakdown import BreakdownResult, breakdown_utilization, slack_factor
+from .demand import (
+    demand_bound,
+    edf_feasible,
+    edf_testing_horizon,
+    minimum_edf_speed,
+    testing_points,
+)
+from .sensitivity import SensitivityResult, wcet_margins
+from .hyperperiod import (
+    first_idle_instant,
+    hyperperiod,
+    hyperperiod_jobs,
+    level_i_busy_period,
+    releases_within,
+)
+from .rta import RtaResult, analyze, is_schedulable, response_time, with_overhead
+from .utilization import (
+    harmonic_chains,
+    is_fully_harmonic,
+    liu_layland_bound,
+    passes_edf_bound,
+    passes_hyperbolic_bound,
+    passes_liu_layland,
+    total_utilization,
+)
+
+__all__ = [
+    "analyze",
+    "is_schedulable",
+    "response_time",
+    "with_overhead",
+    "RtaResult",
+    "breakdown_utilization",
+    "slack_factor",
+    "BreakdownResult",
+    "hyperperiod",
+    "hyperperiod_jobs",
+    "releases_within",
+    "level_i_busy_period",
+    "first_idle_instant",
+    "liu_layland_bound",
+    "passes_liu_layland",
+    "passes_hyperbolic_bound",
+    "passes_edf_bound",
+    "total_utilization",
+    "harmonic_chains",
+    "is_fully_harmonic",
+    "demand_bound",
+    "edf_feasible",
+    "edf_testing_horizon",
+    "minimum_edf_speed",
+    "testing_points",
+    "wcet_margins",
+    "SensitivityResult",
+]

@@ -1,0 +1,82 @@
+"""Breakdown-utilisation search.
+
+The paper motivates LPFPS with a set that "just meets its schedulability"
+(Table 1): inflating any WCET slightly makes τ3 miss.  The breakdown
+utilisation formalises that margin — the largest uniform WCET scaling factor
+under which the set stays schedulable.  The experiment harness uses it both
+to validate reconstructed workloads and to build stress ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InvalidTaskError
+from ..tasks.priority import rate_monotonic
+from ..tasks.task import TaskSet
+from .rta import is_schedulable
+
+
+@dataclass(frozen=True)
+class BreakdownResult:
+    """Result of a breakdown search.
+
+    Attributes
+    ----------
+    factor:
+        Largest WCET scale factor keeping the set schedulable.
+    utilization:
+        Total utilisation at that factor (the breakdown utilisation).
+    """
+
+    factor: float
+    utilization: float
+
+
+def breakdown_utilization(
+    taskset: TaskSet, tolerance: float = 1e-6, max_factor: float = 100.0
+) -> BreakdownResult:
+    """Binary-search the breakdown WCET scaling factor of *taskset*.
+
+    Priorities are re-derived rate-monotonically at every probe (scaling
+    does not change periods, so RM ordering is in fact invariant; the
+    re-derivation simply tolerates unprioritised input).
+    """
+    def schedulable_at(factor: float) -> bool:
+        try:
+            scaled = taskset.scaled(factor)
+            return is_schedulable(rate_monotonic(scaled))
+        except InvalidTaskError:
+            # Scaling can push a WCET past its deadline, which the task model
+            # rejects; that is by definition unschedulable.
+            return False
+
+    lo, hi = 0.0, 1.0
+    if not schedulable_at(1.0):
+        # Shrink until schedulable to bracket from below.
+        while hi > tolerance and not schedulable_at(hi):
+            hi /= 2.0
+        if hi <= tolerance:
+            return BreakdownResult(0.0, 0.0)
+        lo = hi
+        hi *= 2.0
+    else:
+        while hi < max_factor and schedulable_at(hi * 2.0):
+            hi *= 2.0
+        lo, hi = hi, hi * 2.0
+    # Invariant: schedulable_at(lo), not schedulable_at(hi) (or hi capped).
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if schedulable_at(mid):
+            lo = mid
+        else:
+            hi = mid
+    return BreakdownResult(lo, taskset.utilization * lo)
+
+
+def slack_factor(taskset: TaskSet) -> float:
+    """How far the set is from breakdown: ``breakdown factor - 1``.
+
+    Near zero for "tightly constructed" sets like the paper's Table 1.
+    """
+    return breakdown_utilization(taskset).factor - 1.0

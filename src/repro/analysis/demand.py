@@ -1,0 +1,121 @@
+"""EDF processor-demand analysis (demand-bound functions).
+
+For dynamic-priority (EDF) scheduling with constrained deadlines the exact
+feasibility test is Baruah's processor-demand criterion: a synchronous
+periodic set is EDF-schedulable at full speed iff
+
+    dbf(t) = sum_i  max(0, floor((t - D_i) / T_i) + 1) * C_i  <=  t
+
+for every absolute deadline ``t`` up to a bounded testing horizon.  The
+EDF-based baselines in :mod:`repro.schedulers` (AVR, the YDS oracle) rely
+on this being true; the test suite cross-checks simulation against it.
+
+Also provided: the minimum constant EDF speed (the EDF analogue of
+:mod:`repro.analysis.breakdown`'s static FPS speed), used to reason about
+static-scaling baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional
+
+from ..errors import AnalysisError
+from ..tasks.task import TaskSet
+
+_EPS = 1e-9
+
+#: Safety cap on the number of deadlines enumerated by the exact test.
+_MAX_TEST_POINTS = 2_000_000
+
+
+def demand_bound(taskset: TaskSet, t: float) -> float:
+    """``dbf(t)``: worst-case execution demand due within ``[0, t]``."""
+    if t < 0:
+        raise AnalysisError(f"dbf is defined for t >= 0, got {t}")
+    total = 0.0
+    for task in taskset:
+        jobs = math.floor((t - task.deadline) / task.period + _EPS) + 1
+        if jobs > 0:
+            total += jobs * task.wcet
+    return total
+
+
+def testing_points(taskset: TaskSet, horizon: float) -> Iterator[float]:
+    """Absolute deadlines in ``(0, horizon]``, ascending and deduplicated."""
+    points: List[float] = []
+    for task in taskset:
+        t = task.deadline
+        while t <= horizon + _EPS:
+            points.append(t)
+            t += task.period
+    count = len(points)
+    if count > _MAX_TEST_POINTS:
+        raise AnalysisError(
+            f"demand test would enumerate {count} deadlines "
+            f"(cap {_MAX_TEST_POINTS}); shrink the horizon"
+        )
+    last = None
+    for point in sorted(points):
+        if last is None or point > last + _EPS:
+            yield point
+            last = point
+
+
+def edf_testing_horizon(taskset: TaskSet) -> float:
+    """A sound horizon for the exact EDF test.
+
+    For ``U < 1`` the standard bound
+    ``max(D_i, U/(1-U) * max(T_i - D_i))`` applies, always capped by one
+    hyperperiod; for ``U = 1`` the hyperperiod itself is required.
+    """
+    hyper = taskset.hyperperiod
+    u = taskset.utilization
+    if u > 1.0 + 1e-12:
+        return 0.0  # trivially infeasible; no horizon needed
+    max_deadline = max(t.deadline for t in taskset)
+    if u >= 1.0 - 1e-12:
+        return hyper
+    slack_term = u / (1.0 - u) * max((t.period - t.deadline) for t in taskset)
+    return min(hyper, max(max_deadline, slack_term))
+
+
+def edf_feasible(taskset: TaskSet, speed: float = 1.0) -> bool:
+    """Exact EDF feasibility of *taskset* at a constant *speed* ratio.
+
+    Running at speed ``s`` scales every demand by ``1/s``: feasible iff
+    ``dbf(t) <= s * t`` at every testing point.
+    """
+    if speed <= 0:
+        return False
+    if taskset.utilization > speed + 1e-12:
+        return False
+    horizon = edf_testing_horizon(taskset)
+    for t in testing_points(taskset, horizon):
+        if demand_bound(taskset, t) > speed * t + 1e-9:
+            return False
+    return True
+
+
+def minimum_edf_speed(
+    taskset: TaskSet, tolerance: float = 1e-6
+) -> Optional[float]:
+    """Smallest constant speed at which EDF meets every deadline.
+
+    For implicit deadlines this equals the utilisation; constrained
+    deadlines can force a higher speed.  ``None`` when even full speed
+    fails.
+    """
+    if not edf_feasible(taskset, 1.0):
+        return None
+    lo = taskset.utilization  # never feasible below U
+    hi = 1.0
+    if edf_feasible(taskset, lo + 1e-12):
+        return lo
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if edf_feasible(taskset, mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi

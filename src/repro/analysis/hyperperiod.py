@@ -1,0 +1,90 @@
+"""Hyperperiod and busy-period utilities.
+
+The hyperperiod (LCM of the periods) bounds how long a synchronous periodic
+schedule takes to repeat; simulating one hyperperiod of a schedulable set
+therefore captures its steady-state power exactly.  §2.2 of the paper uses
+the hyperperiod to criticise static LCM-unrolling schedulers — the
+:func:`hyperperiod_jobs` count quantifies that memory blow-up.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..tasks.task import TaskSet
+
+
+def hyperperiod(taskset: TaskSet) -> float:
+    """LCM of the task periods in µs."""
+    return taskset.hyperperiod
+
+
+def hyperperiod_jobs(taskset: TaskSet) -> int:
+    """Number of job releases inside one hyperperiod.
+
+    This is the table size a statically unrolled LCM schedule (the approach
+    of refs. [14]–[16]) must store — the practical objection in §2.2.
+    """
+    h = taskset.hyperperiod
+    return int(round(sum(h / t.period for t in taskset)))
+
+
+def releases_within(taskset: TaskSet, horizon: float) -> List[Tuple[float, str]]:
+    """All ``(release time, task name)`` pairs in ``[0, horizon)``, sorted.
+
+    Ties are ordered by task priority when priorities are assigned, else by
+    construction order, matching how the simulator enqueues simultaneous
+    arrivals.
+    """
+    events: List[Tuple[float, int, str]] = []
+    have_priorities = taskset.has_priorities
+    for order, task in enumerate(taskset):
+        key = task.priority if have_priorities else order
+        t = task.phase
+        while t < horizon - 1e-9:
+            events.append((t, key, task.name))
+            t += task.period
+    events.sort()
+    return [(t, name) for t, _, name in events]
+
+
+def level_i_busy_period(taskset: TaskSet, level: int) -> float:
+    """Length of the synchronous level-*i* busy period.
+
+    The smallest ``L > 0`` with ``L = sum_{j: prio_j <= level} ceil(L/T_j) C_j``.
+    Useful to size simulation horizons for sets whose hyperperiod explodes.
+    """
+    taskset.assert_priorities()
+    tasks = [t for t in taskset if t.priority <= level]
+    if not tasks:
+        raise ValueError(f"no tasks at or above priority level {level}")
+    length = sum(t.wcet for t in tasks)
+    for _ in range(100_000):
+        nxt = sum(math.ceil(length / t.period - 1e-12) * t.wcet for t in tasks)
+        if abs(nxt - length) <= 1e-9:
+            return nxt
+        if nxt < length:  # pragma: no cover - monotone recurrence
+            return nxt
+        length = nxt
+        if length > 1e15:
+            raise OverflowError(
+                "busy period diverges; utilisation at this level exceeds 1"
+            )
+    raise OverflowError("busy-period recurrence did not converge")
+
+
+def first_idle_instant(taskset: TaskSet) -> float:
+    """End of the synchronous busy period across *all* tasks.
+
+    In Figure 2(a) of the paper this is t = 80: the first instant the
+    processor goes idle when everything runs at WCET from a synchronous
+    start.
+    """
+    taskset_with_priorities = taskset
+    if not taskset.has_priorities:
+        from ..tasks.priority import rate_monotonic  # noqa: PLC0415
+
+        taskset_with_priorities = rate_monotonic(taskset)
+    lowest = max(t.priority for t in taskset_with_priorities)
+    return level_i_busy_period(taskset_with_priorities, lowest)

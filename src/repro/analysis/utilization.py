@@ -1,0 +1,80 @@
+"""Utilisation-based schedulability tests.
+
+These are the classic sufficient tests for rate-monotonic scheduling cited by
+the paper as [1] (Liu & Layland) plus the tighter hyperbolic bound
+(Bini, Buttazzo & Buttazzo).  They are cheap necessary screens before the
+exact response-time analysis in :mod:`repro.analysis.rta`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..tasks.task import TaskSet
+
+
+def total_utilization(taskset: TaskSet) -> float:
+    """Total worst-case utilisation ``sum(C_i / T_i)``."""
+    return taskset.utilization
+
+
+def liu_layland_bound(n: int) -> float:
+    """The Liu–Layland RM utilisation bound ``n * (2^(1/n) - 1)``.
+
+    Tends to ``ln 2 ≈ 0.693`` as *n* grows; any implicit-deadline set below
+    the bound for its size is RM-schedulable.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1 tasks, got {n}")
+    return n * (2.0 ** (1.0 / n) - 1.0)
+
+
+def passes_liu_layland(taskset: TaskSet) -> bool:
+    """Sufficient RM test: ``U <= n (2^{1/n} - 1)``."""
+    return taskset.utilization <= liu_layland_bound(len(taskset)) + 1e-12
+
+
+def passes_hyperbolic_bound(taskset: TaskSet) -> bool:
+    """Sufficient RM test: ``prod(U_i + 1) <= 2`` (hyperbolic bound).
+
+    Strictly dominates the Liu–Layland bound.
+    """
+    product = 1.0
+    for task in taskset:
+        product *= task.utilization + 1.0
+    return product <= 2.0 + 1e-12
+
+
+def passes_edf_bound(taskset: TaskSet) -> bool:
+    """Exact EDF test for implicit deadlines: ``U <= 1``.
+
+    For constrained deadlines this uses the (sufficient) density bound
+    ``sum(C_i / D_i) <= 1`` instead.
+    """
+    if all(t.deadline == t.period for t in taskset):
+        return taskset.utilization <= 1.0 + 1e-12
+    return taskset.density <= 1.0 + 1e-12
+
+
+def harmonic_chains(taskset: TaskSet) -> int:
+    """Number of harmonic chains (periods that pairwise divide each other).
+
+    Fully harmonic sets (one chain) are RM-schedulable up to ``U = 1``; the
+    count is a useful diagnostic when constructing workloads.
+    """
+    periods = sorted(t.period for t in taskset)
+    chains: list[float] = []
+    for period in periods:
+        for i, head in enumerate(chains):
+            ratio = period / head
+            if abs(ratio - round(ratio)) < 1e-9:
+                chains[i] = period
+                break
+        else:
+            chains.append(period)
+    return len(chains)
+
+
+def is_fully_harmonic(taskset: TaskSet) -> bool:
+    """True when every pair of periods is harmonically related."""
+    return harmonic_chains(taskset) == 1

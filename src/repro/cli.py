@@ -1,0 +1,227 @@
+"""Command-line interface: regenerate any reproduced table or figure.
+
+Examples
+--------
+::
+
+    lpfps table2
+    lpfps figure7
+    lpfps figure8 --app ins --seeds 1 2 3
+    lpfps ablation --which mechanisms --app ins
+    lpfps simulate --app cnc --scheduler lpfps --bcet-ratio 0.5
+    python -m repro figure1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments.ablations import (
+    run_frequency_grid_ablation,
+    run_mechanism_ablation,
+    run_policy_ablation,
+    run_rho_ablation,
+)
+from .experiments.extensions import (
+    run_oracle_gap,
+    run_overhead_tradeoff,
+    run_predictive_failure,
+)
+from .experiments.figure1 import run_figure1
+from .experiments.figure7 import run_figure7
+from .experiments.figure8 import run_figure8, run_figure8_all
+from .experiments.runner import measurement_duration
+from .power.processor import ProcessorSpec
+from .experiments.table1_schedule import run_table1
+from .experiments.table2 import run_table2
+from .schedulers.registry import available_schedulers, make_scheduler
+from .sim.engine import simulate
+from .tasks.generation import GaussianModel
+from .workloads.registry import available_workloads, get_workload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="lpfps",
+        description=(
+            "Reproduction of 'Power Conscious Fixed Priority Scheduling for "
+            "Hard Real-Time Systems' (Shin & Choi, DAC 1999)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figure1", help="BCET/WCET motivation figure")
+    sub.add_parser("table1", help="Table 1 / Figure 2 schedule replay")
+    sub.add_parser("table2", help="workload summary table")
+    sub.add_parser("figure7", help="optimal vs heuristic speed ratio")
+
+    f8 = sub.add_parser("figure8", help="LPFPS vs FPS power sweep")
+    f8.add_argument(
+        "--app",
+        choices=available_workloads() + ["all"],
+        default="all",
+        help="application panel to run (default: all four)",
+    )
+    f8.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+
+    ab = sub.add_parser("ablation", help="design-choice ablation studies")
+    ab.add_argument(
+        "--which",
+        choices=["policy", "mechanisms", "freqgrid", "rho", "all"],
+        default="all",
+    )
+    ab.add_argument("--app", choices=available_workloads(), default=None)
+    ab.add_argument("--bcet-ratio", type=float, default=0.5)
+
+    ext = sub.add_parser(
+        "extensions", help="extension studies: overhead / oracle / predictive"
+    )
+    ext.add_argument(
+        "--which",
+        choices=["overhead", "oracle", "predictive", "all"],
+        default="all",
+    )
+
+    val = sub.add_parser(
+        "validate", help="run one traced simulation and check kernel invariants"
+    )
+    val.add_argument("--app", choices=available_workloads(), required=True)
+    val.add_argument("--scheduler", choices=available_schedulers(), default="lpfps")
+    val.add_argument("--bcet-ratio", type=float, default=0.5)
+    val.add_argument("--duration", type=float, default=None)
+    val.add_argument("--seed", type=int, default=1)
+
+    simp = sub.add_parser("simulate", help="one simulation run, summarised")
+    simp.add_argument("--app", choices=available_workloads(), required=True)
+    simp.add_argument(
+        "--scheduler", choices=available_schedulers(), default="lpfps"
+    )
+    simp.add_argument("--bcet-ratio", type=float, default=1.0)
+    simp.add_argument("--seed", type=int, default=1)
+    simp.add_argument("--duration", type=float, default=None, help="horizon in us")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "figure1":
+        print(run_figure1().render())
+    elif args.command == "table1":
+        result = run_table1()
+        print(result.render())
+        if not result.all_checks_pass:
+            return 1
+    elif args.command == "table2":
+        print(run_table2().render())
+    elif args.command == "figure7":
+        print(run_figure7().render())
+    elif args.command == "figure8":
+        if args.app == "all":
+            for name, result in run_figure8_all(seeds=args.seeds).items():
+                print(result.render())
+                print()
+        else:
+            print(run_figure8(args.app, seeds=args.seeds).render())
+    elif args.command == "ablation":
+        runs = {
+            "policy": lambda: run_policy_ablation(
+                application=args.app or "cnc", bcet_ratio=args.bcet_ratio
+            ),
+            "mechanisms": lambda: run_mechanism_ablation(
+                application=args.app or "ins", bcet_ratio=args.bcet_ratio
+            ),
+            "freqgrid": lambda: run_frequency_grid_ablation(
+                application=args.app or "ins", bcet_ratio=args.bcet_ratio
+            ),
+            "rho": lambda: run_rho_ablation(
+                application=args.app or "cnc", bcet_ratio=args.bcet_ratio
+            ),
+        }
+        which = list(runs) if args.which == "all" else [args.which]
+        for key in which:
+            print(runs[key]().render())
+            print()
+    elif args.command == "extensions":
+        runs = {
+            "overhead": run_overhead_tradeoff,
+            "oracle": run_oracle_gap,
+            "predictive": run_predictive_failure,
+        }
+        which = list(runs) if args.which == "all" else [args.which]
+        for key in which:
+            print(runs[key]().render())
+            print()
+    elif args.command == "validate":
+        from .sim.validate import validate_trace
+
+        workload = get_workload(args.app)
+        taskset = workload.prioritized().with_bcet_ratio(args.bcet_ratio)
+        duration = (
+            args.duration
+            if args.duration is not None
+            else min(measurement_duration(taskset), 2_000_000.0)
+        )
+        scheduler = make_scheduler(args.scheduler)
+        result = simulate(
+            taskset,
+            scheduler,
+            execution_model=GaussianModel(),
+            duration=duration,
+            seed=args.seed,
+            on_miss="record",
+            record_trace=True,
+        )
+        fp_policy = getattr(scheduler, "run_queue_key", None) is not None and (
+            args.scheduler not in ("edf", "avr", "yds")
+        )
+        violations = validate_trace(
+            result.trace,
+            taskset,
+            check_priorities=fp_policy,
+            check_slowdown_exclusive=args.scheduler.startswith("lpfps"),
+        )
+        print(result.summary())
+        if violations:
+            print(f"{len(violations)} invariant violation(s):")
+            for violation in violations[:20]:
+                print(f"  {violation}")
+            return 1
+        print("trace passes all kernel invariants")
+        from .sim.audit import audit_energy
+
+        audit = audit_energy(
+            result.trace, ProcessorSpec.arm8(), result.energy, tolerance=1e-4
+        )
+        print(audit.summary())
+        if not audit.consistent:
+            return 1
+    elif args.command == "simulate":
+        workload = get_workload(args.app)
+        taskset = workload.prioritized().with_bcet_ratio(args.bcet_ratio)
+        duration = (
+            args.duration
+            if args.duration is not None
+            else measurement_duration(taskset)
+        )
+        result = simulate(
+            taskset,
+            make_scheduler(args.scheduler),
+            execution_model=GaussianModel(),
+            duration=duration,
+            seed=args.seed,
+            on_miss="record",
+        )
+        print(result.summary())
+        if result.missed:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""The paper's primary contribution: LPFPS and its speed-ratio math."""
+
+from .lpfps import LpfpsScheduler
+from .speed import (
+    heuristic_is_safe,
+    heuristic_speed_ratio,
+    optimal_speed_ratio,
+    slowdown_window,
+    work_balance_residual,
+)
+
+__all__ = [
+    "LpfpsScheduler",
+    "heuristic_speed_ratio",
+    "optimal_speed_ratio",
+    "heuristic_is_safe",
+    "work_balance_residual",
+    "slowdown_window",
+]

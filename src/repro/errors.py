@@ -1,0 +1,53 @@
+"""Exception hierarchy for the LPFPS reproduction.
+
+All library-specific exceptions derive from :class:`ReproError` so callers can
+catch one base class.  Simulation-time violations of hard real-time
+constraints get their own branch (:class:`SchedulingError`) because a
+deadline miss is a *result* in some experiments (baselines pushed past their
+breakdown utilisation) and a *bug* in others (LPFPS on a schedulable set);
+the engine can be configured to either record or raise them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A model or simulation was configured with inconsistent parameters."""
+
+
+class InvalidTaskError(ConfigurationError):
+    """A task violates the periodic task model (e.g. WCET <= 0)."""
+
+
+class InvalidTaskSetError(ConfigurationError):
+    """A task set is malformed (duplicate names, missing priorities, ...)."""
+
+
+class SchedulingError(ReproError):
+    """Base class for run-time scheduling violations."""
+
+
+class DeadlineMissError(SchedulingError):
+    """A job overran its absolute deadline.
+
+    Attributes
+    ----------
+    job:
+        The offending job (``repro.sim`` attaches it when raising).
+    """
+
+    def __init__(self, message: str, job=None):
+        super().__init__(message)
+        self.job = job
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class AnalysisError(ReproError):
+    """A schedulability analysis could not be performed (e.g. divergent RTA)."""

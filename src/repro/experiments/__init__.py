@@ -1,0 +1,56 @@
+"""Experiment harness: one module per reproduced table/figure/ablation."""
+
+from .ablations import (
+    AblationResult,
+    run_frequency_grid_ablation,
+    run_mechanism_ablation,
+    run_policy_ablation,
+    run_rho_ablation,
+)
+from .extensions import (
+    OracleGapResult,
+    OverheadTradeoffResult,
+    PredictiveFailureResult,
+    run_oracle_gap,
+    run_overhead_tradeoff,
+    run_predictive_failure,
+)
+from .figure1 import Figure1Result, run_figure1
+from .figure7 import Figure7Result, run_figure7
+from .figure8 import Figure8Point, Figure8Result, run_figure8, run_figure8_all
+from .runner import ComparisonPoint, compare_schedulers, measurement_duration
+from .structure import StructureResult, run_structure_study
+from .table1_schedule import Table1Result, run_table1
+from .table2 import Table2Result, Table2Row, run_table2
+
+__all__ = [
+    "run_figure1",
+    "Figure1Result",
+    "run_figure7",
+    "Figure7Result",
+    "run_figure8",
+    "run_figure8_all",
+    "Figure8Result",
+    "Figure8Point",
+    "run_table1",
+    "Table1Result",
+    "run_table2",
+    "Table2Result",
+    "Table2Row",
+    "run_policy_ablation",
+    "run_mechanism_ablation",
+    "run_frequency_grid_ablation",
+    "run_rho_ablation",
+    "AblationResult",
+    "run_overhead_tradeoff",
+    "OverheadTradeoffResult",
+    "run_oracle_gap",
+    "OracleGapResult",
+    "run_predictive_failure",
+    "PredictiveFailureResult",
+    "run_structure_study",
+    "StructureResult",
+    "compare_schedulers",
+    "measurement_duration",
+    "ComparisonPoint",
+]

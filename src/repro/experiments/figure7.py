@@ -1,0 +1,85 @@
+"""EXP-F7 — Figure 7: optimal versus heuristic speed ratio.
+
+The paper computes ``r_opt`` with ``rho = 0.07/µs`` while varying
+``t_a − t_c`` from 50 µs to 3 000 µs for each ``r_heu`` from 0.1 to 0.9, and
+observes that "r_heu closely matches r_opt except for small values of
+t_a − t_c and for low r_heu".  This experiment regenerates those curves:
+given a target ``r_heu`` and a window ``t_I``, the remaining work is
+``R = r_heu × t_I`` and ``r_opt`` follows from Eq. (2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.speed import optimal_speed_ratio
+from ..viz.series import render_series
+from ..viz.tables import render_table
+
+#: The paper's sweep parameters.
+DEFAULT_RHO = 0.07
+DEFAULT_WINDOWS = tuple(range(50, 3001, 50))
+DEFAULT_RATIOS = tuple(round(0.1 * k, 1) for k in range(1, 10))
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    """Curves of ``r_opt`` per heuristic ratio, over the window sweep."""
+
+    rho: float
+    windows: Tuple[float, ...]
+    ratios: Tuple[float, ...]
+    r_opt: Dict[float, Tuple[float, ...]]  #: keyed by r_heu
+
+    def convergence_window(self, r_heu: float, tolerance: float = 0.02) -> float:
+        """Smallest window beyond which ``r_heu − r_opt <= tolerance``.
+
+        Quantifies "closely matches except for small t_a − t_c".
+        """
+        curve = self.r_opt[r_heu]
+        for window, value in zip(reversed(self.windows), reversed(curve)):
+            if r_heu - value > tolerance:
+                return window
+        return self.windows[0]
+
+    def render(self, sample_every: int = 6) -> str:
+        """ASCII plot plus a sampled table of the curves."""
+        series = {f"r_heu={r}": self.r_opt[r] for r in self.ratios}
+        chart = render_series(
+            list(self.windows),
+            series,
+            title=(
+                f"Figure 7: r_opt vs r_heu over t_a - t_c (rho={self.rho}/us); "
+                "each curve approaches its r_heu from below"
+            ),
+            y_label="r_opt",
+        )
+        headers = ["t_a - t_c (us)"] + [f"r_heu={r}" for r in self.ratios]
+        rows = []
+        for i in range(0, len(self.windows), sample_every):
+            rows.append(
+                [self.windows[i]] + [round(self.r_opt[r][i], 4) for r in self.ratios]
+            )
+        return chart + "\n\n" + render_table(headers, rows)
+
+
+def run_figure7(
+    rho: float = DEFAULT_RHO,
+    windows: Sequence[float] = DEFAULT_WINDOWS,
+    ratios: Sequence[float] = DEFAULT_RATIOS,
+) -> Figure7Result:
+    """Compute the Figure 7 curves."""
+    curves: Dict[float, Tuple[float, ...]] = {}
+    for r_heu in ratios:
+        values: List[float] = []
+        for window in windows:
+            remaining = r_heu * window
+            values.append(optimal_speed_ratio(remaining, window, rho))
+        curves[r_heu] = tuple(values)
+    return Figure7Result(
+        rho=rho,
+        windows=tuple(windows),
+        ratios=tuple(ratios),
+        r_opt=curves,
+    )

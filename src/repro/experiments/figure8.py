@@ -1,0 +1,151 @@
+"""EXP-F8 — Figure 8: average power of LPFPS vs FPS over the BCET sweep.
+
+For each application the paper sweeps the BCET from 10 % to 100 % of the
+WCET, draws every job's execution time from the clamped Gaussian of
+Eqs. (4)–(5), and plots the average power of FPS and LPFPS on the ARM8-like
+processor.  The expected shape (paper §4):
+
+* LPFPS consumes less than FPS at every point, including BCET = WCET
+  (inherent schedule slack alone buys a reduction);
+* the gap widens as the BCET shrinks (more execution-time variation);
+* INS gains the most (up to 62 % in the paper) because one high-rate task
+  holds most of the utilisation and usually runs alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.lpfps import LpfpsScheduler
+from ..power.processor import ProcessorSpec
+from ..schedulers.fps import FpsScheduler
+from ..tasks.generation import GaussianModel
+from ..viz.series import render_series
+from ..viz.tables import render_table
+from ..workloads.registry import get_workload
+from .runner import ComparisonPoint, compare_schedulers, measurement_duration
+
+#: The paper's sweep: BCET from 10% to 100% of WCET.
+DEFAULT_RATIOS = tuple(round(0.1 * k, 1) for k in range(1, 11))
+
+
+@dataclass(frozen=True)
+class Figure8Point:
+    """One BCET ratio's comparison for one application."""
+
+    bcet_ratio: float
+    fps_power: float
+    lpfps_power: float
+    reduction: float
+    lpfps_misses: int
+    fps_misses: int
+
+
+@dataclass(frozen=True)
+class Figure8Result:
+    """One application's panel of Figure 8."""
+
+    application: str
+    utilization: float
+    points: Tuple[Figure8Point, ...]
+
+    @property
+    def max_reduction(self) -> float:
+        """Largest fractional power reduction over the sweep."""
+        return max(p.reduction for p in self.points)
+
+    @property
+    def reduction_at_wcet(self) -> float:
+        """Reduction when BCET = WCET (inherent slack only)."""
+        for p in self.points:
+            if abs(p.bcet_ratio - 1.0) < 1e-9:
+                return p.reduction
+        return self.points[-1].reduction
+
+    def render(self) -> str:
+        """ASCII plot plus the numeric rows."""
+        x = [p.bcet_ratio for p in self.points]
+        chart = render_series(
+            x,
+            {
+                "FPS": [p.fps_power for p in self.points],
+                "LPFPS": [p.lpfps_power for p in self.points],
+            },
+            title=(
+                f"Figure 8 ({self.application}, U={self.utilization:.3f}): "
+                "normalised average power vs BCET/WCET"
+            ),
+            y_label="avg power / full-speed power",
+        )
+        table = render_table(
+            ["BCET/WCET", "FPS power", "LPFPS power", "reduction %", "misses"],
+            [
+                (
+                    p.bcet_ratio,
+                    round(p.fps_power, 4),
+                    round(p.lpfps_power, 4),
+                    round(100 * p.reduction, 1),
+                    p.lpfps_misses + p.fps_misses,
+                )
+                for p in self.points
+            ],
+        )
+        return (
+            f"{chart}\n\n{table}\n"
+            f"max reduction: {100 * self.max_reduction:.1f}%   "
+            f"reduction at BCET=WCET: {100 * self.reduction_at_wcet:.1f}%"
+        )
+
+
+def run_figure8(
+    application: str,
+    ratios: Sequence[float] = DEFAULT_RATIOS,
+    seeds: Sequence[int] = (1, 2, 3),
+    spec: Optional[ProcessorSpec] = None,
+    duration: Optional[float] = None,
+) -> Figure8Result:
+    """Run the Figure 8 sweep for one application by registry name."""
+    workload = get_workload(application)
+    base = workload.prioritized()
+    spec = spec if spec is not None else ProcessorSpec.arm8()
+    horizon = duration if duration is not None else measurement_duration(base)
+    points: List[Figure8Point] = []
+    for ratio in ratios:
+        taskset = base.with_bcet_ratio(ratio)
+        comparison: Dict[str, ComparisonPoint] = compare_schedulers(
+            taskset,
+            {"FPS": FpsScheduler, "LPFPS": LpfpsScheduler},
+            spec=spec,
+            execution_model=GaussianModel(),
+            seeds=seeds,
+            duration=horizon,
+        )
+        fps, lpfps = comparison["FPS"], comparison["LPFPS"]
+        points.append(
+            Figure8Point(
+                bcet_ratio=ratio,
+                fps_power=fps.average_power,
+                lpfps_power=lpfps.average_power,
+                reduction=lpfps.reduction_vs(fps),
+                lpfps_misses=lpfps.deadline_misses,
+                fps_misses=fps.deadline_misses,
+            )
+        )
+    return Figure8Result(
+        application=workload.name,
+        utilization=workload.utilization,
+        points=tuple(points),
+    )
+
+
+def run_figure8_all(
+    ratios: Sequence[float] = DEFAULT_RATIOS,
+    seeds: Sequence[int] = (1, 2, 3),
+    spec: Optional[ProcessorSpec] = None,
+) -> Dict[str, Figure8Result]:
+    """Run all four panels (a)–(d) of Figure 8."""
+    return {
+        name: run_figure8(name, ratios=ratios, seeds=seeds, spec=spec)
+        for name in ("avionics", "ins", "flight_control", "cnc")
+    }

@@ -1,0 +1,109 @@
+"""Shared experiment machinery: durations, seeded sweeps, averaging.
+
+The power experiments compare schedulers on identical job streams: every
+(scheduler, seed) pair draws execution times from the same seeded generator,
+so power differences are attributable to the policy alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..power.processor import ProcessorSpec
+from ..sim.engine import simulate
+from ..sim.metrics import SimulationResult
+from ..tasks.generation import ExecutionTimeModel, GaussianModel
+from ..tasks.task import TaskSet
+
+#: Lower bound on a power-measurement horizon: short hyperperiods (CNC's is
+#: 9.6 ms) are repeated until at least this much time is simulated, so sleep
+#: and variation statistics settle.
+MIN_DURATION = 1_000_000.0
+#: Upper bound keeping huge hyperperiods (Avionics: 118 s) tractable.
+MAX_DURATION = 10_000_000.0
+
+
+def measurement_duration(
+    taskset: TaskSet,
+    min_duration: float = MIN_DURATION,
+    max_duration: float = MAX_DURATION,
+) -> float:
+    """Simulation horizon for power measurements on *taskset*.
+
+    A whole number of hyperperiods at least *min_duration* long, capped at
+    *max_duration* (a capped horizon is no longer a whole hyperperiod;
+    acceptable for averaged power, and noted in EXPERIMENTS.md).
+    """
+    hyper = taskset.hyperperiod
+    if hyper >= max_duration:
+        return max_duration
+    repeats = max(1, math.ceil(min_duration / hyper))
+    return min(repeats * hyper, max_duration)
+
+
+@dataclass(frozen=True)
+class ComparisonPoint:
+    """Averaged result of one scheduler at one sweep point."""
+
+    scheduler: str
+    average_power: float
+    deadline_misses: int
+    sleep_entries: float
+    speed_changes: float
+    runs: int
+
+    def reduction_vs(self, baseline: "ComparisonPoint") -> float:
+        """Fractional power reduction relative to *baseline*."""
+        if baseline.average_power <= 0:
+            return 0.0
+        return 1.0 - self.average_power / baseline.average_power
+
+
+def compare_schedulers(
+    taskset: TaskSet,
+    schedulers: Dict[str, "object"],
+    spec: Optional[ProcessorSpec] = None,
+    execution_model: Optional[ExecutionTimeModel] = None,
+    seeds: Sequence[int] = (1, 2, 3),
+    duration: Optional[float] = None,
+    on_miss: str = "record",
+) -> Dict[str, ComparisonPoint]:
+    """Run every scheduler over every seed and average the powers.
+
+    *schedulers* maps display names to factory callables (a fresh policy
+    object per run keeps per-run state clean).
+    """
+    spec = spec if spec is not None else ProcessorSpec.arm8()
+    model = execution_model if execution_model is not None else GaussianModel()
+    horizon = duration if duration is not None else measurement_duration(taskset)
+    points: Dict[str, ComparisonPoint] = {}
+    for name, factory in schedulers.items():
+        powers: List[float] = []
+        misses = 0
+        sleeps = 0.0
+        speed_changes = 0.0
+        for seed in seeds:
+            result: SimulationResult = simulate(
+                taskset,
+                factory(),
+                spec=spec,
+                execution_model=model,
+                duration=horizon,
+                seed=seed,
+                on_miss=on_miss,
+            )
+            powers.append(result.average_power)
+            misses += len(result.deadline_misses)
+            sleeps += result.sleep_entries
+            speed_changes += result.speed_changes
+        points[name] = ComparisonPoint(
+            scheduler=name,
+            average_power=sum(powers) / len(powers),
+            deadline_misses=misses,
+            sleep_entries=sleeps / len(seeds),
+            speed_changes=speed_changes / len(seeds),
+            runs=len(seeds),
+        )
+    return points

@@ -1,0 +1,18 @@
+"""Variable-voltage processor, power, and DVS-transition models."""
+
+from .frequency import FrequencyGrid
+from .model import PowerModel
+from .processor import ProcessorSpec
+from .transitions import INSTANT, TransitionModel
+from .voltage import AlphaPowerLawVoltage, FixedVoltage, LinearVoltage
+
+__all__ = [
+    "FrequencyGrid",
+    "PowerModel",
+    "ProcessorSpec",
+    "TransitionModel",
+    "INSTANT",
+    "AlphaPowerLawVoltage",
+    "LinearVoltage",
+    "FixedVoltage",
+]

@@ -1,0 +1,124 @@
+"""Discrete clock-frequency grids.
+
+"In practice, only discrete levels of frequency are available, and among
+them we should select a frequency larger than or equal to the computed one
+to guarantee the timing constraints" (paper §3.2, line L18).  The paper's
+processor runs 100 MHz down to 8 MHz in 1 MHz steps; the grid abstraction
+also supports a continuous (ideal) mode and coarse grids for the
+granularity ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FrequencyGrid:
+    """Available clock frequencies in MHz.
+
+    Parameters
+    ----------
+    f_max:
+        Maximum (full-speed) frequency.
+    f_min:
+        Minimum operating frequency; requests below it are raised to it.
+    step:
+        Grid spacing in MHz; ``None`` means a continuous range (ideal DVS).
+    """
+
+    f_max: float = 100.0
+    f_min: float = 8.0
+    step: Optional[float] = 1.0
+
+    def __post_init__(self) -> None:
+        if self.f_max <= 0:
+            raise ConfigurationError(f"f_max must be > 0, got {self.f_max}")
+        if not 0 < self.f_min <= self.f_max:
+            raise ConfigurationError(
+                f"need 0 < f_min <= f_max, got f_min={self.f_min}, f_max={self.f_max}"
+            )
+        if self.step is not None:
+            if self.step <= 0:
+                raise ConfigurationError(f"step must be > 0, got {self.step}")
+            span = self.f_max - self.f_min
+            if span > 0 and span / self.step > 1e6:
+                raise ConfigurationError("grid would have more than 1e6 levels")
+
+    @property
+    def continuous(self) -> bool:
+        """True for an ideal, continuously tunable clock."""
+        return self.step is None
+
+    def levels(self) -> List[float]:
+        """All grid frequencies, ascending (continuous grids raise)."""
+        if self.continuous:
+            raise ConfigurationError("a continuous grid has no discrete levels")
+        count = int(math.floor((self.f_max - self.f_min) / self.step + 1e-9)) + 1
+        freqs = [self.f_min + i * self.step for i in range(count)]
+        if freqs[-1] < self.f_max - 1e-9:
+            freqs.append(self.f_max)
+        else:
+            freqs[-1] = self.f_max
+        return freqs
+
+    def quantize_up(self, frequency: float) -> float:
+        """Smallest available frequency >= *frequency* (clamped to range).
+
+        Rounding *up* preserves hard deadlines: the task runs at least as
+        fast as the exact request.
+        """
+        if frequency >= self.f_max:
+            return self.f_max
+        if frequency <= self.f_min:
+            return self.f_min
+        if self.continuous:
+            return frequency
+        steps = math.ceil((frequency - self.f_min) / self.step - 1e-9)
+        return min(self.f_min + steps * self.step, self.f_max)
+
+    def speed_for_ratio(self, ratio: float) -> float:
+        """Quantised speed ratio for a requested ratio in (0, 1].
+
+        Computes ``ratio * f_max``, rounds up onto the grid, and renormalises
+        — the L17→L18 step of the paper's pseudo-code.
+        """
+        if ratio <= 0:
+            raise ConfigurationError(f"speed ratio must be > 0, got {ratio}")
+        return self.quantize_up(ratio * self.f_max) / self.f_max
+
+    def quantize_down(self, frequency: float) -> float:
+        """Largest available frequency <= *frequency* (clamped to range)."""
+        if frequency <= self.f_min:
+            return self.f_min
+        if frequency >= self.f_max:
+            return self.f_max
+        if self.continuous:
+            return frequency
+        steps = math.floor((frequency - self.f_min) / self.step + 1e-9)
+        return min(self.f_min + steps * self.step, self.f_max)
+
+    def adjacent_speeds(self, ratio: float) -> tuple:
+        """The two grid speed ratios bracketing *ratio*: ``(lo, hi)``.
+
+        ``hi`` is the round-up choice (deadline-safe on its own); ``lo`` is
+        the next level below.  When *ratio* lands exactly on a level, or at
+        the range edges, the two coincide.  This is the ingredient of the
+        Ishihara–Yasuura result (paper ref. [16]): with discrete levels the
+        energy-optimal schedule splits execution between the two levels
+        adjacent to the ideal speed.
+        """
+        if ratio <= 0:
+            raise ConfigurationError(f"speed ratio must be > 0, got {ratio}")
+        hi = self.quantize_up(ratio * self.f_max)
+        lo = self.quantize_down(ratio * self.f_max)
+        return (lo / self.f_max, hi / self.f_max)
+
+    @property
+    def min_speed(self) -> float:
+        """Lowest speed ratio the grid supports (``f_min / f_max``)."""
+        return self.f_min / self.f_max

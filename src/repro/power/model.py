@@ -1,0 +1,115 @@
+"""Normalised processor power model.
+
+Every power figure in the reproduction is normalised to the processor's
+full-speed active power, matching how the paper reports results ("average
+power consumed").  The model combines:
+
+* **active** power at speed ``s`` — ``(V(s)/V_max)^2 * s`` through a
+  voltage model (:mod:`repro.power.voltage`);
+* **busy-wait idle** power — the FPS baseline spins on NOPs whose average
+  power is 20 % of a typical instruction (paper §4, ref. [19]);
+* **power-down** power — 5 % of full power (PowerPC-603-style sleep mode,
+  paper §§2.1, 4);
+* **ramp** energy — numerically integrated over the linear speed profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..errors import ConfigurationError
+from .voltage import AlphaPowerLawVoltage, FixedVoltage, LinearVoltage
+
+VoltageModelLike = Union[AlphaPowerLawVoltage, LinearVoltage, FixedVoltage]
+
+#: Simpson-rule panels used to integrate power over a speed ramp.  Ramps are
+#: ≤ ~13 µs and the integrand is smooth, so a small even count suffices.
+_RAMP_PANELS = 16
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Normalised power as a function of processor state.
+
+    Parameters
+    ----------
+    voltage:
+        The V(f) model; defaults to the alpha-power law at 3.3 V.
+    idle_ratio:
+        Busy-wait (NOP loop) power as a fraction of full active power.
+    sleep_ratio:
+        Power-down mode power as a fraction of full active power.
+    """
+
+    voltage: VoltageModelLike = field(default_factory=AlphaPowerLawVoltage)
+    idle_ratio: float = 0.20
+    sleep_ratio: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sleep_ratio <= 1:
+            raise ConfigurationError(
+                f"sleep_ratio must be in [0,1], got {self.sleep_ratio}"
+            )
+        if not 0 <= self.idle_ratio <= 1:
+            raise ConfigurationError(
+                f"idle_ratio must be in [0,1], got {self.idle_ratio}"
+            )
+
+    # -- instantaneous powers (normalised to full-speed active power) -------
+    def active_power(self, speed: float) -> float:
+        """Power while executing at speed ratio *speed*."""
+        return self.voltage.power_ratio(speed)
+
+    def idle_power(self, speed: float = 1.0) -> float:
+        """Power while busy-waiting on NOPs at speed ratio *speed*."""
+        return self.idle_ratio * self.active_power(speed)
+
+    def sleep_power(self) -> float:
+        """Power in the power-down mode."""
+        return self.sleep_ratio
+
+    # -- energies ------------------------------------------------------------
+    def active_energy(self, speed: float, duration: float) -> float:
+        """Energy (power-units × µs) of executing *duration* µs at *speed*."""
+        self._check_duration(duration)
+        return self.active_power(speed) * duration
+
+    def idle_energy(self, duration: float, speed: float = 1.0) -> float:
+        """Energy of busy-waiting for *duration* µs."""
+        self._check_duration(duration)
+        return self.idle_power(speed) * duration
+
+    def sleep_energy(self, duration: float) -> float:
+        """Energy of *duration* µs in power-down mode."""
+        self._check_duration(duration)
+        return self.sleep_power() * duration
+
+    def ramp_energy(self, from_speed: float, to_speed: float, duration: float) -> float:
+        """Energy over a linear ramp between two speed ratios.
+
+        Integrates ``P(s(t))`` with Simpson's rule over the ramp; exact for
+        the instantaneous model (zero duration → zero energy).
+        """
+        self._check_duration(duration)
+        if duration == 0.0:
+            return 0.0
+        n = _RAMP_PANELS
+        h = duration / n
+        total = 0.0
+        for i in range(n + 1):
+            s = from_speed + (to_speed - from_speed) * (i / n)
+            p = self.active_power(max(s, 0.0))
+            if i == 0 or i == n:
+                weight = 1.0
+            elif i % 2 == 1:
+                weight = 4.0
+            else:
+                weight = 2.0
+            total += weight * p
+        return total * h / 3.0
+
+    @staticmethod
+    def _check_duration(duration: float) -> None:
+        if duration < 0:
+            raise ConfigurationError(f"duration must be >= 0, got {duration}")

@@ -1,0 +1,117 @@
+"""Complete variable-voltage processor specification.
+
+Bundles the frequency grid, V(f) model, power model, speed-transition model,
+and power-down parameters into one immutable spec the simulator consumes.
+:func:`ProcessorSpec.arm8` reproduces the exact configuration of the paper's
+experimental section:
+
+* ARM8-like core, 100 MHz @ 3.3 V maximum;
+* clock variable 100 MHz down to 8 MHz in 1 MHz steps;
+* power-down mode at 5 % of full power, 10 clock cycles to wake up;
+* NOP busy-wait at 20 % of typical-instruction power (the FPS idle loop);
+* ring-oscillator DVS ramp, ``rho = 0.07/µs`` (≈10 µs worst-case delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..errors import ConfigurationError
+from .frequency import FrequencyGrid
+from .model import PowerModel
+from .transitions import TransitionModel
+from .voltage import AlphaPowerLawVoltage
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """A DVS-capable processor with a power-down mode.
+
+    All simulator-facing quantities are expressed as *speed ratios*
+    (``f / f_max``) and powers normalised to full-speed active power.
+    """
+
+    grid: FrequencyGrid = field(default_factory=FrequencyGrid)
+    power: PowerModel = field(default_factory=PowerModel)
+    transition: TransitionModel = field(default_factory=TransitionModel)
+    wakeup_cycles: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.wakeup_cycles < 0:
+            raise ConfigurationError(
+                f"wakeup_cycles must be >= 0, got {self.wakeup_cycles}"
+            )
+
+    # -- derived quantities --------------------------------------------------
+    @property
+    def f_max(self) -> float:
+        """Full-speed clock frequency in MHz."""
+        return self.grid.f_max
+
+    @property
+    def min_speed(self) -> float:
+        """Lowest supported speed ratio."""
+        return self.grid.min_speed
+
+    @property
+    def wakeup_delay(self) -> float:
+        """Power-down exit latency in µs (cycles at the full clock)."""
+        return self.wakeup_cycles / self.f_max
+
+    @property
+    def worst_case_transition_delay(self) -> float:
+        """Longest DVS ramp: minimum speed up to full speed, in µs."""
+        return self.transition.worst_case_delay(self.min_speed)
+
+    def quantized_speed(self, ratio: float) -> float:
+        """Smallest supported speed ratio >= *ratio* (paper line L18)."""
+        return self.grid.speed_for_ratio(ratio)
+
+    def frequency_at(self, speed: float) -> float:
+        """Clock frequency in MHz at speed ratio *speed*."""
+        return speed * self.f_max
+
+    def voltage_at(self, speed: float) -> float:
+        """Supply voltage in volts at speed ratio *speed*."""
+        return self.power.voltage.voltage_for_speed(speed)
+
+    # -- factories -------------------------------------------------------------
+    @staticmethod
+    def arm8() -> "ProcessorSpec":
+        """The paper's experimental processor (see module docstring)."""
+        return ProcessorSpec(
+            grid=FrequencyGrid(f_max=100.0, f_min=8.0, step=1.0),
+            power=PowerModel(
+                # V_t = 0.5 V per the Burd-Brodersen low-power process the
+                # paper's ARM8 power figures come from (ref. [19]).
+                voltage=AlphaPowerLawVoltage(v_max=3.3, v_threshold=0.5, alpha=2.0),
+                idle_ratio=0.20,
+                sleep_ratio=0.05,
+            ),
+            transition=TransitionModel(rho=0.07, executes_during_change=True),
+            wakeup_cycles=10.0,
+        )
+
+    @staticmethod
+    def ideal() -> "ProcessorSpec":
+        """A theoretical processor: continuous frequencies, instant
+        transitions, free sleep, free wakeup.
+
+        Useful as an upper bound on achievable savings and in unit tests
+        whose arithmetic should not be perturbed by ramp effects.
+        """
+        return ProcessorSpec(
+            grid=FrequencyGrid(f_max=100.0, f_min=1e-3, step=None),
+            power=PowerModel(sleep_ratio=0.0, idle_ratio=0.20),
+            transition=TransitionModel(rho=None),
+            wakeup_cycles=0.0,
+        )
+
+    def with_grid_step(self, step: Optional[float]) -> "ProcessorSpec":
+        """Copy of this spec with a different frequency granularity."""
+        return replace(self, grid=replace(self.grid, step=step))
+
+    def with_rho(self, rho: Optional[float]) -> "ProcessorSpec":
+        """Copy of this spec with a different DVS ramp rate."""
+        return replace(self, transition=replace(self.transition, rho=rho))

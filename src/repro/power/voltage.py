@@ -1,0 +1,150 @@
+"""Supply-voltage / clock-frequency relationship.
+
+Lowering the clock frequency only helps quadratically if the supply voltage
+drops with it; the mapping between the two is set by the CMOS gate-delay
+(alpha-power-law) model of Sakurai & Newton, used by the Burd–Brodersen
+processor studies the paper builds its assumptions on (refs. [19], [20]):
+
+    f  ∝  (V - V_t)^alpha / V          (alpha ≈ 2 for long channels)
+
+Given the maximum operating point (100 MHz @ 3.3 V for the paper's ARM8-like
+core) the model answers two questions:
+
+* what supply voltage supports a given normalised speed ``s = f / f_max``?
+* what is the dynamic-power ratio ``P(s)/P_max = (V/V_max)^2 * s``?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AlphaPowerLawVoltage:
+    """Alpha-power-law V(f) model.
+
+    Parameters
+    ----------
+    v_max:
+        Supply voltage at full speed (3.3 V in the paper's setup).
+    v_threshold:
+        Device threshold voltage; must satisfy ``0 <= v_threshold < v_max``.
+    alpha:
+        Velocity-saturation exponent; 2.0 gives the classic quadratic law
+        with a closed-form inverse, other values fall back to bisection.
+    """
+
+    v_max: float = 3.3
+    v_threshold: float = 0.8
+    alpha: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.v_max <= 0:
+            raise ConfigurationError(f"v_max must be > 0, got {self.v_max}")
+        if not 0 <= self.v_threshold < self.v_max:
+            raise ConfigurationError(
+                f"need 0 <= v_threshold < v_max, got {self.v_threshold}"
+            )
+        if self.alpha <= 0:
+            raise ConfigurationError(f"alpha must be > 0, got {self.alpha}")
+
+    def _delay_metric(self, v: float) -> float:
+        """Unnormalised speed ``(V - V_t)^alpha / V``."""
+        return (v - self.v_threshold) ** self.alpha / v
+
+    def speed_ratio(self, voltage: float) -> float:
+        """Normalised speed ``f / f_max`` achievable at *voltage*."""
+        if voltage <= self.v_threshold:
+            return 0.0
+        return self._delay_metric(voltage) / self._delay_metric(self.v_max)
+
+    def voltage_for_speed(self, speed: float) -> float:
+        """Smallest supply voltage supporting normalised *speed* in (0, 1]."""
+        if not 0 < speed <= 1 + 1e-12:
+            raise ConfigurationError(f"speed must be in (0, 1], got {speed}")
+        speed = min(speed, 1.0)
+        if self.alpha == 2.0:
+            # (V - Vt)^2 / V = c  =>  V^2 - (2 Vt + c) V + Vt^2 = 0
+            c = speed * self._delay_metric(self.v_max)
+            b = 2.0 * self.v_threshold + c
+            disc = b * b - 4.0 * self.v_threshold**2
+            return (b + math.sqrt(max(disc, 0.0))) / 2.0
+        # Generic alpha: the delay metric is monotone above V_t — bisect.
+        lo, hi = self.v_threshold + 1e-12, self.v_max
+        target = speed * self._delay_metric(self.v_max)
+        for _ in range(200):
+            mid = (lo + hi) / 2.0
+            if self._delay_metric(mid) < target:
+                lo = mid
+            else:
+                hi = mid
+        return (lo + hi) / 2.0
+
+    def power_ratio(self, speed: float) -> float:
+        """Dynamic-power fraction ``P(s)/P(1) = (V(s)/V_max)^2 * s``.
+
+        This is the quadratic-in-voltage saving the paper's §1 invokes for
+        DVS; at ``s = 1`` it is exactly 1.
+        """
+        if speed <= 0:
+            return 0.0
+        v = self.voltage_for_speed(speed)
+        return (v / self.v_max) ** 2 * speed
+
+
+@dataclass(frozen=True)
+class LinearVoltage:
+    """Idealised ``V ∝ f`` model (zero threshold voltage).
+
+    Gives the textbook cubic power law ``P(s)/P(1) = s^3``; used by the
+    ablation study to show how the threshold voltage limits DVS gains.
+    """
+
+    v_max: float = 3.3
+
+    def speed_ratio(self, voltage: float) -> float:
+        """Normalised speed for *voltage* (linear map)."""
+        return max(0.0, voltage / self.v_max)
+
+    def voltage_for_speed(self, speed: float) -> float:
+        """Supply voltage for normalised *speed*."""
+        if not 0 < speed <= 1 + 1e-12:
+            raise ConfigurationError(f"speed must be in (0, 1], got {speed}")
+        return min(speed, 1.0) * self.v_max
+
+    def power_ratio(self, speed: float) -> float:
+        """``s^3`` — voltage falls linearly with frequency."""
+        if speed <= 0:
+            return 0.0
+        return min(speed, 1.0) ** 3
+
+
+@dataclass(frozen=True)
+class FixedVoltage:
+    """Frequency scaling at a constant supply voltage.
+
+    Power then falls only linearly with frequency (``P(s)/P(1) = s``), which
+    saves no *energy* per cycle — the ablation baseline showing why DVS
+    needs the voltage knob (paper §1).
+    """
+
+    v_max: float = 3.3
+
+    def speed_ratio(self, voltage: float) -> float:
+        """Any speed is available at the fixed voltage; report 1."""
+        return 1.0
+
+    def voltage_for_speed(self, speed: float) -> float:
+        """Always the fixed supply voltage."""
+        if not 0 < speed <= 1 + 1e-12:
+            raise ConfigurationError(f"speed must be in (0, 1], got {speed}")
+        return self.v_max
+
+    def power_ratio(self, speed: float) -> float:
+        """``s`` — only the frequency term scales."""
+        if speed <= 0:
+            return 0.0
+        return min(speed, 1.0)

@@ -1,0 +1,34 @@
+"""Scheduling policies: the LPFPS contribution and its baselines."""
+
+from ..core.lpfps import LpfpsScheduler
+from .base import (
+    Scheduler,
+    earliest_deadline_dispatch,
+    fixed_priority_dispatch,
+)
+from .cycle_conserving import CcEdfScheduler
+from .edf import AvrScheduler, EdfScheduler
+from .fps import FpsScheduler
+from .interval import PastScheduler
+from .powerdown import ThresholdPowerDownFps, TimerPowerDownFps
+from .registry import available_schedulers, make_scheduler
+from .static_dvs import StaticDvsFps
+from .yds import YdsOracleScheduler
+
+__all__ = [
+    "Scheduler",
+    "fixed_priority_dispatch",
+    "earliest_deadline_dispatch",
+    "FpsScheduler",
+    "LpfpsScheduler",
+    "TimerPowerDownFps",
+    "ThresholdPowerDownFps",
+    "EdfScheduler",
+    "AvrScheduler",
+    "StaticDvsFps",
+    "YdsOracleScheduler",
+    "CcEdfScheduler",
+    "PastScheduler",
+    "make_scheduler",
+    "available_schedulers",
+]

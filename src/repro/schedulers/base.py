@@ -1,0 +1,14 @@
+"""Scheduler interface re-exports.
+
+The interface and the shared dispatch helpers live in
+:mod:`repro.sim.dispatch` (they are part of the kernel contract); this
+module re-exports them under the historical ``schedulers.base`` name.
+"""
+
+from ..sim.dispatch import (
+    Scheduler,
+    earliest_deadline_dispatch,
+    fixed_priority_dispatch,
+)
+
+__all__ = ["Scheduler", "fixed_priority_dispatch", "earliest_deadline_dispatch"]

@@ -1,0 +1,80 @@
+"""Earliest-deadline-first baselines.
+
+The paper discusses EDF (§3.1) as the optimal dynamic-priority policy —
+"it can schedule a task set if and only if the processor utilization is
+lower than or equal to 1" — and the AVR heuristic of Yao, Demers & Shenker
+(§2.2) as prior DVS work built on earliest-deadline dispatch.
+
+* :class:`EdfScheduler` — plain EDF at full speed with busy-wait idle.
+* :class:`AvrScheduler` — the Average Rate Heuristic.  Each task carries the
+  average-rate requirement ``C_i / T_i``; at any instant the processor speed
+  is the sum of the rates of tasks whose current window contains the
+  instant.  For strictly periodic tasks with implicit deadlines every
+  instant lies in exactly one window per task, so the speed is the constant
+  total utilisation ``U`` — computed statically from WCETs, which is
+  precisely why §2.2 notes AVR "cannot obtain the full potential of power
+  saving when variations of execution time exist".
+"""
+
+from __future__ import annotations
+
+from ..sim.events import Decision, SchedEvent, SleepRequest
+from ..sim.queues import deadline_key
+from .base import Scheduler, earliest_deadline_dispatch
+
+_EPS = 1e-9
+
+
+class EdfScheduler(Scheduler):
+    """Plain EDF at full speed (busy-wait idle)."""
+
+    name = "EDF"
+    run_queue_key = staticmethod(deadline_key)
+    requires_priorities = False
+
+    def schedule(self, kernel, event: SchedEvent) -> Decision:
+        """Dispatch the earliest-deadline job at full speed."""
+        active = earliest_deadline_dispatch(kernel)
+        return Decision(run=active)
+
+
+class AvrScheduler(Scheduler):
+    """Average Rate Heuristic (Yao et al.) on periodic tasks.
+
+    Parameters
+    ----------
+    use_powerdown:
+        Sleep through idle intervals with an exact timer (keeps the
+        comparison with LPFPS about the *speed* policy rather than the
+        idle policy).  Default True.
+    """
+
+    run_queue_key = staticmethod(deadline_key)
+    requires_priorities = False
+
+    def __init__(self, use_powerdown: bool = True):
+        self.use_powerdown = use_powerdown
+        self.name = "AVR" if use_powerdown else "AVR-nopd"
+        self._static_speed = 1.0
+
+    def setup(self, kernel) -> None:
+        """Pre-compute the static AVR speed: the quantised utilisation."""
+        utilization = sum(t.utilization for t in kernel.taskset)
+        # AVR can never exceed full speed; a set with U > 1 is infeasible
+        # on this processor anyway.
+        self._static_speed = kernel.spec.quantized_speed(
+            min(1.0, max(utilization, _EPS))
+        )
+
+    def schedule(self, kernel, event: SchedEvent) -> Decision:
+        """Run the earliest-deadline job at the static average-rate speed."""
+        active = earliest_deadline_dispatch(kernel)
+        if active is not None:
+            return Decision(run=active, speed_target=self._static_speed)
+        if self.use_powerdown:
+            next_release = kernel.delay_queue.next_release_time()
+            if next_release is not None:
+                wake_at = next_release - kernel.spec.wakeup_delay
+                if wake_at > kernel.now + _EPS:
+                    return Decision(run=None, sleep=SleepRequest(until=wake_at))
+        return Decision(run=None)

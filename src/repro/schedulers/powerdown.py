@@ -1,0 +1,69 @@
+"""FPS with power-down modes but no voltage scaling.
+
+Two variants isolate the paper's two mechanisms:
+
+* :class:`TimerPowerDownFps` — the LPFPS power-down hook alone (lines
+  L13–L15: exact wake-up timer from the delay queue) with DVS disabled.
+  This is the "keep the processor at maximum speed and then bring it into
+  a power-down mode" alternative §3.2 argues is inferior to slowing down.
+* :class:`ThresholdPowerDownFps` — the *conventional* portable-computer
+  policy §2.1 criticises: enter power-down only after the processor has
+  idled for a fixed threshold, and pay the wake-up latency on the next
+  release because there is no timer armed.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..sim.events import Decision, SchedEvent, SleepRequest
+from .base import Scheduler, fixed_priority_dispatch
+
+_EPS = 1e-9
+
+
+class TimerPowerDownFps(Scheduler):
+    """Fixed-priority scheduling + exact-timer power-down (no DVS)."""
+
+    name = "FPS+PD"
+
+    def schedule(self, kernel, event: SchedEvent) -> Decision:
+        """Dispatch by priority; sleep with an exact timer when idle."""
+        active = fixed_priority_dispatch(kernel)
+        if active is not None:
+            return Decision(run=active)
+        next_release = kernel.delay_queue.next_release_time()
+        if next_release is not None:
+            wake_at = next_release - kernel.spec.wakeup_delay
+            if wake_at > kernel.now + _EPS:
+                return Decision(run=None, sleep=SleepRequest(until=wake_at))
+        return Decision(run=None)
+
+
+class ThresholdPowerDownFps(Scheduler):
+    """Fixed-priority scheduling + conventional threshold power-down.
+
+    Parameters
+    ----------
+    threshold:
+        Idle time in µs the processor must accumulate before entering the
+        power-down mode.  The wake-up is interrupt-driven: the next released
+        job additionally waits out the wake-up delay.
+    """
+
+    def __init__(self, threshold: float = 50.0):
+        if threshold < 0:
+            raise ConfigurationError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = threshold
+        self.name = f"FPS+PD(th={threshold:g})"
+
+    def schedule(self, kernel, event: SchedEvent) -> Decision:
+        """Dispatch by priority; sleep only after *threshold* µs idle."""
+        active = fixed_priority_dispatch(kernel)
+        if active is not None:
+            return Decision(run=active)
+        # Idle: schedule the mode entry for `threshold` µs from now; wake-up
+        # happens on the release interrupt (no timer -> latency on the job).
+        return Decision(
+            run=None,
+            sleep=SleepRequest(until=None, start_at=kernel.now + self.threshold),
+        )

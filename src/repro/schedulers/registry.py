@@ -1,0 +1,49 @@
+"""Name-based scheduler construction for the CLI and experiment harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.lpfps import LpfpsScheduler
+from ..errors import ConfigurationError
+from .base import Scheduler
+from .cycle_conserving import CcEdfScheduler
+from .edf import AvrScheduler, EdfScheduler
+from .fps import FpsScheduler
+from .interval import PastScheduler
+from .powerdown import ThresholdPowerDownFps, TimerPowerDownFps
+from .static_dvs import StaticDvsFps
+from .yds import YdsOracleScheduler
+
+_FACTORIES: Dict[str, Callable[[], Scheduler]] = {
+    "fps": FpsScheduler,
+    "lpfps": LpfpsScheduler,
+    "lpfps-opt": lambda: LpfpsScheduler(speed_policy="optimal"),
+    "lpfps-nodvs": lambda: LpfpsScheduler(use_dvs=False),
+    "lpfps-nopd": lambda: LpfpsScheduler(use_powerdown=False),
+    "lpfps-dual": lambda: LpfpsScheduler(dual_level=True),
+    "fps-pd": TimerPowerDownFps,
+    "fps-pd-threshold": ThresholdPowerDownFps,
+    "edf": EdfScheduler,
+    "avr": AvrScheduler,
+    "static-fps": StaticDvsFps,
+    "yds": YdsOracleScheduler,
+    "ccedf": CcEdfScheduler,
+    "past": PastScheduler,
+}
+
+
+def available_schedulers() -> List[str]:
+    """Registered scheduler names, sorted."""
+    return sorted(_FACTORIES)
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a scheduler by registry name."""
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheduler {name!r}; available: {', '.join(available_schedulers())}"
+        ) from None
+    return factory()

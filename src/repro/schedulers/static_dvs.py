@@ -1,0 +1,70 @@
+"""Static voltage scaling — the offline-DVS baseline.
+
+Prior static approaches (paper §2.2, refs. [14]–[16]) pick the processor
+speed offline from the worst-case workload.  For fixed-priority scheduling,
+the lowest *constant* speed that keeps the set schedulable is the inverse
+of its breakdown WCET-scaling factor: running at speed ``s`` stretches every
+WCET by ``1/s``, so the minimum safe ``s`` satisfies "the task set with
+WCETs scaled by ``1/s`` is exactly schedulable" (verified by response-time
+analysis).
+
+Like every static scheme, this baseline cannot exploit execution-time
+variation — the gap to LPFPS as BCET shrinks quantifies the value of the
+paper's *dynamic* slack reclamation.
+"""
+
+from __future__ import annotations
+
+from ..analysis.breakdown import breakdown_utilization
+from ..sim.events import Decision, SchedEvent, SleepRequest
+from .base import Scheduler, fixed_priority_dispatch
+
+_EPS = 1e-9
+
+
+class StaticDvsFps(Scheduler):
+    """Fixed-priority scheduling at the minimum constant safe speed.
+
+    Parameters
+    ----------
+    use_powerdown:
+        Sleep through idle intervals with an exact timer.  Default True,
+        matching LPFPS's idle handling so comparisons isolate the speed
+        policy.
+    margin:
+        Multiplicative safety margin on the static speed (>= 1) absorbing
+        wake-up and ramp latencies the offline analysis does not model.
+    """
+
+    def __init__(self, use_powerdown: bool = True, margin: float = 1.01):
+        self.use_powerdown = use_powerdown
+        self.margin = margin
+        self.name = "StaticFPS" if use_powerdown else "StaticFPS-nopd"
+        self._static_speed = 1.0
+
+    def setup(self, kernel) -> None:
+        """Derive the static speed from the breakdown factor via RTA."""
+        factor = breakdown_utilization(kernel.taskset).factor
+        if factor <= 0:
+            speed = 1.0
+        else:
+            speed = min(1.0, self.margin / factor)
+        self._static_speed = kernel.spec.quantized_speed(max(speed, _EPS))
+
+    @property
+    def static_speed(self) -> float:
+        """The chosen constant speed ratio (after :meth:`setup`)."""
+        return self._static_speed
+
+    def schedule(self, kernel, event: SchedEvent) -> Decision:
+        """Dispatch by priority at the constant pre-computed speed."""
+        active = fixed_priority_dispatch(kernel)
+        if active is not None:
+            return Decision(run=active, speed_target=self._static_speed)
+        if self.use_powerdown:
+            next_release = kernel.delay_queue.next_release_time()
+            if next_release is not None:
+                wake_at = next_release - kernel.spec.wakeup_delay
+                if wake_at > kernel.now + _EPS:
+                    return Decision(run=None, sleep=SleepRequest(until=wake_at))
+        return Decision(run=None)

@@ -1,0 +1,230 @@
+"""YDS — the optimal offline voltage schedule (Yao, Demers & Shenker).
+
+The paper's §2.2 cites Yao et al. [14] for the static scheduling model it
+argues against: offline schedules computed from *fixed* (worst-case)
+execution times cannot exploit run-time variation.  This module implements
+the YDS *critical-interval* algorithm exactly so the reproduction can
+measure both sides of that argument:
+
+* :func:`yds_profile` — the provably energy-minimal feasible speed
+  assignment for a WCET job set under convex power (the **oracle lower
+  bound** for any WCET-budgeted policy on an ideal processor);
+* :class:`YdsOracleScheduler` — an online policy that runs each job at its
+  YDS speed under EDF dispatch.  At WCET demands it reproduces the optimal
+  schedule; with execution-time variation it inherits the static scheme's
+  blindness, which is precisely the gap LPFPS's dynamic reclamation closes.
+
+Algorithm (Yao et al., FOCS 1995): repeatedly find the *critical interval*
+``[t1, t2]`` maximising the intensity ``g = sum(work of jobs contained in
+[t1, t2]) / (t2 - t1)``; run those jobs at speed ``g`` (EDF orders them
+feasibly); remove them and compress the timeline; repeat.  O(n^3) over the
+job count — fine for hyperperiod job sets up to a few hundred jobs, and
+guarded beyond that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.hyperperiod import releases_within
+from ..errors import AnalysisError, ConfigurationError
+from ..power.model import PowerModel
+from ..sim.dispatch import Scheduler, earliest_deadline_dispatch
+from ..sim.events import Decision, SchedEvent, SleepRequest
+from ..sim.queues import deadline_key
+from ..tasks.task import TaskSet
+
+_EPS = 1e-9
+
+#: Guard on the O(n^3) critical-interval search.
+MAX_JOBS = 600
+
+
+@dataclass(frozen=True)
+class YdsJob:
+    """One job in the offline problem: release, deadline, WCET work."""
+
+    name: str
+    release: float
+    deadline: float
+    work: float
+
+
+@dataclass(frozen=True)
+class CriticalInterval:
+    """One YDS critical interval and its assigned speed (intensity)."""
+
+    start: float
+    end: float
+    speed: float
+    jobs: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class YdsProfile:
+    """The complete YDS solution for a job set."""
+
+    intervals: Tuple[CriticalInterval, ...]
+    speed_of: Dict[str, float]  #: job name -> assigned speed
+
+    @property
+    def max_speed(self) -> float:
+        """Peak intensity; feasible iff <= 1."""
+        return max((i.speed for i in self.intervals), default=0.0)
+
+    def energy_lower_bound(self, power: PowerModel, horizon: float) -> float:
+        """Ideal-processor energy of the profile over *horizon* µs.
+
+        Execution energy at each job's speed plus power-down energy for the
+        remaining time; ignores transition and wake-up costs (it is a lower
+        bound).
+        """
+        busy_energy = 0.0
+        busy_time = 0.0
+        for interval in self.intervals:
+            span = interval.end - interval.start
+            busy_energy += power.active_power(interval.speed) * span
+            busy_time += span
+        return busy_energy + power.sleep_energy(max(0.0, horizon - busy_time))
+
+
+def jobs_over_hyperperiod(taskset: TaskSet) -> List[YdsJob]:
+    """Expand *taskset* into its WCET job set over one hyperperiod."""
+    horizon = taskset.hyperperiod
+    jobs = []
+    counters: Dict[str, int] = {t.name: 0 for t in taskset}
+    for release, name in releases_within(taskset, horizon):
+        task = taskset.task(name)
+        index = counters[name]
+        counters[name] += 1
+        jobs.append(
+            YdsJob(
+                name=f"{name}#{index}",
+                release=release,
+                deadline=release + task.deadline,
+                work=task.wcet,
+            )
+        )
+    return jobs
+
+
+def yds_profile(jobs: List[YdsJob]) -> YdsProfile:
+    """Run the critical-interval algorithm on *jobs*."""
+    if len(jobs) > MAX_JOBS:
+        raise AnalysisError(
+            f"YDS guard: {len(jobs)} jobs exceeds MAX_JOBS={MAX_JOBS} "
+            "(the O(n^3) search would be impractical)"
+        )
+    remaining = list(jobs)
+    intervals: List[CriticalInterval] = []
+    speed_of: Dict[str, float] = {}
+    # Work on a mutable copy with compressible times.
+    current = {
+        j.name: [j.release, j.deadline, j.work] for j in remaining
+    }
+
+    while current:
+        starts = sorted({v[0] for v in current.values()})
+        ends = sorted({v[1] for v in current.values()})
+        best_g = -1.0
+        best: Optional[Tuple[float, float, List[str]]] = None
+        for t1 in starts:
+            for t2 in ends:
+                if t2 <= t1 + _EPS:
+                    continue
+                contained = [
+                    name
+                    for name, (r, d, _) in current.items()
+                    if r >= t1 - _EPS and d <= t2 + _EPS
+                ]
+                if not contained:
+                    continue
+                total = sum(current[name][2] for name in contained)
+                g = total / (t2 - t1)
+                if g > best_g + _EPS:
+                    best_g = g
+                    best = (t1, t2, contained)
+        if best is None:  # pragma: no cover - degenerate empty problem
+            break
+        t1, t2, contained = best
+        intervals.append(
+            CriticalInterval(
+                start=t1, end=t2, speed=best_g, jobs=tuple(sorted(contained))
+            )
+        )
+        for name in contained:
+            speed_of[name] = best_g
+            del current[name]
+        # Compress: collapse [t1, t2] out of the remaining timeline.
+        width = t2 - t1
+        for entry in current.values():
+            for idx in (0, 1):
+                if entry[idx] >= t2 - _EPS:
+                    entry[idx] -= width
+                elif entry[idx] > t1 + _EPS:
+                    entry[idx] = t1
+
+    intervals.sort(key=lambda i: -i.speed)
+    return YdsProfile(intervals=tuple(intervals), speed_of=speed_of)
+
+
+def profile_for_taskset(taskset: TaskSet) -> YdsProfile:
+    """Convenience: YDS profile of one synchronous hyperperiod."""
+    return yds_profile(jobs_over_hyperperiod(taskset))
+
+
+class YdsOracleScheduler(Scheduler):
+    """EDF dispatch at the offline YDS per-job speeds.
+
+    Jobs beyond the first hyperperiod reuse their congruent first-period
+    assignment (the synchronous schedule repeats).  Idle intervals power
+    down with an exact timer, matching LPFPS's idle handling.
+    """
+
+    name = "YDS-oracle"
+    run_queue_key = staticmethod(deadline_key)
+    requires_priorities = False
+
+    def __init__(self, use_powerdown: bool = True):
+        self.use_powerdown = use_powerdown
+        self._profile: Optional[YdsProfile] = None
+        self._hyperperiod = 0.0
+        self._jobs_per_period: Dict[str, int] = {}
+
+    def setup(self, kernel) -> None:
+        """Compute the offline profile for the kernel's task set."""
+        taskset = kernel.taskset
+        if any(t.phase != 0 for t in taskset):
+            raise ConfigurationError(
+                "YDS oracle assumes a synchronous (zero-phase) task set"
+            )
+        self._profile = profile_for_taskset(taskset)
+        if self._profile.max_speed > 1.0 + 1e-9:
+            raise ConfigurationError(
+                f"task set is infeasible at full speed "
+                f"(peak intensity {self._profile.max_speed:.3f})"
+            )
+        self._hyperperiod = taskset.hyperperiod
+        self._jobs_per_period = {
+            t.name: int(round(self._hyperperiod / t.period)) for t in taskset
+        }
+
+    def _speed_for(self, kernel, job) -> float:
+        per_period = self._jobs_per_period[job.task.name]
+        congruent = job.index % per_period
+        raw = self._profile.speed_of[f"{job.task.name}#{congruent}"]
+        return kernel.spec.quantized_speed(max(raw, _EPS))
+
+    def schedule(self, kernel, event: SchedEvent) -> Decision:
+        """Dispatch EDF at the offline speed of the chosen job."""
+        active = earliest_deadline_dispatch(kernel)
+        if active is not None:
+            return Decision(run=active, speed_target=self._speed_for(kernel, active))
+        if self.use_powerdown:
+            next_release = kernel.delay_queue.next_release_time()
+            if next_release is not None:
+                wake_at = next_release - kernel.spec.wakeup_delay
+                if wake_at > kernel.now + _EPS:
+                    return Decision(run=None, sleep=SleepRequest(until=wake_at))
+        return Decision(run=None)

@@ -1,0 +1,45 @@
+"""Discrete-event RTOS kernel simulator: queues, engine, traces, metrics."""
+
+from .engine import Simulator, simulate
+from .events import KEEP, NO_CHANGE, Decision, SchedEvent, SleepRequest
+from .metrics import (
+    DeadlineMiss,
+    EnergyBreakdown,
+    SimulationResult,
+    TaskStats,
+)
+from .profile import Ramp, constant_time_to_complete, constant_work
+from .queues import DelayQueue, RunQueue, deadline_key, priority_key
+from .trace import PointEvent, Segment, TraceRecorder
+from .audit import AuditResult, audit_energy, recompute_energy
+from .validate import Violation, assert_valid, validate_trace
+
+__all__ = [
+    "Simulator",
+    "simulate",
+    "Decision",
+    "SchedEvent",
+    "SleepRequest",
+    "KEEP",
+    "NO_CHANGE",
+    "SimulationResult",
+    "EnergyBreakdown",
+    "TaskStats",
+    "DeadlineMiss",
+    "RunQueue",
+    "DelayQueue",
+    "priority_key",
+    "deadline_key",
+    "Ramp",
+    "constant_work",
+    "constant_time_to_complete",
+    "TraceRecorder",
+    "Segment",
+    "PointEvent",
+    "validate_trace",
+    "assert_valid",
+    "Violation",
+    "audit_energy",
+    "recompute_energy",
+    "AuditResult",
+]

@@ -1,0 +1,99 @@
+"""Energy audit: recompute a run's energy from its trace.
+
+The engine accumulates energy incrementally as it integrates each segment;
+this module recomputes the same quantity *independently* from the recorded
+trace and the processor's power model.  Agreement between the two —
+checked by the property-based test-suite and the ``lpfps validate`` CLI —
+rules out a whole class of accounting bugs (double-charged segments,
+missed ramp splits, state mislabels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..power.processor import ProcessorSpec
+from .metrics import EnergyBreakdown
+from .trace import TraceRecorder
+
+#: Relative tolerance for the audit comparison.  The engine integrates
+#: ramps in sub-segments while the audit sees merged trace segments, so
+#: tiny quadrature differences are expected.
+DEFAULT_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class AuditResult:
+    """Outcome of an energy audit."""
+
+    recomputed: EnergyBreakdown
+    reported: EnergyBreakdown
+    tolerance: float
+
+    @property
+    def relative_error(self) -> float:
+        """|recomputed − reported| / max(reported, 1)."""
+        reference = max(self.reported.total, 1.0)
+        return abs(self.recomputed.total - self.reported.total) / reference
+
+    @property
+    def consistent(self) -> bool:
+        """True when the two totals agree within tolerance."""
+        return self.relative_error <= self.tolerance
+
+    def summary(self) -> str:
+        """One-line digest."""
+        status = "consistent" if self.consistent else "MISMATCH"
+        return (
+            f"energy audit {status}: reported {self.reported.total:.6f}, "
+            f"recomputed {self.recomputed.total:.6f} "
+            f"(relative error {self.relative_error:.2e})"
+        )
+
+
+def recompute_energy(trace: TraceRecorder, spec: ProcessorSpec) -> EnergyBreakdown:
+    """Integrate the power model over every trace segment."""
+    power = spec.power
+    energy = EnergyBreakdown()
+    for seg in trace.segments:
+        dt = seg.duration
+        if dt <= 0:
+            continue
+        ramping = abs(seg.speed_end - seg.speed_start) > 1e-12
+        if seg.state == "run":
+            if ramping:
+                energy.add("ramp", power.ramp_energy(seg.speed_start, seg.speed_end, dt))
+            else:
+                energy.add("active", power.active_energy(seg.speed_start, dt))
+        elif seg.state == "idle":
+            if ramping:
+                energy.add("ramp", power.ramp_energy(seg.speed_start, seg.speed_end, dt))
+            else:
+                energy.add("idle", power.idle_energy(dt, seg.speed_start))
+        elif seg.state == "sleep":
+            energy.add("sleep", power.sleep_energy(dt))
+        elif seg.state == "wakeup":
+            energy.add("wakeup", power.active_energy(1.0, dt))
+        elif seg.state == "sched":
+            if ramping:
+                energy.add(
+                    "scheduler",
+                    power.ramp_energy(seg.speed_start, seg.speed_end, dt),
+                )
+            else:
+                energy.add("scheduler", power.active_energy(seg.speed_start, dt))
+    return energy
+
+
+def audit_energy(
+    trace: TraceRecorder,
+    spec: ProcessorSpec,
+    reported: EnergyBreakdown,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> AuditResult:
+    """Recompute energy from *trace* and compare against *reported*."""
+    return AuditResult(
+        recomputed=recompute_energy(trace, spec),
+        reported=reported,
+        tolerance=tolerance,
+    )

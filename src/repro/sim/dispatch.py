@@ -1,0 +1,88 @@
+"""Scheduler interface and the shared fixed-priority dispatch core.
+
+A scheduler is invoked by the engine at every scheduling point with the
+kernel view and the event kind, and returns a
+:class:`~repro.sim.events.Decision`.  The fixed-priority dispatch logic
+(paper lines L5–L11) is shared by every FP-based policy via
+:func:`fixed_priority_dispatch`; EDF-style policies reuse the same shape
+through :func:`earliest_deadline_dispatch`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from .events import Decision, SchedEvent
+from .queues import RunQueueKey, deadline_key, priority_key
+from ..tasks.job import Job
+
+
+class Scheduler(abc.ABC):
+    """Base class for all scheduling policies.
+
+    Subclasses set :attr:`name` (used in results/reports), optionally
+    :attr:`run_queue_key` (run-queue ordering) and
+    :attr:`requires_priorities`, and implement :meth:`schedule`.
+    """
+
+    #: Human-readable policy name for reports.
+    name: str = "scheduler"
+    #: Ordering of the run queue; FP by default.
+    run_queue_key: RunQueueKey = staticmethod(priority_key)
+    #: Whether the task set must carry fixed priorities.
+    requires_priorities: bool = True
+
+    def setup(self, kernel) -> None:
+        """Called once before the simulation starts (optional hook)."""
+
+    @abc.abstractmethod
+    def schedule(self, kernel, event: SchedEvent) -> Decision:
+        """Answer one scheduling point."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def fixed_priority_dispatch(kernel) -> Optional[Job]:
+    """Lines L5–L11 of the paper: move due releases, then dispatch.
+
+    Moves every due task from the delay queue to the run queue, preempts
+    the active job if the run-queue head has higher priority (pushing the
+    active job back), and fills an empty processor from the queue head.
+    Returns the job that should be active (or ``None``).
+    """
+    kernel.move_due_releases()
+    active = kernel.active_job
+    head = kernel.run_queue.peek()
+    if active is not None and head is not None and head.priority < active.priority:
+        active.preemptions += 1
+        kernel.count_preemption()
+        kernel.run_queue.push(active)
+        active = kernel.run_queue.pop()
+    elif active is None and head is not None:
+        active = kernel.run_queue.pop()
+    return active
+
+
+def earliest_deadline_dispatch(kernel) -> Optional[Job]:
+    """EDF variant of :func:`fixed_priority_dispatch`.
+
+    Identical queue mechanics with the comparison on absolute deadlines;
+    requires the run queue to be ordered by :func:`deadline_key`.
+    """
+    kernel.move_due_releases()
+    active = kernel.active_job
+    head = kernel.run_queue.peek()
+    if (
+        active is not None
+        and head is not None
+        and head.absolute_deadline < active.absolute_deadline - 1e-12
+    ):
+        active.preemptions += 1
+        kernel.count_preemption()
+        kernel.run_queue.push(active)
+        active = kernel.run_queue.pop()
+    elif active is None and head is not None:
+        active = kernel.run_queue.pop()
+    return active

@@ -1,0 +1,653 @@
+"""Discrete-event simulation engine.
+
+The engine executes a :class:`~repro.tasks.task.TaskSet` on a
+:class:`~repro.power.processor.ProcessorSpec` under a pluggable scheduler
+(:mod:`repro.schedulers`).  It is *exact*: between scheduling points the
+speed profile is piecewise linear, so job completions and energy are solved
+in closed form (:mod:`repro.sim.profile`) rather than ticked.
+
+Kernel model (paper §3.1): released jobs wait in a priority-ordered run
+queue; the active job is held outside the queue; completed tasks wait in a
+release-time-ordered delay queue.  The scheduler is invoked at releases,
+completions, speed-ramp ends, and power-down wake-ups, and replies with a
+:class:`~repro.sim.events.Decision`.
+
+The engine object doubles as the *kernel view* handed to schedulers: its
+public attributes (``now``, ``run_queue``, ``delay_queue``, ``active_job``,
+``speed``, ``spec``) and :meth:`move_due_releases` are the sanctioned
+scheduler-facing API.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from typing import Dict, List, Optional
+
+from ..errors import (
+    ConfigurationError,
+    DeadlineMissError,
+    InvalidTaskSetError,
+    SimulationError,
+)
+from ..power.processor import ProcessorSpec
+from ..tasks.generation import ExecutionTimeModel, WcetModel
+from ..tasks.job import Job
+from ..tasks.task import TaskSet
+from .events import Decision, SchedEvent
+from .metrics import (
+    DeadlineMiss,
+    EnergyBreakdown,
+    SimulationResult,
+    TaskStats,
+    merge_speed_residency,
+)
+from .profile import Ramp, constant_time_to_complete
+from .queues import DelayQueue, RunQueue
+from .trace import Segment, TraceRecorder
+
+#: Absolute tolerance (µs) for event simultaneity.
+_TIME_EPS = 1e-9
+#: Remaining-work threshold (full-speed µs) below which a job is complete.
+_WORK_EPS = 1e-6
+#: Zero-time scheduler re-invocations tolerated before declaring livelock.
+_MAX_STALL = 10_000
+
+
+class _Mode(enum.Enum):
+    """Processor macro-state."""
+
+    RUNNING = "running"
+    IDLE = "idle"
+    SLEEP = "sleep"
+    WAKING = "waking"
+
+
+class Simulator:
+    """One simulation run binding a task set, scheduler, and processor.
+
+    Parameters
+    ----------
+    taskset:
+        The (usually prioritised) periodic task set.
+    scheduler:
+        A :class:`~repro.schedulers.base.Scheduler` instance.
+    spec:
+        Processor specification; defaults to the paper's ARM8-like core.
+    execution_model:
+        Draws each job's actual demand; defaults to "always WCET"
+        (the Figure 2(a) configuration).
+    duration:
+        Simulation horizon in µs; defaults to one hyperperiod.
+    seed:
+        RNG seed for the execution-time model.
+    on_miss:
+        ``"raise"`` (default) aborts on the first deadline miss;
+        ``"record"`` keeps simulating and reports misses in the result.
+    record_trace:
+        When True, attach a full :class:`~repro.sim.trace.TraceRecorder`
+        to the result (costs memory on long runs).
+    scheduler_overhead:
+        Processor time in µs consumed by *every* scheduler invocation,
+        charged at the current speed's active power before the decision
+        takes effect.  The paper stresses that the LPFPS additions must
+        stay cheap ("the overhead of the scheduler should be kept as small
+        as possible so as not to violate the schedulability"); this knob
+        makes that cost — and the §5 heuristic-vs-optimal trade-off —
+        measurable.  Default 0 (the paper's own idealisation).
+    """
+
+    def __init__(
+        self,
+        taskset: TaskSet,
+        scheduler,
+        spec: Optional[ProcessorSpec] = None,
+        execution_model: Optional[ExecutionTimeModel] = None,
+        duration: Optional[float] = None,
+        seed: int = 0,
+        on_miss: str = "raise",
+        record_trace: bool = False,
+        scheduler_overhead: float = 0.0,
+    ):
+        if on_miss not in ("raise", "record"):
+            raise ConfigurationError(f"on_miss must be 'raise' or 'record', got {on_miss!r}")
+        self.taskset = taskset
+        self.scheduler = scheduler
+        self.spec = spec if spec is not None else ProcessorSpec.arm8()
+        self._exec_model = execution_model if execution_model is not None else WcetModel()
+        self.horizon = float(duration) if duration is not None else taskset.hyperperiod
+        if self.horizon <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {self.horizon}")
+        self._rng = random.Random(seed)
+        self._on_miss = on_miss
+        if scheduler_overhead < 0:
+            raise ConfigurationError(
+                f"scheduler_overhead must be >= 0, got {scheduler_overhead}"
+            )
+        self._overhead = scheduler_overhead
+        tick = getattr(scheduler, "tick_interval", None)
+        if tick is not None and tick <= 0:
+            raise ConfigurationError(f"tick_interval must be > 0, got {tick}")
+        self._tick_interval: Optional[float] = tick
+        self._next_tick: Optional[float] = tick
+
+        if getattr(scheduler, "requires_priorities", True):
+            taskset.assert_priorities()
+        elif not taskset.has_priorities:
+            # Deterministic tie-breaking still needs per-task ordering keys.
+            taskset = taskset.with_tasks(
+                [t.with_priority(i) for i, t in enumerate(taskset)]
+            )
+            self.taskset = taskset
+
+        # -- kernel state (public: schedulers read these) --------------------
+        self.now: float = 0.0
+        self.run_queue = RunQueue(key=getattr(scheduler, "run_queue_key"))
+        self.delay_queue = DelayQueue()
+        self.active_job: Optional[Job] = None
+        self.speed: float = 1.0
+
+        # -- engine-private state ---------------------------------------------
+        self._mode = _Mode.IDLE
+        self._ramp: Optional[Ramp] = None
+        self._sleep_timer: Optional[float] = None
+        self._pending_sleep_at: Optional[float] = None
+        self._pending_sleep_until: Optional[float] = None
+        self._pending_restore_at: Optional[float] = None
+        self._pending_restore_target: float = 1.0
+        self._wake_end: Optional[float] = None
+
+        # -- accounting -------------------------------------------------------
+        self.energy = EnergyBreakdown()
+        self._task_stats: Dict[str, TaskStats] = {
+            t.name: TaskStats(t.name) for t in self.taskset
+        }
+        self._misses: List[DeadlineMiss] = []
+        self._context_switches = 0
+        self._preemptions = 0
+        self._speed_changes = 0
+        self._sleep_entries = 0
+        self._jobs_completed = 0
+        self._speed_residency: Dict[float, float] = {}
+        self._trace = TraceRecorder() if record_trace else None
+
+    # ------------------------------------------------------------------ #
+    # Kernel API used by schedulers                                       #
+    # ------------------------------------------------------------------ #
+    @property
+    def ramp_target(self) -> Optional[float]:
+        """Target speed of the ramp in progress, or ``None``."""
+        return self._ramp.to_speed if self._ramp is not None else None
+
+    def move_due_releases(self) -> List[Job]:
+        """Move every due task from the delay queue to the run queue.
+
+        Implements lines L5–L7 of the paper's pseudo-code: instantiates a
+        :class:`Job` per due release (drawing its actual demand) and pushes
+        it into the run queue.  Idempotent within a scheduling point.
+        """
+        released = []
+        for task, release_time, job_index in self.delay_queue.pop_due(self.now, _TIME_EPS):
+            demand = self._exec_model.sample(task, self._rng)
+            job = Job(task, job_index, release_time, demand)
+            self.run_queue.push(job)
+            self._task_stats[task.name].jobs_released += 1
+            if self._trace is not None:
+                self._trace.record_event(self.now, "release", job.name)
+            released.append(job)
+        return released
+
+    def count_preemption(self) -> None:
+        """Schedulers call this when they push the active job back."""
+        self._preemptions += 1
+
+    # ------------------------------------------------------------------ #
+    # Main loop                                                            #
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return its result."""
+        for task in self.taskset:
+            self.delay_queue.push(task, task.phase, 0)
+        if hasattr(self.scheduler, "setup"):
+            self.scheduler.setup(self)
+        self._invoke_scheduler(SchedEvent.INIT)
+
+        stall = 0
+        while self.now < self.horizon - _TIME_EPS:
+            t_next, reason = self._next_boundary()
+            t_next = min(t_next, self.horizon)
+            if t_next < self.now - _TIME_EPS:
+                raise SimulationError(
+                    f"time would run backwards: {self.now} -> {t_next} ({reason})"
+                )
+            if t_next > self.now + _TIME_EPS:
+                self._advance(t_next)
+                stall = 0
+            else:
+                stall += 1
+                if stall > _MAX_STALL:
+                    raise SimulationError(
+                        f"livelock at t={self.now} (reason={reason}, "
+                        f"mode={self._mode}, active={self.active_job})"
+                    )
+            self.now = t_next
+            if self.now >= self.horizon - _TIME_EPS:
+                break
+            self._handle_boundary()
+        return self._finalize()
+
+    # ------------------------------------------------------------------ #
+    # Boundary computation                                                 #
+    # ------------------------------------------------------------------ #
+    def _next_boundary(self) -> tuple:
+        candidates = [(self.horizon, "horizon")]
+        if self._mode is _Mode.SLEEP:
+            if self._sleep_timer is not None:
+                candidates.append((self._sleep_timer, "timer"))
+            else:
+                release = self.delay_queue.next_release_time()
+                if release is not None:
+                    candidates.append((release, "interrupt"))
+        elif self._mode is _Mode.WAKING:
+            candidates.append((self._wake_end, "wake"))
+        else:
+            release = self.delay_queue.next_release_time()
+            if release is not None:
+                candidates.append((release, "release"))
+            if self._ramp is not None:
+                candidates.append((self._ramp.end_time, "ramp"))
+            if self._pending_sleep_at is not None:
+                candidates.append((self._pending_sleep_at, "pending_sleep"))
+            if self._pending_restore_at is not None:
+                candidates.append((self._pending_restore_at, "restore"))
+            if self._next_tick is not None:
+                candidates.append((self._next_tick, "tick"))
+            if self.active_job is not None:
+                candidates.append((self._completion_time(), "completion"))
+        return min(candidates, key=lambda c: c[0])
+
+    def _completion_time(self) -> float:
+        job = self.active_job
+        remaining = job.remaining
+        if remaining <= _WORK_EPS:
+            return self.now
+        if self._ramp is not None:
+            if self.spec.transition.executes_during_change:
+                return self._ramp.time_to_complete(self.now, remaining)
+            return constant_time_to_complete(
+                self._ramp.end_time, remaining, self._ramp.to_speed
+            )
+        return constant_time_to_complete(self.now, remaining, self.speed)
+
+    # ------------------------------------------------------------------ #
+    # Time advance: integrate work and energy over [self.now, t1]         #
+    # ------------------------------------------------------------------ #
+    def _advance(self, t1: float) -> None:
+        t0 = self.now
+        if self._ramp is not None and t0 < self._ramp.end_time < t1 - _TIME_EPS:
+            self._integrate(t0, self._ramp.end_time)
+            t0 = self._ramp.end_time
+        self._integrate(t0, t1)
+        if self._ramp is not None and t1 >= self._ramp.end_time - _TIME_EPS:
+            self.speed = self._ramp.to_speed
+            self._ramp = None
+
+    def _integrate(self, t0: float, t1: float) -> None:
+        dt = t1 - t0
+        if dt <= 0:
+            return
+        power = self.spec.power
+        ramping = self._ramp is not None and t0 < self._ramp.end_time - _TIME_EPS
+        if ramping:
+            s0 = self._ramp.speed_at(t0)
+            s1 = self._ramp.speed_at(t1)
+        else:
+            s0 = s1 = self.speed
+
+        if self._mode is _Mode.RUNNING:
+            if ramping:
+                if self.spec.transition.executes_during_change:
+                    work = self._ramp.work_between(t0, t1)
+                else:
+                    work = 0.0
+                self.energy.add("ramp", power.ramp_energy(s0, s1, dt))
+                state = "run"
+            else:
+                work = self.speed * dt
+                self.energy.add("active", power.active_energy(self.speed, dt))
+                state = "run"
+            job = self.active_job
+            job.advance(work)
+            if job.remaining <= _WORK_EPS:
+                job.executed = job.execution_time
+            merge_speed_residency(self._speed_residency, (s0 + s1) / 2.0, dt)
+            self._record_segment(t0, t1, state, s0, s1, job)
+        elif self._mode is _Mode.IDLE:
+            if ramping:
+                self.energy.add("ramp", power.ramp_energy(s0, s1, dt))
+            else:
+                self.energy.add("idle", power.idle_energy(dt, self.speed))
+            self._record_segment(t0, t1, "idle", s0, s1, None)
+        elif self._mode is _Mode.SLEEP:
+            self.energy.add("sleep", power.sleep_energy(dt))
+            self._record_segment(t0, t1, "sleep", s0, s1, None)
+        elif self._mode is _Mode.WAKING:
+            # Charge full active power while the core relocks (conservative).
+            self.energy.add("wakeup", power.active_energy(1.0, dt))
+            self._record_segment(t0, t1, "wakeup", s0, s1, None)
+
+    def _record_segment(self, t0, t1, state, s0, s1, job: Optional[Job]) -> None:
+        if self._trace is None:
+            return
+        self._trace.record_segment(
+            Segment(
+                start=t0,
+                end=t1,
+                state=state,
+                job=job.name if job is not None else None,
+                task=job.task.name if job is not None else None,
+                speed_start=s0,
+                speed_end=s1,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Boundary handling                                                    #
+    # ------------------------------------------------------------------ #
+    def _handle_boundary(self) -> None:
+        if self._mode is _Mode.SLEEP:
+            timer_fired = (
+                self._sleep_timer is not None
+                and self.now >= self._sleep_timer - _TIME_EPS
+            )
+            release = self.delay_queue.next_release_time()
+            interrupted = (
+                self._sleep_timer is None
+                and release is not None
+                and self.now >= release - _TIME_EPS
+            )
+            if timer_fired or interrupted:
+                self._begin_wake()
+            return
+        if self._mode is _Mode.WAKING:
+            if self.now >= self._wake_end - _TIME_EPS:
+                self._mode = _Mode.IDLE
+                self._wake_end = None
+                self._invoke_scheduler(SchedEvent.WAKE)
+            return
+        if (
+            self._pending_sleep_at is not None
+            and self._mode is _Mode.IDLE
+            and self.now >= self._pending_sleep_at - _TIME_EPS
+        ):
+            self._enter_sleep(self._pending_sleep_until)
+            self._pending_sleep_at = None
+            self._pending_sleep_until = None
+            return
+
+        job = self.active_job
+        if job is not None and job.remaining <= _WORK_EPS:
+            self._complete_active()
+            self._invoke_scheduler(SchedEvent.COMPLETION)
+            return
+        if (
+            self._pending_restore_at is not None
+            and self.now >= self._pending_restore_at - _TIME_EPS
+        ):
+            # Pre-arranged speed change (optimal profile's up-ramp, or a
+            # dual-level quantisation switch): no scheduler pass needed.
+            target = self._pending_restore_target
+            self._pending_restore_at = None
+            self._pending_restore_target = 1.0
+            self._set_speed_target(target)
+            return
+        release = self.delay_queue.next_release_time()
+        if release is not None and self.now >= release - _TIME_EPS:
+            self._invoke_scheduler(SchedEvent.RELEASE)
+            return
+        if self._next_tick is not None and self.now >= self._next_tick - _TIME_EPS:
+            while self._next_tick <= self.now + _TIME_EPS:
+                self._next_tick += self._tick_interval
+            self._invoke_scheduler(SchedEvent.TICK)
+            return
+        if self._ramp is None and self.speed >= 0.0:
+            # A ramp that just finished in _advance cleared itself; if no
+            # other boundary explains the stop, report RAMP_DONE.
+            self._invoke_scheduler(SchedEvent.RAMP_DONE)
+
+    def _begin_wake(self) -> None:
+        self._sleep_timer = None
+        delay = self.spec.wakeup_delay
+        if delay <= 0:
+            self._mode = _Mode.IDLE
+            self._invoke_scheduler(SchedEvent.WAKE)
+            return
+        self._mode = _Mode.WAKING
+        self._wake_end = self.now + delay
+
+    def _enter_sleep(self, until: Optional[float]) -> None:
+        if self.active_job is not None:
+            raise SimulationError("cannot power down with an active job")
+        # A sleeping core is not ramping; freeze the speed where it stands.
+        if self._ramp is not None:
+            self.speed = self._ramp.speed_at(self.now)
+            self._ramp = None
+        self._mode = _Mode.SLEEP
+        self._sleep_timer = until
+        self._sleep_entries += 1
+        if self._trace is not None:
+            target = "interrupt" if until is None else f"{until:.3f}"
+            self._trace.record_event(self.now, "sleep", target)
+
+    def _complete_active(self) -> None:
+        job = self.active_job
+        job.completion_time = self.now
+        job.executed = job.execution_time
+        self.active_job = None
+        self._jobs_completed += 1
+        stats = self._task_stats[job.task.name]
+        stats.record_completion(job)
+        if job.completion_time > job.absolute_deadline + _TIME_EPS:
+            self._record_miss(job, job.completion_time)
+        self.delay_queue.push(job.task, job.next_release, job.index + 1)
+        if self._trace is not None:
+            self._trace.record_event(self.now, "completion", job.name)
+
+    def _record_miss(self, job: Job, completion: Optional[float]) -> None:
+        miss = DeadlineMiss(
+            job_name=job.name,
+            task_name=job.task.name,
+            release_time=job.release_time,
+            deadline=job.absolute_deadline,
+            completion_time=completion,
+        )
+        self._misses.append(miss)
+        self._task_stats[job.task.name].deadline_misses += 1
+        if self._on_miss == "raise":
+            raise DeadlineMissError(
+                f"{job.name} missed deadline {job.absolute_deadline:.3f} "
+                f"(completed {completion})",
+                job=job,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Scheduler invocation and decision application                        #
+    # ------------------------------------------------------------------ #
+    def _invoke_scheduler(self, event: SchedEvent) -> None:
+        if self._overhead > 0.0:
+            self._consume_overhead()
+        decision = self.scheduler.schedule(self, event)
+        if decision is None:
+            decision = Decision()
+        self._apply(decision)
+
+    def _consume_overhead(self) -> None:
+        """Charge one scheduler invocation's processor time.
+
+        The active job makes no progress while the scheduler runs; energy
+        is charged at active power along the prevailing speed profile.
+        """
+        end = min(self.now + self._overhead, self.horizon)
+        dt = end - self.now
+        if dt <= 0:
+            return
+        power = self.spec.power
+        if self._ramp is not None and self.now < self._ramp.end_time - _TIME_EPS:
+            s0 = self._ramp.speed_at(self.now)
+            s1 = self._ramp.speed_at(end)
+            ramp_end = min(end, self._ramp.end_time)
+            self.energy.add(
+                "scheduler", power.ramp_energy(s0, s1, ramp_end - self.now)
+            )
+            if end > ramp_end:
+                self.energy.add(
+                    "scheduler", power.active_energy(s1, end - ramp_end)
+                )
+            if end >= self._ramp.end_time - _TIME_EPS:
+                self.speed = self._ramp.to_speed
+                self._ramp = None
+        else:
+            s0 = s1 = self.speed
+            self.energy.add("scheduler", power.active_energy(self.speed, dt))
+        if self._trace is not None:
+            self._trace.record_segment(
+                Segment(
+                    start=self.now,
+                    end=end,
+                    state="sched",
+                    job=None,
+                    task=None,
+                    speed_start=s0,
+                    speed_end=s1,
+                )
+            )
+        self.now = end
+
+    def _apply(self, decision: Decision) -> None:
+        # Pending-restore bookkeeping: a new restore replaces the old one; a
+        # decision that actually changes the schedule (dispatch, speed, or
+        # sleep) cancels it; a pure no-change decision preserves it.
+        if decision.restore_at is not None:
+            self._pending_restore_at = decision.restore_at
+            self._pending_restore_target = decision.restore_target
+        elif (
+            decision.sleep is not None
+            or decision.speed_target is not None
+            or not decision.keeps_active
+        ):
+            self._pending_restore_at = None
+            self._pending_restore_target = 1.0
+
+        if decision.sleep is not None:
+            if self.active_job is not None:
+                raise SimulationError(
+                    "scheduler requested power-down with an active job"
+                )
+            if (
+                decision.sleep.start_at is not None
+                and decision.sleep.start_at > self.now + _TIME_EPS
+            ):
+                self._mode = _Mode.IDLE
+                self._pending_sleep_at = decision.sleep.start_at
+                self._pending_sleep_until = decision.sleep.until
+            else:
+                self._enter_sleep(decision.sleep.until)
+            return
+
+        self._pending_sleep_at = None
+        self._pending_sleep_until = None
+
+        if not decision.keeps_active:
+            new_job = decision.run
+            if new_job is not self.active_job:
+                old = self.active_job
+                if (
+                    old is not None
+                    and not old.completed
+                    and not any(j is old for j in self.run_queue.jobs())
+                ):
+                    # A scheduler must park the preempted job in the run
+                    # queue itself (paper L8–L10); silently dropping it
+                    # would lose its remaining work.
+                    raise SimulationError(
+                        f"decision replaced unfinished job {old.name} "
+                        "without requeueing it"
+                    )
+                if new_job is not None:
+                    if new_job.start_time is None:
+                        new_job.start_time = self.now
+                    self._context_switches += 1
+                    if self._trace is not None:
+                        self._trace.record_event(self.now, "dispatch", new_job.name)
+                self.active_job = new_job
+        self._mode = _Mode.RUNNING if self.active_job is not None else _Mode.IDLE
+
+        target = decision.speed_target
+        if target is not None:
+            self._set_speed_target(target)
+
+    def _set_speed_target(self, target: float) -> None:
+        current_target = self._ramp.to_speed if self._ramp is not None else self.speed
+        if abs(target - current_target) <= 1e-12:
+            return
+        self._speed_changes += 1
+        if self._trace is not None:
+            self._trace.record_event(self.now, "speed", f"{target:.4f}")
+        transition = self.spec.transition
+        start_speed = (
+            self._ramp.speed_at(self.now) if self._ramp is not None else self.speed
+        )
+        if transition.instantaneous:
+            self.speed = target
+            self._ramp = None
+            return
+        duration = transition.duration(start_speed, target)
+        if duration <= _TIME_EPS:
+            self.speed = target
+            self._ramp = None
+            return
+        self.speed = start_speed
+        self._ramp = Ramp(
+            start_time=self.now,
+            end_time=self.now + duration,
+            from_speed=start_speed,
+            to_speed=target,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Wrap-up                                                              #
+    # ------------------------------------------------------------------ #
+    def _finalize(self) -> SimulationResult:
+        # Jobs still pending at the horizon: count a miss if their deadline
+        # already passed (they can never make it).
+        leftovers = list(self.run_queue.jobs())
+        if self.active_job is not None:
+            leftovers.append(self.active_job)
+        for job in leftovers:
+            if job.absolute_deadline < self.horizon - _TIME_EPS:
+                self._record_miss(job, None)
+        return SimulationResult(
+            scheduler=getattr(self.scheduler, "name", type(self.scheduler).__name__),
+            taskset=self.taskset.name,
+            duration=self.horizon,
+            energy=self.energy,
+            task_stats=self._task_stats,
+            deadline_misses=self._misses,
+            context_switches=self._context_switches,
+            preemptions=self._preemptions,
+            speed_changes=self._speed_changes,
+            sleep_entries=self._sleep_entries,
+            jobs_completed=self._jobs_completed,
+            speed_residency=self._speed_residency,
+            trace=self._trace,
+        )
+
+
+def simulate(
+    taskset: TaskSet,
+    scheduler,
+    **kwargs,
+) -> SimulationResult:
+    """One-call convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(taskset, scheduler, **kwargs).run()

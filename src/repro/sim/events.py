@@ -1,0 +1,132 @@
+"""Scheduling events and scheduler decisions.
+
+The engine invokes the installed scheduler at well-defined *scheduling
+points* (task release, job completion, end of a speed ramp, wake-up from
+power-down, simulation start) and the scheduler answers with a
+:class:`Decision`: which job to run, what processor speed to aim for, and
+whether to enter the power-down mode instead.
+
+This mirrors the structure of the paper's Figure 4 pseudo-code: the
+conventional scheduler body picks the job (L5–L11), and the LPFPS additions
+pick a speed (L17–L19) or a sleep interval (L13–L15).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Union, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..tasks.job import Job
+
+
+class SchedEvent(enum.Enum):
+    """Why the scheduler is being invoked."""
+
+    #: Simulation start: all tasks sit in the delay queue at their phases.
+    INIT = "init"
+    #: One or more releases are due (timer interrupt in a real kernel).
+    RELEASE = "release"
+    #: The active job finished its actual execution demand.
+    COMPLETION = "completion"
+    #: A previously requested speed ramp reached its target.
+    RAMP_DONE = "ramp_done"
+    #: The processor finished waking up from power-down.
+    WAKE = "wake"
+    #: Periodic policy tick (only for schedulers declaring
+    #: ``tick_interval``; used by interval-based prediction policies).
+    TICK = "tick"
+
+
+class _KeepActive:
+    """Sentinel: the decision leaves the active job untouched."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "KEEP"
+
+
+#: Pass as ``Decision.run`` to keep whatever job is currently active.
+KEEP = _KeepActive()
+
+
+@dataclass(frozen=True)
+class SleepRequest:
+    """Enter power-down mode.
+
+    Parameters
+    ----------
+    until:
+        Absolute time at which the wake-up timer fires (LPFPS programs
+        ``next release − wakeup_delay``, paper L14).  ``None`` means "sleep
+        until an interrupt", i.e. the conventional power-down whose wake-up
+        latency lands on the next released job.
+    start_at:
+        Absolute time at which to actually enter the mode; the processor
+        busy-waits until then.  Models the conventional "power down after a
+        predefined idle interval" policy the paper criticises in §2.1.
+        ``None`` (default) powers down immediately.
+    """
+
+    until: Optional[float] = None
+    start_at: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A scheduler's answer at a scheduling point.
+
+    Attributes
+    ----------
+    run:
+        The job to execute now: a :class:`~repro.tasks.job.Job`, ``None``
+        for "nothing eligible — idle", or :data:`KEEP` (default) to leave
+        the currently active job in place.
+    speed_target:
+        Desired speed ratio in ``(0, 1]``; ``None`` keeps the current
+        speed/ramp untouched.  The engine ramps toward the target per the
+        processor's transition model.
+    sleep:
+        Power-down request; only legal when nothing is to run.
+    restore_at:
+        Absolute time at which the engine should begin ramping toward
+        ``restore_target`` *without* a scheduler invocation — the
+        pre-arranged up-ramp of the paper's optimal profile (Figure 6(b)),
+        timed so the processor reaches full speed exactly at the next
+        arrival; also the mid-window level switch of dual-level
+        (Ishihara–Yasuura) quantisation.  Cleared by any later decision
+        that changes the schedule; preserved across pure no-change
+        decisions.
+    restore_target:
+        Speed ratio the timed change aims for (default 1.0, i.e. a full
+        restore).
+    """
+
+    run: Union["Job", None, _KeepActive] = KEEP
+    speed_target: Optional[float] = None
+    sleep: Optional[SleepRequest] = None
+    restore_at: Optional[float] = None
+    restore_target: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sleep is not None and self.run is not None and not isinstance(self.run, _KeepActive):
+            raise ValueError("cannot run a job and power down simultaneously")
+        if self.speed_target is not None and not 0 < self.speed_target <= 1 + 1e-12:
+            raise ValueError(
+                f"speed_target must be in (0, 1], got {self.speed_target}"
+            )
+        if self.restore_at is not None and self.sleep is not None:
+            raise ValueError("cannot arm a speed restore while powering down")
+        if not 0 < self.restore_target <= 1 + 1e-12:
+            raise ValueError(
+                f"restore_target must be in (0, 1], got {self.restore_target}"
+            )
+
+    @property
+    def keeps_active(self) -> bool:
+        """True when the decision leaves the active job untouched."""
+        return isinstance(self.run, _KeepActive)
+
+
+#: Convenience singleton: leave everything untouched.
+NO_CHANGE = Decision()

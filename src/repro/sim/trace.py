@@ -1,0 +1,124 @@
+"""Execution trace recording.
+
+A trace is an ordered list of :class:`Segment` records — contiguous spans of
+simulated time during which the processor stayed in one state — plus point
+events (releases, completions, preemptions, speed changes, sleep entries).
+Traces power the ASCII Gantt charts in :mod:`repro.viz.gantt` and the
+queue-state assertions that replay the paper's Figures 2, 3 and 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One span of processor activity.
+
+    ``state`` is one of ``"run"``, ``"idle"``, ``"sleep"``, ``"wakeup"``;
+    ``job`` names the executing job for ``"run"`` segments.  Speeds are the
+    ratios at the segment boundaries (they differ across a ramp).
+    """
+
+    start: float
+    end: float
+    state: str
+    job: Optional[str] = None
+    task: Optional[str] = None
+    speed_start: float = 1.0
+    speed_end: float = 1.0
+
+    @property
+    def duration(self) -> float:
+        """Segment length in µs."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class PointEvent:
+    """A zero-duration trace event (release, completion, preemption...)."""
+
+    time: float
+    kind: str
+    detail: str
+
+
+class TraceRecorder:
+    """Collects segments and point events during a simulation run."""
+
+    def __init__(self) -> None:
+        self.segments: List[Segment] = []
+        self.events: List[PointEvent] = []
+
+    def record_segment(self, segment: Segment) -> None:
+        """Append *segment*, merging with the previous one when contiguous
+        and identical in state/job/speed (keeps traces compact)."""
+        if segment.duration <= 0:
+            return
+        if self.segments:
+            last = self.segments[-1]
+            if (
+                abs(last.end - segment.start) < 1e-9
+                and last.state == segment.state
+                and last.job == segment.job
+                and abs(last.speed_end - segment.speed_start) < 1e-12
+                and abs(segment.speed_end - segment.speed_start) < 1e-12
+                and abs(last.speed_end - last.speed_start) < 1e-12
+            ):
+                self.segments[-1] = Segment(
+                    start=last.start,
+                    end=segment.end,
+                    state=last.state,
+                    job=last.job,
+                    task=last.task,
+                    speed_start=last.speed_start,
+                    speed_end=segment.speed_end,
+                )
+                return
+        self.segments.append(segment)
+
+    def record_event(self, time: float, kind: str, detail: str) -> None:
+        """Append a point event."""
+        self.events.append(PointEvent(time, kind, detail))
+
+    # -- queries used by tests and visualisation ---------------------------
+    def segments_for_task(self, task_name: str) -> List[Segment]:
+        """All ``run`` segments executing jobs of *task_name*."""
+        return [s for s in self.segments if s.state == "run" and s.task == task_name]
+
+    def busy_intervals(self) -> List[Tuple[float, float]]:
+        """Merged ``(start, end)`` intervals during which a job ran."""
+        intervals: List[Tuple[float, float]] = []
+        for seg in self.segments:
+            if seg.state != "run":
+                continue
+            if intervals and abs(intervals[-1][1] - seg.start) < 1e-9:
+                intervals[-1] = (intervals[-1][0], seg.end)
+            else:
+                intervals.append((seg.start, seg.end))
+        return intervals
+
+    def idle_intervals(self) -> List[Tuple[float, float]]:
+        """Merged intervals in the ``idle``, ``sleep`` or ``wakeup`` states."""
+        intervals: List[Tuple[float, float]] = []
+        for seg in self.segments:
+            if seg.state == "run":
+                continue
+            if intervals and abs(intervals[-1][1] - seg.start) < 1e-9:
+                intervals[-1] = (intervals[-1][0], seg.end)
+            else:
+                intervals.append((seg.start, seg.end))
+        return intervals
+
+    def state_at(self, time: float) -> Optional[Segment]:
+        """The segment covering *time*, or ``None`` outside the trace."""
+        for seg in self.segments:
+            if seg.start - 1e-9 <= time < seg.end - 1e-9:
+                return seg
+        return None
+
+    def events_of_kind(self, kind: str) -> List[PointEvent]:
+        """All point events of the given *kind*."""
+        return [e for e in self.events if e.kind == kind]

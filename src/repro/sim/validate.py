@@ -1,0 +1,244 @@
+"""Trace validation: kernel invariants checked against a recorded trace.
+
+A scheduling policy can be subtly wrong in ways a power number never
+reveals (double-booked processor, priority inversions, jobs executing
+before release).  :func:`validate_trace` walks a
+:class:`~repro.sim.trace.TraceRecorder` and checks every structural
+invariant of the paper's kernel model, returning a list of human-readable
+violations (empty = clean).  The property-based test-suite runs it on every
+random simulation.
+
+Checked invariants
+------------------
+* **Continuity** — segments tile the timeline without overlap or reversal.
+* **Causality** — a job only runs at or after its release event.
+* **Single completion** — each job completes exactly once, and never runs
+  again afterwards.
+* **Speed bounds** — all recorded speeds lie in ``(0, 1]``.
+* **Fixed-priority consistency** (optional, FP policies only) — whenever a
+  job runs, no *released and unfinished* higher-priority job exists.
+* **Slow-down exclusivity** — whenever a job runs below full speed, no
+  other released unfinished job exists at all (LPFPS's L16 precondition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..tasks.task import TaskSet
+from .trace import TraceRecorder
+
+_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach found in a trace."""
+
+    time: float
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[t={self.time:.3f}] {self.invariant}: {self.detail}"
+
+
+def validate_trace(
+    trace: TraceRecorder,
+    taskset: Optional[TaskSet] = None,
+    check_priorities: bool = True,
+    check_slowdown_exclusive: bool = True,
+) -> List[Violation]:
+    """Check kernel invariants over *trace*; return all violations found."""
+    violations: List[Violation] = []
+    violations += _check_continuity(trace)
+    violations += _check_causality(trace)
+    violations += _check_single_completion(trace)
+    violations += _check_speed_bounds(trace)
+    if taskset is not None and taskset.has_priorities and check_priorities:
+        violations += _check_priority_consistency(trace, taskset)
+    if check_slowdown_exclusive:
+        violations += _check_slowdown_exclusivity(trace)
+    return violations
+
+
+def assert_valid(trace: TraceRecorder, taskset: Optional[TaskSet] = None, **kwargs) -> None:
+    """Raise ``AssertionError`` listing every violation (test helper)."""
+    violations = validate_trace(trace, taskset, **kwargs)
+    if violations:
+        summary = "\n".join(str(v) for v in violations[:20])
+        raise AssertionError(
+            f"{len(violations)} trace invariant violation(s):\n{summary}"
+        )
+
+
+# --------------------------------------------------------------------- #
+# Individual checks                                                      #
+# --------------------------------------------------------------------- #
+def _check_continuity(trace: TraceRecorder) -> List[Violation]:
+    violations = []
+    previous_end = None
+    for seg in trace.segments:
+        if seg.end < seg.start - _EPS:
+            violations.append(
+                Violation(seg.start, "continuity", f"segment reversed: {seg}")
+            )
+        if previous_end is not None and seg.start < previous_end - _EPS:
+            violations.append(
+                Violation(
+                    seg.start,
+                    "continuity",
+                    f"segment overlaps previous end {previous_end:.3f}",
+                )
+            )
+        previous_end = seg.end
+    return violations
+
+
+def _release_times(trace: TraceRecorder) -> Dict[str, float]:
+    return {e.detail: e.time for e in trace.events_of_kind("release")}
+
+
+def _check_causality(trace: TraceRecorder) -> List[Violation]:
+    violations = []
+    releases = _release_times(trace)
+    for seg in trace.segments:
+        if seg.state != "run" or seg.job is None:
+            continue
+        released_at = releases.get(seg.job)
+        if released_at is None:
+            violations.append(
+                Violation(seg.start, "causality", f"{seg.job} ran without a release")
+            )
+        elif seg.start < released_at - _EPS:
+            violations.append(
+                Violation(
+                    seg.start,
+                    "causality",
+                    f"{seg.job} ran before its release at {released_at:.3f}",
+                )
+            )
+    return violations
+
+
+def _check_single_completion(trace: TraceRecorder) -> List[Violation]:
+    violations = []
+    completions: Dict[str, float] = {}
+    for event in trace.events_of_kind("completion"):
+        if event.detail in completions:
+            violations.append(
+                Violation(
+                    event.time,
+                    "single-completion",
+                    f"{event.detail} completed twice",
+                )
+            )
+        completions[event.detail] = event.time
+    for seg in trace.segments:
+        if seg.state != "run" or seg.job is None:
+            continue
+        done_at = completions.get(seg.job)
+        if done_at is not None and seg.start > done_at + _EPS:
+            violations.append(
+                Violation(
+                    seg.start,
+                    "single-completion",
+                    f"{seg.job} ran after completing at {done_at:.3f}",
+                )
+            )
+    return violations
+
+
+def _check_speed_bounds(trace: TraceRecorder) -> List[Violation]:
+    violations = []
+    for seg in trace.segments:
+        for speed in (seg.speed_start, seg.speed_end):
+            if not 0.0 < speed <= 1.0 + 1e-9:
+                violations.append(
+                    Violation(
+                        seg.start,
+                        "speed-bounds",
+                        f"speed {speed} outside (0, 1] in {seg.state} segment",
+                    )
+                )
+                break
+    return violations
+
+
+def _pending_intervals(trace: TraceRecorder) -> Dict[str, Tuple[float, float]]:
+    """Map job -> (release, completion-or-inf) interval."""
+    import math
+
+    releases = _release_times(trace)
+    completions = {e.detail: e.time for e in trace.events_of_kind("completion")}
+    return {
+        job: (released, completions.get(job, math.inf))
+        for job, released in releases.items()
+    }
+
+
+def _check_priority_consistency(
+    trace: TraceRecorder, taskset: TaskSet
+) -> List[Violation]:
+    """No released unfinished higher-priority job while a lower one runs.
+
+    Small grace windows around releases are tolerated: the kernel model
+    restores full speed before context switching, so a higher-priority
+    arrival may legally wait out one speed ramp plus the wake-up delay.
+    """
+    grace = 15.0  # worst ARM8 ramp (13.1 us) plus slack
+    violations = []
+    priority = {t.name: t.priority for t in taskset}
+    pending = _pending_intervals(trace)
+    for seg in trace.segments:
+        if seg.state != "run" or seg.task is None:
+            continue
+        own = priority.get(seg.task)
+        if own is None:
+            continue
+        for job, (released, done) in pending.items():
+            task_name = job.split("#")[0]
+            other = priority.get(task_name)
+            if other is None or other >= own:
+                continue
+            # The higher-priority job is pending throughout [released, done).
+            overlap_start = max(seg.start, released + grace)
+            overlap_end = min(seg.end, done)
+            if overlap_end > overlap_start + _EPS:
+                violations.append(
+                    Violation(
+                        overlap_start,
+                        "fixed-priority",
+                        f"{seg.job} ran while higher-priority {job} pending",
+                    )
+                )
+    return violations
+
+
+def _check_slowdown_exclusivity(trace: TraceRecorder) -> List[Violation]:
+    """A job running below full speed must be the only pending job."""
+    violations = []
+    pending = _pending_intervals(trace)
+    for seg in trace.segments:
+        if seg.state != "run" or seg.job is None:
+            continue
+        slowed = (
+            seg.speed_start < 1.0 - 1e-6 and seg.speed_end < 1.0 - 1e-6
+        )
+        if not slowed:
+            continue
+        for job, (released, done) in pending.items():
+            if job == seg.job:
+                continue
+            overlap_start = max(seg.start, released + _EPS)
+            overlap_end = min(seg.end, done)
+            if overlap_end > overlap_start + _EPS:
+                violations.append(
+                    Violation(
+                        overlap_start,
+                        "slowdown-exclusive",
+                        f"{seg.job} slowed while {job} was pending",
+                    )
+                )
+    return violations

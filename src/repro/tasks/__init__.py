@@ -1,0 +1,38 @@
+"""Periodic task model: tasks, jobs, priorities, and demand generators."""
+
+from .job import Job
+from .task import Task, TaskSet
+from . import generation, priority
+from .generation import (
+    BcetModel,
+    BimodalModel,
+    ExecutionTimeModel,
+    GaussianModel,
+    MarkovModel,
+    UniformModel,
+    WcetModel,
+    random_taskset,
+    uunifast,
+)
+from .priority import audsley, deadline_monotonic, explicit, rate_monotonic
+
+__all__ = [
+    "Task",
+    "TaskSet",
+    "Job",
+    "ExecutionTimeModel",
+    "WcetModel",
+    "BcetModel",
+    "GaussianModel",
+    "MarkovModel",
+    "UniformModel",
+    "BimodalModel",
+    "uunifast",
+    "random_taskset",
+    "rate_monotonic",
+    "deadline_monotonic",
+    "explicit",
+    "audsley",
+    "generation",
+    "priority",
+]

@@ -1,0 +1,122 @@
+"""Run-time job (task instance) objects.
+
+A :class:`Job` is the mutable record the simulator keeps for one release of a
+:class:`~repro.tasks.task.Task`.  The paper calls the executed portion of the
+active job ``E_i``; here that is :attr:`Job.executed`, measured in full-speed
+µs so that the LPFPS speed formulas (Eqs. 2–3) read exactly as printed:
+``r = (C_i - E_i) / (t_a - t_c)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import InvalidTaskError
+from .task import Task
+
+
+@dataclass
+class Job:
+    """One instance of a periodic task.
+
+    Parameters
+    ----------
+    task:
+        The releasing task.
+    index:
+        0-based instance number; job ``k`` of task ``i`` releases at
+        ``phase_i + k * T_i``.
+    release_time:
+        Absolute release (arrival) time in µs.
+    execution_time:
+        The *actual* computation demand of this instance in full-speed µs,
+        drawn from an execution-time model; always within
+        ``[task.bcet, task.wcet]``.
+    """
+
+    task: Task
+    index: int
+    release_time: float
+    execution_time: float
+    executed: float = 0.0
+    start_time: Optional[float] = None
+    completion_time: Optional[float] = None
+    preemptions: int = 0
+
+    def __post_init__(self) -> None:
+        tol = 1e-9 * max(1.0, self.task.wcet)
+        if not (self.task.bcet - tol <= self.execution_time <= self.task.wcet + tol):
+            raise InvalidTaskError(
+                f"{self.name}: execution time {self.execution_time} outside "
+                f"[{self.task.bcet}, {self.task.wcet}]"
+            )
+        # Snap tiny float excursions back into range so downstream math can
+        # rely on the invariant exactly.
+        self.execution_time = min(max(self.execution_time, self.task.bcet), self.task.wcet)
+
+    @property
+    def name(self) -> str:
+        """Human-readable identifier, e.g. ``tau2#3``."""
+        return f"{self.task.name}#{self.index}"
+
+    @property
+    def absolute_deadline(self) -> float:
+        """Release time plus the task's relative deadline."""
+        return self.release_time + self.task.deadline
+
+    @property
+    def priority(self) -> int:
+        """The task's fixed priority (smaller = higher)."""
+        if self.task.priority is None:
+            raise InvalidTaskError(f"{self.name}: task has no priority assigned")
+        return self.task.priority
+
+    @property
+    def remaining(self) -> float:
+        """Actual work still to do, in full-speed µs."""
+        return max(0.0, self.execution_time - self.executed)
+
+    @property
+    def remaining_wcet(self) -> float:
+        """Worst-case work still to do: ``C_i - E_i`` of the paper.
+
+        The scheduler must budget for this (not :attr:`remaining`) because at
+        scheduling time it cannot know the actual demand (paper §3.2).
+        """
+        return max(0.0, self.task.wcet - self.executed)
+
+    @property
+    def completed(self) -> bool:
+        """True once the actual demand has been fully executed."""
+        return self.completion_time is not None
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """Completion minus release, or ``None`` while running."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.release_time
+
+    @property
+    def next_release(self) -> float:
+        """Release time of this task's next instance — the delay-queue key."""
+        return self.release_time + self.task.period
+
+    def advance(self, work: float) -> None:
+        """Account *work* full-speed µs of execution to this job."""
+        if work < 0:
+            raise ValueError(f"work must be >= 0, got {work}")
+        self.executed += work
+
+    def missed_deadline(self, now: float) -> bool:
+        """True when the job is past its deadline and still incomplete at *now*."""
+        if self.completed:
+            return self.completion_time > self.absolute_deadline + 1e-9
+        return now > self.absolute_deadline + 1e-9
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Job({self.name}: rel={self.release_time}, "
+            f"exec={self.execution_time}, done={self.executed:.3f})"
+        )

@@ -1,0 +1,97 @@
+"""Fixed-priority assignment policies.
+
+The paper uses rate-monotonic priorities throughout ("Rate monotonic priority
+assignment is a natural choice because periods are equal to deadlines") and
+cites deadline-monotonic assignment for the constrained-deadline case, so
+both are provided, along with Audsley's optimal priority assignment for task
+sets neither RM nor DM can order schedulably.
+
+Smaller priority value = higher priority, matching the paper's footnote 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..errors import InvalidTaskSetError
+from .task import Task, TaskSet
+
+#: Signature of a feasibility test used by Audsley's algorithm: given a task
+#: and the list of (already prioritised) higher-priority tasks, return True
+#: when the task meets its deadline at that priority level.
+FeasibilityTest = Callable[[Task, List[Task]], bool]
+
+
+def rate_monotonic(taskset: TaskSet) -> TaskSet:
+    """Assign rate-monotonic priorities (shorter period = higher priority).
+
+    Ties are broken by construction order, which keeps the assignment
+    deterministic and matches the row order the paper's Table 1 uses.
+    """
+    return _assign(taskset, key=lambda pair: (pair[1].period, pair[0]))
+
+
+def deadline_monotonic(taskset: TaskSet) -> TaskSet:
+    """Assign deadline-monotonic priorities (shorter deadline first).
+
+    Optimal for constrained deadlines (Audsley et al., cited as [4]).
+    """
+    return _assign(taskset, key=lambda pair: (pair[1].deadline, pair[0]))
+
+
+def explicit(taskset: TaskSet, priorities: List[int]) -> TaskSet:
+    """Assign the given priority list positionally.
+
+    Useful for reproducing published tables that fix an ordering.
+    """
+    if len(priorities) != len(taskset):
+        raise InvalidTaskSetError(
+            f"need {len(taskset)} priorities, got {len(priorities)}"
+        )
+    if len(set(priorities)) != len(priorities):
+        raise InvalidTaskSetError("priorities must be unique")
+    tasks = [t.with_priority(p) for t, p in zip(taskset, priorities)]
+    return taskset.with_tasks(tasks)
+
+
+def audsley(
+    taskset: TaskSet, feasible: Optional[FeasibilityTest] = None
+) -> Optional[TaskSet]:
+    """Audsley's optimal priority assignment.
+
+    Works bottom-up: find any task feasible at the lowest priority level
+    given all others above it, fix it there, recurse on the rest.  Returns a
+    prioritised task set or ``None`` when no fixed-priority ordering passes
+    the feasibility test.
+
+    The default feasibility test is exact response-time analysis
+    (imported lazily to avoid a package cycle).
+    """
+    if feasible is None:
+        from ..analysis.rta import task_is_schedulable as feasible  # noqa: PLC0415
+
+    remaining = list(taskset)
+    assignment: List[Task] = []  # built lowest priority first
+    level = len(remaining) - 1
+    while remaining:
+        placed = None
+        for candidate in remaining:
+            others = [t for t in remaining if t is not candidate]
+            if feasible(candidate, others):
+                placed = candidate
+                break
+        if placed is None:
+            return None
+        assignment.append(placed.with_priority(level))
+        remaining.remove(placed)
+        level -= 1
+    # Restore construction order for the returned set.
+    by_name = {t.name: t for t in assignment}
+    return taskset.with_tasks([by_name[t.name] for t in taskset])
+
+
+def _assign(taskset: TaskSet, key) -> TaskSet:
+    indexed = list(enumerate(taskset))
+    ordered = sorted(indexed, key=key)
+    priority_of = {t.name: rank for rank, (_, t) in enumerate(ordered)}
+    return taskset.with_tasks([t.with_priority(priority_of[t.name]) for t in taskset])

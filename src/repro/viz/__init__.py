@@ -1,0 +1,15 @@
+"""Plain-text visualisation: tables, series plots, Gantt charts."""
+
+from .gantt import render_gantt
+from .series import render_bars, render_series
+from .speedplot import render_speed_profile
+from .tables import format_cell, render_table
+
+__all__ = [
+    "render_table",
+    "format_cell",
+    "render_bars",
+    "render_series",
+    "render_gantt",
+    "render_speed_profile",
+]

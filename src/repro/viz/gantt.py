@@ -1,0 +1,102 @@
+"""ASCII Gantt chart rendering of simulation traces.
+
+Replays the schedules the paper draws in Figure 2: one row per task plus a
+processor-state row, with one character per time cell.  Run segments use
+the task's letter (upper case at full speed, lower case when slowed), idle
+busy-wait renders ``.``, power-down ``_``, and wake-up ``^``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.trace import TraceRecorder
+
+_FULL_SPEED_EPS = 1e-6
+
+
+def render_gantt(
+    trace: TraceRecorder,
+    task_names: Sequence[str],
+    start: float = 0.0,
+    end: Optional[float] = None,
+    width: int = 80,
+) -> str:
+    """Render *trace* between *start* and *end* as an ASCII Gantt chart.
+
+    Each of the *width* cells covers ``(end - start)/width`` µs and shows
+    the state that occupies the majority of the cell.
+    """
+    if end is None:
+        end = max((s.end for s in trace.segments), default=start + 1.0)
+    if end <= start:
+        raise ValueError(f"need end > start, got [{start}, {end}]")
+    cell = (end - start) / width
+
+    def cell_fill(row_filter) -> List[str]:
+        filled = [" "] * width
+        occupancy = [0.0] * width
+        for seg in trace.segments:
+            mark = row_filter(seg)
+            if mark is None:
+                continue
+            lo = max(seg.start, start)
+            hi = min(seg.end, end)
+            if hi <= lo:
+                continue
+            first = int((lo - start) / cell)
+            last = min(width - 1, int((hi - start - 1e-12) / cell))
+            for idx in range(first, last + 1):
+                cell_lo = start + idx * cell
+                cell_hi = cell_lo + cell
+                overlap = min(hi, cell_hi) - max(lo, cell_lo)
+                if overlap > occupancy[idx]:
+                    occupancy[idx] = overlap
+                    filled[idx] = mark
+        return filled
+
+    letters: Dict[str, str] = {}
+    for i, name in enumerate(task_names):
+        letters[name] = chr(ord("A") + i % 26)
+
+    lines = []
+    header_step = max(1, width // 8)
+    ruler = [" "] * width
+    labels_line = [" "] * (width + 12)
+    for idx in range(0, width, header_step):
+        t = start + idx * cell
+        label = f"{t:.0f}"
+        for j, ch in enumerate(label):
+            if idx + j < width:
+                ruler[idx + j] = ch
+    name_width = max([len(n) for n in task_names] + [9])
+    lines.append(" " * (name_width + 2) + "".join(ruler))
+
+    for name in task_names:
+        def task_mark(seg, name=name):
+            if seg.state != "run" or seg.task != name:
+                return None
+            slowed = (
+                seg.speed_start < 1.0 - _FULL_SPEED_EPS
+                or seg.speed_end < 1.0 - _FULL_SPEED_EPS
+            )
+            letter = letters[name]
+            return letter.lower() if slowed else letter
+
+        lines.append(f"{name.rjust(name_width)}: " + "".join(cell_fill(task_mark)))
+
+    def state_mark(seg):
+        if seg.state == "idle":
+            return "."
+        if seg.state == "sleep":
+            return "_"
+        if seg.state == "wakeup":
+            return "^"
+        return None
+
+    lines.append(f"{'processor'.rjust(name_width)}: " + "".join(cell_fill(state_mark)))
+    lines.append(
+        " " * (name_width + 2)
+        + "upper=full speed  lower=slowed  .=busy-wait  _=power-down  ^=wake-up"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""ASCII line/bar charts for experiment series.
+
+Offline-friendly replacements for the paper's figures: Figure 7's ratio
+curves and Figure 8's power-vs-BCET series render as text so the benchmark
+harness can embed them directly in its output (no matplotlib available in
+this environment).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: Optional[str] = None,
+    vmax: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart (used for Figure 1's BCET/WCET ratios)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return title or ""
+    top = vmax if vmax is not None else max(values)
+    top = max(top, 1e-12)
+    label_width = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(width * value / top))
+        lines.append(f"{label.rjust(label_width)} |{bar} {value:.3f}")
+    return "\n".join(lines)
+
+
+def render_series(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 18,
+    title: Optional[str] = None,
+    y_label: str = "",
+) -> str:
+    """Plot one or more y-series against shared x values as an ASCII grid.
+
+    Each series gets a distinct marker; points are nearest-cell rasterised.
+    """
+    markers = "*o+x#@%&"
+    all_y = [v for ys in series.values() for v in ys]
+    if not all_y or not x:
+        return title or ""
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max - y_min < 1e-12:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x), max(x)
+    if x_max - x_min < 1e-12:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, ys) in enumerate(series.items()):
+        if len(ys) != len(x):
+            raise ValueError(f"series {name!r} length mismatch with x")
+        marker = markers[idx % len(markers)]
+        for xv, yv in zip(x, ys):
+            col = round((xv - x_min) / (x_max - x_min) * (width - 1))
+            row = round((yv - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = [title] if title else []
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            axis = f"{y_max:8.3f} |"
+        elif i == height - 1:
+            axis = f"{y_min:8.3f} |"
+        else:
+            axis = "         |"
+        lines.append(axis + "".join(row_cells))
+    lines.append("         +" + "-" * width)
+    lines.append(f"          {x_min:<10.4g}{' ' * max(0, width - 20)}{x_max:>10.4g}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"  legend: {legend}" + (f"   (y: {y_label})" if y_label else ""))
+    return "\n".join(lines)

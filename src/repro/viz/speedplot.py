@@ -1,0 +1,97 @@
+"""ASCII speed-profile plot: processor speed ratio over time.
+
+Complements the Gantt chart: where :mod:`repro.viz.gantt` shows *who* runs,
+this shows *how fast* — the DVS decisions LPFPS makes become directly
+visible as steps and ramps, with power-down rendered on the baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.trace import TraceRecorder
+
+
+def render_speed_profile(
+    trace: TraceRecorder,
+    start: float = 0.0,
+    end: Optional[float] = None,
+    width: int = 80,
+    height: int = 12,
+) -> str:
+    """Render the speed ratio over ``[start, end]`` as an ASCII plot.
+
+    Each column shows the *time-weighted mean* speed of its cell while the
+    processor is awake; columns fully inside power-down render ``_`` on
+    the bottom row, wake-up ``^``.
+    """
+    if end is None:
+        end = max((s.end for s in trace.segments), default=start + 1.0)
+    if end <= start:
+        raise ValueError(f"need end > start, got [{start}, {end}]")
+    cell = (end - start) / width
+
+    mean_speed: List[Optional[float]] = [None] * width
+    asleep = [0.0] * width
+    waking = [0.0] * width
+    for seg in trace.segments:
+        lo = max(seg.start, start)
+        hi = min(seg.end, end)
+        if hi <= lo:
+            continue
+        first = int((lo - start) / cell)
+        last = min(width - 1, int((hi - start - 1e-12) / cell))
+        for idx in range(first, last + 1):
+            cell_lo = start + idx * cell
+            cell_hi = cell_lo + cell
+            overlap = min(hi, cell_hi) - max(lo, cell_lo)
+            if overlap <= 0:
+                continue
+            if seg.state == "sleep":
+                asleep[idx] += overlap
+            elif seg.state == "wakeup":
+                waking[idx] += overlap
+            else:
+                # Linear interpolation of the segment's speed at overlap mid.
+                mid = (max(lo, cell_lo) + min(hi, cell_hi)) / 2.0
+                if seg.end > seg.start:
+                    frac = (mid - seg.start) / (seg.end - seg.start)
+                else:
+                    frac = 0.0
+                speed = seg.speed_start + frac * (seg.speed_end - seg.speed_start)
+                previous = mean_speed[idx]
+                weighted = speed * overlap
+                mean_speed[idx] = (
+                    weighted if previous is None else previous + weighted
+                )
+    # Normalise the accumulated speed-time products by awake time per cell.
+    for idx in range(width):
+        awake = cell - asleep[idx] - waking[idx]
+        if mean_speed[idx] is not None and awake > 1e-12:
+            mean_speed[idx] = min(1.0, mean_speed[idx] / awake)
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx in range(width):
+        if asleep[idx] > cell / 2:
+            grid[height - 1][idx] = "_"
+        elif waking[idx] > cell / 2:
+            grid[height - 1][idx] = "^"
+        elif mean_speed[idx] is not None:
+            row = round(mean_speed[idx] * (height - 1))
+            grid[height - 1 - row][idx] = "#"
+
+    lines = []
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            axis = "speed 1.0 |"
+        elif i == height - 1:
+            axis = "      0.0 |"
+        else:
+            axis = "          |"
+        lines.append(axis + "".join(row_cells))
+    lines.append("          +" + "-" * width)
+    lines.append(
+        f"           t={start:g} .. {end:g} us   "
+        "(#=speed, _=power-down, ^=wake-up)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Application workloads: the paper's four case studies and examples."""
+
+from .avionics import avionics_taskset, avionics_workload
+from .base import Workload
+from .bcet_data import BCET_WCET_RATIOS, BcetRatio, mean_ratio, ratios_table
+from .cnc import cnc_taskset, cnc_workload
+from .example_dac99 import example_taskset, example_workload
+from .flight_control import flight_control_taskset, flight_control_workload
+from .ins import ins_taskset, ins_workload
+from .registry import (
+    TABLE2_NAMES,
+    available_workloads,
+    get_workload,
+    table2_workloads,
+)
+
+__all__ = [
+    "Workload",
+    "avionics_taskset",
+    "avionics_workload",
+    "ins_taskset",
+    "ins_workload",
+    "flight_control_taskset",
+    "flight_control_workload",
+    "cnc_taskset",
+    "cnc_workload",
+    "example_taskset",
+    "example_workload",
+    "BcetRatio",
+    "BCET_WCET_RATIOS",
+    "ratios_table",
+    "mean_ratio",
+    "get_workload",
+    "available_workloads",
+    "table2_workloads",
+    "TABLE2_NAMES",
+]

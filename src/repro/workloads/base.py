@@ -1,0 +1,51 @@
+"""Workload metadata wrapper.
+
+A :class:`Workload` bundles a task set with its provenance: the citation it
+came from, whether the exact parameters are published or reconstructed from
+the constraints the paper states, and free-form notes documenting the
+reconstruction (per the substitution policy in DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..tasks.priority import rate_monotonic
+from ..tasks.task import TaskSet
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named application task set with provenance metadata."""
+
+    name: str
+    description: str
+    taskset: TaskSet
+    citation: str
+    reconstructed: bool = False
+    notes: str = ""
+
+    @property
+    def task_count(self) -> int:
+        """Number of tasks (the first column of the paper's Table 2)."""
+        return len(self.taskset)
+
+    @property
+    def wcet_range(self) -> Tuple[float, float]:
+        """``(min, max)`` WCET in µs (the second column of Table 2)."""
+        return self.taskset.wcet_range
+
+    @property
+    def utilization(self) -> float:
+        """Total worst-case utilisation."""
+        return self.taskset.utilization
+
+    def prioritized(self) -> TaskSet:
+        """The task set under rate-monotonic priorities (paper default)."""
+        return rate_monotonic(self.taskset)
+
+    def summary_row(self) -> Tuple[str, int, float, float, float]:
+        """``(name, #tasks, min WCET, max WCET, U)`` for Table 2 rendering."""
+        lo, hi = self.wcet_range
+        return (self.name, self.task_count, lo, hi, self.utilization)

@@ -1,0 +1,58 @@
+"""Figure 1 data: BCET/WCET ratios across embedded applications.
+
+The paper's Figure 1 plots best-case to worst-case execution-time ratios
+"obtained from [8]" — Ernst & Ye, "Embedded program timing analysis based
+on path clustering and architecture classification" (ICCAD 1997) — to
+motivate that real execution times frequently undershoot the WCET.
+
+The original bar heights are not recoverable from the scan, so this table
+encodes *representative* ratios for the benchmark families that study
+analyses, spanning the same qualitative range the figure shows: data-
+independent kernels near 1.0 down to heavily data-dependent control codes
+near 0.1.  The values feed the motivation report (EXP-F1) only — the power
+experiments sweep the BCET/WCET ratio explicitly (Figure 8), so nothing in
+the quantitative reproduction depends on these entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class BcetRatio:
+    """One application's best/worst-case execution-time ratio."""
+
+    application: str
+    description: str
+    ratio: float  #: BCET / WCET in (0, 1]
+
+    def __post_init__(self) -> None:
+        if not 0 < self.ratio <= 1:
+            raise ValueError(f"{self.application}: ratio must be in (0,1]")
+
+
+#: Representative BCET/WCET ratios, ordered from most to least variable.
+BCET_WCET_RATIOS: Tuple[BcetRatio, ...] = (
+    BcetRatio("chess", "game-tree search kernel", 0.10),
+    BcetRatio("fuzzy", "fuzzy-logic controller", 0.14),
+    BcetRatio("sort", "comparison sort over sensor batches", 0.18),
+    BcetRatio("diesel", "diesel engine control code", 0.28),
+    BcetRatio("jpeg_enc", "JPEG forward DCT + entropy coding", 0.42),
+    BcetRatio("g721_dec", "ADPCM speech decoder", 0.58),
+    BcetRatio("fft", "radix-2 FFT with data-dependent scaling", 0.64),
+    BcetRatio("smooth", "image smoothing filter", 0.78),
+    BcetRatio("idct", "inverse DCT, fixed iteration bounds", 0.88),
+    BcetRatio("matmul", "dense matrix multiply, data independent", 0.98),
+)
+
+
+def ratios_table() -> List[Tuple[str, float]]:
+    """``(application, ratio)`` pairs for reporting."""
+    return [(entry.application, entry.ratio) for entry in BCET_WCET_RATIOS]
+
+
+def mean_ratio() -> float:
+    """Average BCET/WCET ratio over the table."""
+    return sum(e.ratio for e in BCET_WCET_RATIOS) / len(BCET_WCET_RATIOS)

@@ -1,0 +1,45 @@
+"""Name-based workload lookup for the CLI and experiment harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ConfigurationError
+from .avionics import avionics_workload
+from .base import Workload
+from .cnc import cnc_workload
+from .example_dac99 import example_workload
+from .flight_control import flight_control_workload
+from .ins import ins_workload
+
+_FACTORIES: Dict[str, Callable[[], Workload]] = {
+    "avionics": avionics_workload,
+    "ins": ins_workload,
+    "flight_control": flight_control_workload,
+    "cnc": cnc_workload,
+    "example": example_workload,
+}
+
+#: The four applications of the paper's Table 2, in its row order.
+TABLE2_NAMES = ("avionics", "ins", "flight_control", "cnc")
+
+
+def available_workloads() -> List[str]:
+    """Registered workload names, sorted."""
+    return sorted(_FACTORIES)
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate a workload by registry name."""
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; available: {', '.join(available_workloads())}"
+        ) from None
+    return factory()
+
+
+def table2_workloads() -> List[Workload]:
+    """The four Table 2 applications, in the paper's order."""
+    return [get_workload(name) for name in TABLE2_NAMES]

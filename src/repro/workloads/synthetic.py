@@ -1,0 +1,96 @@
+"""Named synthetic task-set families.
+
+The paper's §4 closes with a structural claim: LPFPS's gain depends on how
+utilisation is *distributed*, not just its total — INS wins because one
+high-rate task holds most of the load.  These generators produce the three
+structural archetypes the experiments contrast, at any requested total
+utilisation:
+
+* :func:`heavy_plus_light` — the INS archetype: one dominant high-rate
+  task plus light slow tasks (the run queue is empty for most of the heavy
+  task's execution, maximising the lone-task hook);
+* :func:`uniform_spread` — utilisation split evenly across similar-rate
+  tasks (the run queue is rarely empty with one task active);
+* :func:`harmonic_chain` — periods in a single harmonic chain (maximal
+  static schedulability, so FPS keeps the set feasible up to U = 1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..errors import ConfigurationError
+from ..tasks.task import Task, TaskSet
+
+
+def heavy_plus_light(
+    total_utilization: float,
+    heavy_share: float = 0.65,
+    light_tasks: int = 4,
+    heavy_period: float = 2_500.0,
+    rng: random.Random = None,
+) -> TaskSet:
+    """One dominant high-rate task plus *light_tasks* light slow tasks."""
+    _check_u(total_utilization)
+    if not 0 < heavy_share < 1:
+        raise ConfigurationError(f"heavy_share must be in (0,1), got {heavy_share}")
+    rng = rng if rng is not None else random.Random(0)
+    heavy_u = heavy_share * total_utilization
+    if heavy_u >= 1.0:
+        raise ConfigurationError("heavy task alone would exceed full utilisation")
+    tasks = [
+        Task(name="heavy", wcet=heavy_u * heavy_period, period=heavy_period)
+    ]
+    light_u = (total_utilization - heavy_u) / light_tasks
+    for i in range(light_tasks):
+        period = heavy_period * rng.choice([16, 20, 40, 80, 100]) * (i + 1)
+        tasks.append(
+            Task(name=f"light{i}", wcet=light_u * period, period=period)
+        )
+    return TaskSet(tasks, name=f"heavy-plus-light-u{total_utilization:g}")
+
+
+def uniform_spread(
+    total_utilization: float,
+    n: int = 6,
+    base_period: float = 10_000.0,
+    rng: random.Random = None,
+) -> TaskSet:
+    """Utilisation split evenly across *n* similar-rate tasks."""
+    _check_u(total_utilization)
+    if n < 1:
+        raise ConfigurationError(f"need n >= 1, got {n}")
+    rng = rng if rng is not None else random.Random(0)
+    share = total_utilization / n
+    tasks = []
+    for i in range(n):
+        period = base_period * rng.uniform(1.0, 3.0)
+        period = round(period / 100.0) * 100.0
+        tasks.append(Task(name=f"t{i}", wcet=share * period, period=period))
+    return TaskSet(tasks, name=f"uniform-spread-u{total_utilization:g}")
+
+
+def harmonic_chain(
+    total_utilization: float,
+    n: int = 5,
+    base_period: float = 5_000.0,
+) -> TaskSet:
+    """Periods doubling along a single harmonic chain."""
+    _check_u(total_utilization)
+    if n < 1:
+        raise ConfigurationError(f"need n >= 1, got {n}")
+    share = total_utilization / n
+    tasks = []
+    period = base_period
+    for i in range(n):
+        tasks.append(Task(name=f"h{i}", wcet=share * period, period=period))
+        period *= 2.0
+    return TaskSet(tasks, name=f"harmonic-u{total_utilization:g}")
+
+
+def _check_u(total_utilization: float) -> None:
+    if not 0 < total_utilization < 1:
+        raise ConfigurationError(
+            f"total utilisation must be in (0, 1), got {total_utilization}"
+        )

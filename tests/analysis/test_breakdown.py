@@ -1,0 +1,47 @@
+"""Unit tests for breakdown-utilisation search."""
+
+import pytest
+
+from repro.analysis.breakdown import breakdown_utilization, slack_factor
+from repro.analysis.rta import is_schedulable
+from repro.tasks.priority import rate_monotonic
+from repro.tasks.task import Task, TaskSet
+from repro.workloads.example_dac99 import example_taskset
+
+
+class TestBreakdown:
+    def test_table1_is_exactly_at_breakdown(self):
+        """Table 1 'just meets its schedulability' — literally.
+
+        tau3's response time is exactly 80, sitting on tau2's second
+        release: *any* WCET inflation pulls in extra interference and tau3
+        misses at t = 100, so the breakdown factor is exactly 1.
+        """
+        result = breakdown_utilization(example_taskset())
+        assert result.factor == pytest.approx(1.0, abs=1e-5)
+        assert slack_factor(example_taskset()) == pytest.approx(0.0, abs=1e-5)
+
+    def test_factor_bracketes_schedulability(self):
+        ts = example_taskset()
+        factor = breakdown_utilization(ts).factor
+        assert is_schedulable(rate_monotonic(ts.scaled(factor * 0.999)))
+        assert not is_schedulable(rate_monotonic(ts.scaled(factor * 1.01)))
+
+    def test_harmonic_set_reaches_full_utilization(self):
+        ts = TaskSet([Task(name="a", wcet=10, period=100),
+                      Task(name="b", wcet=20, period=200)])
+        result = breakdown_utilization(ts)
+        # U = 0.2; harmonic -> schedulable up to U = 1 -> factor = 5.
+        assert result.factor == pytest.approx(5.0, rel=1e-3)
+        assert result.utilization == pytest.approx(1.0, rel=1e-3)
+
+    def test_unschedulable_set_shrinks_below_one(self):
+        ts = TaskSet([Task(name="a", wcet=40, period=50),
+                      Task(name="b", wcet=40, period=100, deadline=100)])
+        result = breakdown_utilization(ts)
+        assert 0 < result.factor < 1.0
+
+    def test_utilization_consistency(self):
+        ts = example_taskset()
+        result = breakdown_utilization(ts)
+        assert result.utilization == pytest.approx(ts.utilization * result.factor)

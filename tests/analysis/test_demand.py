@@ -1,0 +1,99 @@
+"""Unit tests for EDF processor-demand analysis."""
+
+import pytest
+
+from repro.analysis.demand import (
+    demand_bound,
+    edf_feasible,
+    edf_testing_horizon,
+    minimum_edf_speed,
+)
+from repro.analysis.demand import testing_points as deadline_points
+from repro.errors import AnalysisError
+from repro.tasks.task import Task, TaskSet
+from repro.workloads.example_dac99 import example_taskset
+
+
+def _set(*specs):
+    return TaskSet([
+        Task(name=f"t{i}", wcet=c, period=p, deadline=d)
+        for i, (c, p, d) in enumerate(specs)
+    ])
+
+
+class TestDemandBound:
+    def test_zero_before_first_deadline(self):
+        ts = _set((10, 100, None))
+        assert demand_bound(ts, 50.0) == 0.0
+
+    def test_step_at_each_deadline(self):
+        ts = _set((10, 100, None))
+        assert demand_bound(ts, 100.0) == 10.0
+        assert demand_bound(ts, 199.0) == 10.0
+        assert demand_bound(ts, 200.0) == 20.0
+
+    def test_constrained_deadline_shifts_steps(self):
+        ts = _set((10, 100, 60.0))
+        assert demand_bound(ts, 59.0) == 0.0
+        assert demand_bound(ts, 60.0) == 10.0
+
+    def test_additive_over_tasks(self):
+        ts = example_taskset()
+        assert demand_bound(ts, 100.0) == pytest.approx(2 * 10 + 20 + 40)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(AnalysisError):
+            demand_bound(_set((1, 10, None)), -1.0)
+
+
+class TestTestingPoints:
+    def test_sorted_unique(self):
+        ts = example_taskset()
+        points = list(deadline_points(ts, 400.0))
+        assert points == sorted(points)
+        assert len(points) == len(set(points))
+        assert 50.0 in points and 80.0 in points and 100.0 in points
+
+    def test_horizon_respected(self):
+        points = list(deadline_points(example_taskset(), 150.0))
+        assert max(points) <= 150.0
+
+
+class TestFeasibility:
+    def test_implicit_deadline_feasible_iff_u_at_most_one(self):
+        assert edf_feasible(_set((50, 100, None), (50, 100, None)))
+        assert not edf_feasible(_set((51, 100, None), (50, 100, None)))
+
+    def test_table1_feasible_under_edf(self):
+        assert edf_feasible(example_taskset())
+
+    def test_constrained_deadlines_can_fail_below_u_one(self):
+        ts = _set((30, 100, 40.0), (30, 100, 50.0))
+        # U = 0.6 but 60 units are due by t = 50.
+        assert not edf_feasible(ts)
+
+    def test_speed_scaling(self):
+        ts = _set((25, 100, None), (25, 100, None))  # U = 0.5
+        assert edf_feasible(ts, speed=0.5)
+        assert not edf_feasible(ts, speed=0.49)
+
+    def test_horizon_bounds(self):
+        ts = example_taskset()
+        assert 0 < edf_testing_horizon(ts) <= ts.hyperperiod
+
+
+class TestMinimumSpeed:
+    def test_implicit_deadlines_give_utilization(self):
+        ts = example_taskset()
+        assert minimum_edf_speed(ts) == pytest.approx(0.85, abs=1e-4)
+
+    def test_constrained_deadlines_force_higher_speed(self):
+        ts = _set((20, 100, 40.0), (20, 100, 50.0))
+        speed = minimum_edf_speed(ts)
+        assert speed is not None
+        assert speed > ts.utilization + 0.05
+        assert edf_feasible(ts, speed + 1e-6)
+        assert not edf_feasible(ts, speed - 1e-3)
+
+    def test_infeasible_returns_none(self):
+        assert minimum_edf_speed(_set((60, 100, None), (50, 100, None))) is None

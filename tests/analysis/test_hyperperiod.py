@@ -1,0 +1,78 @@
+"""Unit tests for hyperperiod and busy-period utilities."""
+
+import pytest
+
+from repro.analysis.hyperperiod import (
+    first_idle_instant,
+    hyperperiod,
+    hyperperiod_jobs,
+    level_i_busy_period,
+    releases_within,
+)
+from repro.tasks.priority import rate_monotonic
+from repro.tasks.task import Task, TaskSet
+from repro.workloads.example_dac99 import example_taskset
+from repro.workloads.ins import ins_taskset
+
+
+class TestHyperperiod:
+    def test_table1(self):
+        assert hyperperiod(example_taskset()) == 400.0
+
+    def test_ins_is_five_seconds(self):
+        assert hyperperiod(ins_taskset()) == 5_000_000.0
+
+    def test_job_count_table1(self):
+        # 400/50 + 400/80 + 400/100 = 8 + 5 + 4
+        assert hyperperiod_jobs(example_taskset()) == 17
+
+    def test_job_count_quantifies_static_table_blowup(self):
+        """§2.2's objection: mutually-prime periods explode the LCM table."""
+        ts = TaskSet([Task(name="a", wcet=1, period=997),
+                      Task(name="b", wcet=1, period=1009)])
+        assert hyperperiod(ts) == 997 * 1009
+        assert hyperperiod_jobs(ts) == 997 + 1009
+
+
+class TestReleases:
+    def test_release_grid(self):
+        events = releases_within(example_taskset(), 200.0)
+        times = [t for t, _ in events]
+        assert times == sorted(times)
+        assert events[0] == (0.0, "tau1")  # priority order at t=0
+        assert (50.0, "tau1") in events
+        assert (80.0, "tau2") in events
+        assert (100.0, "tau3") in events
+        assert all(t < 200.0 for t, _ in events)
+
+    def test_simultaneous_ordered_by_priority(self):
+        at_zero = [name for t, name in releases_within(example_taskset(), 1.0)]
+        assert at_zero == ["tau1", "tau2", "tau3"]
+
+    def test_phases_respected(self):
+        ts = TaskSet([Task(name="a", wcet=1, period=10, phase=3.0, priority=0)])
+        events = releases_within(ts, 25.0)
+        assert [t for t, _ in events] == [3.0, 13.0, 23.0]
+
+
+class TestBusyPeriod:
+    def test_level_zero_is_first_job(self):
+        ts = example_taskset()
+        assert level_i_busy_period(ts, 1) == 10.0
+
+    def test_first_idle_instant_table1(self):
+        """The paper's Figure 2(a): continuous execution from 0 to 80."""
+        assert first_idle_instant(example_taskset()) == 80.0
+
+    def test_diverges_on_overload(self):
+        ts = rate_monotonic(TaskSet([
+            Task(name="a", wcet=30, period=50),
+            Task(name="b", wcet=30, period=50),
+        ]))
+        with pytest.raises(OverflowError):
+            first_idle_instant(ts)
+
+    def test_no_tasks_at_level(self):
+        ts = example_taskset()
+        with pytest.raises(ValueError):
+            level_i_busy_period(ts, 0)

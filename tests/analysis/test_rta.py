@@ -1,0 +1,108 @@
+"""Unit tests for exact response-time analysis."""
+
+import pytest
+
+from repro.analysis.rta import analyze, is_schedulable, response_time, with_overhead
+from repro.errors import AnalysisError
+from repro.tasks.priority import rate_monotonic
+from repro.tasks.task import Task, TaskSet
+from repro.workloads.example_dac99 import example_taskset
+
+
+class TestResponseTime:
+    def test_highest_priority_is_own_wcet(self):
+        t = Task(name="a", wcet=10.0, period=50.0, priority=0)
+        assert response_time(t, []) == 10.0
+
+    def test_table1_matches_hand_computation(self):
+        ts = example_taskset()
+        ordered = ts.by_priority()
+        assert response_time(ordered[0], []) == 10.0
+        assert response_time(ordered[1], ordered[:1]) == 30.0
+        # tau3: 40 + 2x10 (tau1) + 1x20 (tau2) = 80 at the fixed point.
+        assert response_time(ordered[2], ordered[:2]) == 80.0
+
+    def test_unschedulable_returns_none(self):
+        hp = [Task(name="h", wcet=30.0, period=50.0, priority=0)]
+        t = Task(name="l", wcet=30.0, period=100.0, priority=1)
+        # Demand 30 + 2x30 = 90 < 100, fine; tighten the deadline:
+        t2 = Task(name="l2", wcet=30.0, period=100.0, deadline=55.0, priority=1)
+        assert response_time(t, hp) is not None
+        assert response_time(t2, hp) is None
+
+    def test_custom_limit(self):
+        hp = [Task(name="h", wcet=10.0, period=50.0, priority=0)]
+        t = Task(name="l", wcet=30.0, period=100.0, priority=1)
+        assert response_time(t, hp, limit=39.0) is None
+        assert response_time(t, hp, limit=40.0) == 40.0
+
+    def test_exact_boundary_release_not_counted(self):
+        # A job finishing exactly at an interfering release is not delayed
+        # by it: ceil uses an epsilon guard.
+        hp = [Task(name="h", wcet=20.0, period=80.0, priority=0)]
+        t = Task(name="l", wcet=60.0, period=80.0, priority=1)
+        assert response_time(t, hp) == 80.0
+
+
+class TestAnalyze:
+    def test_table1_schedulable_with_slacks(self):
+        result = analyze(example_taskset())
+        assert result.schedulable
+        assert result.response_times == {"tau1": 10.0, "tau2": 30.0, "tau3": 80.0}
+        assert result.slack == {"tau1": 40.0, "tau2": 50.0, "tau3": 20.0}
+        assert result.worst_slack() == 20.0
+
+    def test_table1_is_tight(self):
+        """Inflating tau2 slightly makes tau3 miss — the paper's claim."""
+        base = example_taskset()
+        inflated = base.with_tasks([
+            t if t.name != "tau2"
+            else Task(name="tau2", wcet=21.0, period=80.0, priority=t.priority)
+            for t in base
+        ])
+        assert not analyze(inflated).schedulable
+
+    def test_unschedulable_reports_none_and_flag(self):
+        ts = rate_monotonic(TaskSet([
+            Task(name="a", wcet=30.0, period=50.0),
+            Task(name="b", wcet=45.0, period=100.0),
+        ]))
+        result = analyze(ts)
+        assert not result.schedulable
+        assert result.response_times["b"] is None
+        assert result.worst_slack() is None
+
+    def test_requires_priorities(self):
+        ts = TaskSet([Task(name="a", wcet=1.0, period=5.0)])
+        from repro.errors import InvalidTaskSetError
+
+        with pytest.raises(InvalidTaskSetError):
+            analyze(ts)
+
+    def test_is_schedulable_wrapper(self):
+        assert is_schedulable(example_taskset())
+
+
+class TestWithOverhead:
+    def test_inflates_wcets(self):
+        ts = example_taskset()
+        inflated = with_overhead(ts, 2.0)
+        assert [t.wcet for t in inflated] == [12.0, 22.0, 42.0]
+        assert [t.bcet for t in inflated] == [12.0, 22.0, 42.0]
+
+    def test_zero_overhead_identity(self):
+        ts = example_taskset()
+        assert [t.wcet for t in with_overhead(ts, 0.0)] == [t.wcet for t in ts]
+
+    def test_negative_rejected(self):
+        with pytest.raises(AnalysisError):
+            with_overhead(example_taskset(), -1.0)
+
+    def test_any_overhead_breaks_table1(self):
+        # tau3's response sits exactly on tau2's second release (R3 = 80),
+        # so *any* scheduler overhead pulls in extra interference and the
+        # set fails — the paper's warning that the LPFPS run-time additions
+        # must stay negligible is not rhetorical.
+        ts = example_taskset()
+        assert is_schedulable(with_overhead(ts, 0.0))
+        assert not is_schedulable(with_overhead(ts, 0.5))

@@ -1,0 +1,62 @@
+"""Unit tests for per-task WCET sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.rta import is_schedulable
+from repro.analysis.sensitivity import wcet_margins
+from repro.tasks.priority import rate_monotonic
+from repro.tasks.task import Task, TaskSet
+from repro.workloads.example_dac99 import example_taskset
+from repro.workloads.ins import ins_taskset
+
+
+class TestTable1Sensitivity:
+    def test_tau2_cannot_grow(self):
+        """The paper's exact claim: 'if tau2 were to take a little longer
+        to complete, tau3 would miss its deadline at time 100'."""
+        result = wcet_margins(example_taskset())
+        assert result.margins["tau2"] == pytest.approx(0.0, abs=1e-4)
+
+    def test_tau1_cannot_grow_either(self):
+        # tau3's response sits exactly on its cliff; every higher-priority
+        # task is pinned.
+        result = wcet_margins(example_taskset())
+        assert result.margins["tau1"] == pytest.approx(0.0, abs=1e-4)
+
+    def test_critical_task_is_a_zero_margin_one(self):
+        result = wcet_margins(example_taskset())
+        assert result.critical_margin == pytest.approx(0.0, abs=1e-4)
+
+
+class TestMarginsConsistency:
+    def test_margins_are_tight(self):
+        """Inflating by slightly less than the margin stays schedulable;
+        slightly more fails (or hits the deadline ceiling)."""
+        ts = rate_monotonic(TaskSet([
+            Task(name="a", wcet=10.0, period=100.0),
+            Task(name="b", wcet=20.0, period=200.0),
+        ]))
+        result = wcet_margins(ts)
+        for task in ts:
+            margin = result.margins[task.name]
+            assert margin > 0
+            inflated = ts.with_tasks([
+                t if t.name != task.name
+                else Task(name=t.name, wcet=t.wcet + margin * 0.99,
+                          period=t.period, priority=t.priority)
+                for t in ts
+            ])
+            assert is_schedulable(inflated)
+
+    def test_ins_bottleneck_is_meaningful(self):
+        result = wcet_margins(rate_monotonic(ins_taskset()))
+        assert result.critical_margin > 0  # INS has real slack
+        assert result.critical_task in {t.name for t in ins_taskset()}
+
+    def test_unschedulable_set_reports_zero(self):
+        ts = rate_monotonic(TaskSet([
+            Task(name="a", wcet=30.0, period=50.0),
+            Task(name="b", wcet=45.0, period=100.0),
+        ]))
+        result = wcet_margins(ts)
+        assert result.margins["b"] == 0.0

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.power.processor import ProcessorSpec
+from repro.tasks.priority import rate_monotonic
+from repro.tasks.task import Task, TaskSet
+from repro.workloads.example_dac99 import example_taskset
+
+
+@pytest.fixture
+def table1():
+    """The paper's Table 1 task set with its priorities."""
+    return example_taskset()
+
+
+@pytest.fixture
+def arm8():
+    """The paper's ARM8-like processor spec."""
+    return ProcessorSpec.arm8()
+
+
+@pytest.fixture
+def ideal():
+    """Idealised processor: continuous grid, instant ramps, free sleep."""
+    return ProcessorSpec.ideal()
+
+
+@pytest.fixture
+def two_tasks():
+    """A tiny RM-prioritised set used by engine unit tests."""
+    return rate_monotonic(
+        TaskSet(
+            [
+                Task(name="hi", wcet=10.0, period=100.0),
+                Task(name="lo", wcet=30.0, period=200.0),
+            ],
+            name="two-tasks",
+        )
+    )

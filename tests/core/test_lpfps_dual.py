@@ -1,0 +1,108 @@
+"""Tests for LPFPS dual-level (Ishihara-Yasuura) quantisation."""
+
+import pytest
+
+from repro.core.lpfps import LpfpsScheduler
+from repro.errors import ConfigurationError
+from repro.power.frequency import FrequencyGrid
+from repro.power.processor import ProcessorSpec
+from repro.sim.engine import simulate
+from repro.tasks.generation import GaussianModel, WcetModel
+from repro.tasks.task import Task, TaskSet
+from repro.workloads.registry import get_workload
+
+
+class TestAdjacentSpeeds:
+    def test_bracketing(self):
+        grid = FrequencyGrid(f_max=100.0, f_min=8.0, step=25.0)
+        lo, hi = grid.adjacent_speeds(0.45)
+        assert lo == pytest.approx(0.33)
+        assert hi == pytest.approx(0.58)
+
+    def test_on_level_coincide(self):
+        grid = FrequencyGrid(f_max=100.0, f_min=8.0, step=1.0)
+        lo, hi = grid.adjacent_speeds(0.5)
+        assert lo == hi == pytest.approx(0.5)
+
+    def test_clamped_at_edges(self):
+        grid = FrequencyGrid(f_max=100.0, f_min=8.0, step=25.0)
+        assert grid.adjacent_speeds(0.01) == (pytest.approx(0.08), pytest.approx(0.08))
+        assert grid.adjacent_speeds(1.0)[1] == pytest.approx(1.0)
+
+    def test_quantize_down(self):
+        grid = FrequencyGrid(f_max=100.0, f_min=8.0, step=25.0)
+        assert grid.quantize_down(40.0) == pytest.approx(33.0)
+        assert grid.quantize_down(5.0) == pytest.approx(8.0)
+        assert grid.quantize_down(200.0) == pytest.approx(100.0)
+
+
+class TestDualLevelScheduler:
+    def test_conflicts_with_eager_restore(self):
+        with pytest.raises(ConfigurationError):
+            LpfpsScheduler(dual_level=True, eager_restore=True)
+        with pytest.raises(ConfigurationError):
+            LpfpsScheduler(dual_level=True, speed_policy="optimal")
+
+    def test_name_suffix(self):
+        assert LpfpsScheduler(dual_level=True).name == "LPFPS-dual"
+
+    def test_average_speed_matches_ratio_at_wcet(self):
+        """A lone task with ratio 0.45 on a 25 MHz grid runs lo-then-hi and
+        completes exactly at its window's end at WCET demand."""
+        ts = TaskSet([Task(name="solo", wcet=45_000.0, period=100_000.0,
+                           priority=0)])
+        spec = ProcessorSpec.arm8().with_grid_step(25.0).with_rho(None)
+        result = simulate(ts, LpfpsScheduler(dual_level=True), spec=spec,
+                          execution_model=WcetModel(), duration=200_000.0,
+                          record_trace=True)
+        assert not result.missed
+        runs = [s for s in result.trace.segments if s.state == "run"]
+        assert runs[0].speed_start == pytest.approx(0.33)
+        assert runs[1].speed_end == pytest.approx(0.58)
+        completion = result.trace.events_of_kind("completion")[0]
+        assert completion.time == pytest.approx(100_000.0, rel=1e-6)
+
+    def test_early_completion_skips_fast_phase(self):
+        """Slow-first ordering preserves reclamation: a short job finishes
+        during the slow phase and the fast level never runs."""
+        ts = TaskSet([Task(name="solo", wcet=45_000.0, period=100_000.0,
+                           bcet=9_000.0, priority=0)])
+
+        class Short(WcetModel):
+            def sample(self, task, rng):
+                return 9_000.0
+
+        spec = ProcessorSpec.arm8().with_grid_step(25.0).with_rho(None)
+        result = simulate(ts, LpfpsScheduler(dual_level=True), spec=spec,
+                          execution_model=Short(), duration=100_000.0,
+                          record_trace=True)
+        speeds = {round(s.speed_end, 2) for s in result.trace.segments
+                  if s.state == "run"}
+        assert speeds == {0.33}
+
+    def test_no_misses_on_workloads_at_wcet(self):
+        for app in ("ins", "cnc", "flight_control"):
+            ts = get_workload(app).prioritized()
+            spec = ProcessorSpec.arm8().with_grid_step(25.0)
+            result = simulate(
+                ts, LpfpsScheduler(dual_level=True), spec=spec,
+                duration=min(ts.hyperperiod, 2_000_000.0),
+            )
+            assert not result.missed, app
+
+    def test_beats_round_up_on_coarse_grid(self):
+        ts = get_workload("ins").prioritized().with_bcet_ratio(0.5)
+        spec = ProcessorSpec.arm8().with_grid_step(25.0)
+        dual = simulate(ts, LpfpsScheduler(dual_level=True), spec=spec,
+                        execution_model=GaussianModel(), seed=1)
+        up = simulate(ts, LpfpsScheduler(), spec=spec,
+                      execution_model=GaussianModel(), seed=1)
+        assert dual.average_power < up.average_power
+
+    def test_continuous_grid_degenerates_to_plain(self):
+        ts = get_workload("cnc").prioritized()
+        spec = ProcessorSpec.arm8().with_grid_step(None)
+        dual = simulate(ts, LpfpsScheduler(dual_level=True), spec=spec,
+                        duration=100_000.0)
+        plain = simulate(ts, LpfpsScheduler(), spec=spec, duration=100_000.0)
+        assert dual.average_power == pytest.approx(plain.average_power, rel=1e-9)

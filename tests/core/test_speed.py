@@ -1,0 +1,135 @@
+"""Unit and property tests for the speed-ratio math (Eqs. 1-3, Theorem 1)."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.speed import (
+    heuristic_is_safe,
+    heuristic_speed_ratio,
+    optimal_speed_ratio,
+    slowdown_window,
+    work_balance_residual,
+)
+from repro.errors import ConfigurationError
+
+
+class TestHeuristic:
+    def test_example2(self):
+        """At t=160: (20 - 0) / (200 - 160) = 0.5 (paper Example 2)."""
+        assert heuristic_speed_ratio(20.0, 40.0) == pytest.approx(0.5)
+
+    def test_zero_remaining(self):
+        assert heuristic_speed_ratio(0.0, 40.0) == 0.0
+
+    def test_clamps_at_one(self):
+        assert heuristic_speed_ratio(50.0, 40.0) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            heuristic_speed_ratio(-1.0, 40.0)
+        with pytest.raises(ConfigurationError):
+            heuristic_speed_ratio(1.0, 0.0)
+
+
+class TestOptimal:
+    def test_satisfies_work_balance(self):
+        """r_opt is a root of Eq. (1) whenever the discriminant is >= 0."""
+        for remaining, window in [(50, 100), (30, 120), (500, 2000), (5, 40)]:
+            r = optimal_speed_ratio(remaining, window, rho=0.07)
+            if 0.0 < r < 1.0:
+                residual = work_balance_residual(r, remaining, window, rho=0.07)
+                assert residual == pytest.approx(0.0, abs=1e-9)
+
+    def test_infinite_rho_degenerates_to_heuristic(self):
+        for rho in (None, math.inf):
+            assert optimal_speed_ratio(50.0, 100.0, rho) == pytest.approx(0.5)
+
+    def test_large_rho_approaches_heuristic(self):
+        r = optimal_speed_ratio(50.0, 100.0, rho=1e6)
+        assert r == pytest.approx(0.5, abs=1e-4)
+
+    def test_below_heuristic_for_finite_rho(self):
+        """The ramp contributes work, so the optimal baseline is slower."""
+        r_opt = optimal_speed_ratio(50.0, 100.0, rho=0.07)
+        assert r_opt < 0.5
+
+    def test_negative_discriminant_returns_zero(self):
+        """Small window, small work: every speed overshoots -> run at the
+        hardware minimum (paper Figure 7's degenerate corner)."""
+        # rho=0.07, window=10: disc < 0 when remaining < ~8.25.
+        assert optimal_speed_ratio(5.0, 10.0, rho=0.07) == 0.0
+
+    def test_no_slack_full_speed(self):
+        assert optimal_speed_ratio(100.0, 100.0, rho=0.07) == 1.0
+        assert optimal_speed_ratio(150.0, 100.0, rho=0.07) == 1.0
+
+    def test_zero_remaining(self):
+        assert optimal_speed_ratio(0.0, 100.0, rho=0.07) == 0.0
+
+    def test_invalid_rho(self):
+        with pytest.raises(ConfigurationError):
+            optimal_speed_ratio(10.0, 100.0, rho=-0.1)
+
+
+class TestTheorem1:
+    """Safeness: r_heu >= r_opt when t_a > t_c and t_a - t_c > C_i - E_i."""
+
+    def test_paper_sweep(self):
+        """The exact Figure 7 parameter grid."""
+        for window in range(50, 3001, 50):
+            for k in range(1, 10):
+                r_heu = 0.1 * k
+                remaining = r_heu * window
+                assert heuristic_is_safe(remaining, window, rho=0.07)
+
+    @given(
+        window=st.floats(1.0, 1e6),
+        fraction=st.floats(0.0, 1.0, exclude_max=True),
+        rho=st.floats(1e-4, 10.0),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_property_safeness(self, window, fraction, rho):
+        remaining = fraction * window
+        assume(window > remaining)
+        assert heuristic_is_safe(remaining, window, rho)
+
+    def test_domain_enforced(self):
+        with pytest.raises(ConfigurationError):
+            heuristic_is_safe(100.0, 50.0, rho=0.07)
+
+    @given(
+        window=st.floats(10.0, 5000.0),
+        fraction=st.floats(0.01, 0.99),
+        rho=st.floats(0.001, 1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_optimal_in_unit_interval(self, window, fraction, rho):
+        r = optimal_speed_ratio(fraction * window, window, rho)
+        assert 0.0 <= r <= 1.0
+
+
+class TestSlowdownWindow:
+    def test_bounded_by_next_arrival(self):
+        w = slowdown_window(now=160.0, next_arrival=200.0,
+                            own_next_release=240.0, own_deadline=240.0)
+        assert w == pytest.approx(40.0)
+
+    def test_bounded_by_own_deadline(self):
+        """A lone high-rate task must not stretch past its own deadline even
+        when other tasks arrive much later (INS's heavy-task scenario)."""
+        w = slowdown_window(now=0.0, next_arrival=40_000.0,
+                            own_next_release=2_500.0, own_deadline=2_500.0)
+        assert w == pytest.approx(2_500.0)
+
+    def test_no_other_tasks(self):
+        w = slowdown_window(now=10.0, next_arrival=None,
+                            own_next_release=100.0, own_deadline=100.0)
+        assert w == pytest.approx(90.0)
+
+    def test_constrained_deadline_binds(self):
+        w = slowdown_window(now=0.0, next_arrival=500.0,
+                            own_next_release=1000.0, own_deadline=300.0)
+        assert w == pytest.approx(300.0)

@@ -1,0 +1,89 @@
+"""Reduced-scale ablation runs asserting their qualitative conclusions."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_frequency_grid_ablation,
+    run_mechanism_ablation,
+    run_policy_ablation,
+    run_rho_ablation,
+)
+
+
+class TestPolicyAblation:
+    def test_structure_and_safety(self):
+        result = run_policy_ablation(application="cnc", seeds=(1,))
+        assert result.power_of("FPS") > 0
+        heu = result.power_of("LPFPS (heuristic, Eq.3)")
+        opt = result.power_of("LPFPS (optimal, Eq.2)")
+        assert heu < result.power_of("FPS")
+        assert opt < result.power_of("FPS")
+        assert "A1" in result.render()
+
+
+class TestMechanismAblation:
+    def test_both_mechanisms_beat_each_alone(self):
+        result = run_mechanism_ablation(application="ins", seeds=(1,))
+        both = result.power_of("LPFPS (both)")
+        assert both < result.power_of("LPFPS power-down only")
+        assert both < result.power_of("FPS (busy-wait idle)")
+
+    def test_exact_timer_beats_threshold(self):
+        """Section 2.1: the conventional threshold power-down wastes the
+        idle prefix."""
+        result = run_mechanism_ablation(application="ins", seeds=(1,))
+        exact = result.power_of("FPS + exact-timer power-down")
+        naive = result.power_of("FPS + threshold power-down")
+        assert exact <= naive + 1e-9
+
+    def test_dvs_only_beats_powerdown_only_on_ins(self):
+        """Section 3.2: slowing the lone task beats run-fast-then-sleep
+        (quadratic voltage dependence)."""
+        result = run_mechanism_ablation(application="ins", seeds=(1,))
+        dvs = result.power_of("LPFPS DVS only")
+        pd = result.power_of("LPFPS power-down only")
+        assert dvs < pd
+
+
+class TestFrequencyGridAblation:
+    def test_finer_grids_never_worse(self):
+        result = run_frequency_grid_ablation(
+            application="ins", seeds=(1,), steps=(None, 1.0, 25.0)
+        )
+        powers = {row[0]: row[1] for row in result.rows}
+        # continuous <= 1 MHz <= 25 MHz (rounding up costs power).
+        assert powers["continuous"] <= powers["step=1 MHz, round-up"] + 1e-6
+        assert (
+            powers["step=1 MHz, round-up"]
+            <= powers["step=25 MHz, round-up"] + 1e-6
+        )
+
+    def test_dual_level_beats_round_up_on_coarse_grid(self):
+        result = run_frequency_grid_ablation(
+            application="ins", seeds=(1,), steps=(25.0,)
+        )
+        powers = {row[0]: row[1] for row in result.rows}
+        assert (
+            powers["step=25 MHz, dual-level"]
+            < powers["step=25 MHz, round-up"]
+        )
+
+    def test_no_misses_at_any_granularity(self):
+        result = run_frequency_grid_ablation(
+            application="ins", seeds=(1,), steps=(1.0, 50.0)
+        )
+        assert all(row[3] == 0 for row in result.rows)
+
+
+class TestRhoAblation:
+    def test_slower_regulators_cost_power_on_cnc(self):
+        result = run_rho_ablation(
+            application="cnc", seeds=(1,), rhos=(None, 0.07, 0.007)
+        )
+        powers = [row[1] for row in result.rows]
+        assert powers[0] <= powers[1] + 1e-6
+        assert powers[1] <= powers[2] + 1e-6
+
+    def test_render(self):
+        result = run_rho_ablation(application="cnc", seeds=(1,), rhos=(None, 0.07))
+        assert "A4" in result.render()

@@ -1,0 +1,109 @@
+"""Experiment harness tests: structure of every reproduced artefact."""
+
+import pytest
+
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.runner import (
+    compare_schedulers,
+    measurement_duration,
+)
+from repro.experiments.table1_schedule import run_table1
+from repro.experiments.table2 import run_table2
+from repro.schedulers.fps import FpsScheduler
+from repro.core.lpfps import LpfpsScheduler
+from repro.workloads.example_dac99 import example_taskset
+from repro.workloads.registry import get_workload
+
+
+class TestFigure1:
+    def test_rows_and_render(self):
+        result = run_figure1()
+        assert len(result.rows) >= 8
+        text = result.render()
+        assert "Figure 1" in text
+        assert "mean ratio" in text
+
+
+class TestTable1:
+    def test_all_narrative_checkpoints_pass(self):
+        result = run_table1()
+        failed = [name for name, ok in result.checks if not ok]
+        assert not failed, f"unreproduced paper events: {failed}"
+        assert result.all_checks_pass
+
+    def test_render_contains_gantt_rows(self):
+        text = run_table1().render()
+        assert "tau1:" in text and "processor:" in text
+
+
+class TestTable2:
+    def test_matches_paper_columns(self):
+        result = run_table2()
+        by_name = {r.name: r for r in result.rows}
+        assert by_name["Avionics"].tasks == 17
+        assert by_name["INS"].wcet_min == 1_180.0
+        assert by_name["Flight control"].wcet_max == 60_000.0
+        assert by_name["CNC"].wcet_min == 35.0
+        assert all(r.schedulable for r in result.rows)
+
+    def test_render(self):
+        assert "Table 2" in run_table2().render()
+
+
+class TestFigure7:
+    def test_default_grid_matches_paper(self):
+        result = run_figure7()
+        assert result.rho == 0.07
+        assert result.windows[0] == 50 and result.windows[-1] == 3000
+        assert result.ratios == tuple(round(0.1 * k, 1) for k in range(1, 10))
+
+    def test_curves_below_heuristic(self):
+        """Theorem 1 visualised: every r_opt curve sits at or below r_heu."""
+        result = run_figure7()
+        for r_heu, curve in result.r_opt.items():
+            assert all(v <= r_heu + 1e-12 for v in curve)
+
+    def test_convergence_with_window(self):
+        """'Closely matches except for small t_a - t_c': curves approach
+        r_heu as the window grows."""
+        result = run_figure7()
+        for r_heu, curve in result.r_opt.items():
+            assert curve[-1] == pytest.approx(r_heu, abs=0.01)
+
+    def test_degenerate_corner_deviates(self):
+        """Low r_heu and small window: r_opt collapses toward 0."""
+        result = run_figure7()
+        assert result.r_opt[0.1][0] < 0.05
+
+    def test_convergence_window_monotone_hint(self):
+        result = run_figure7()
+        # Low ratios converge later than high ratios.
+        assert result.convergence_window(0.1) >= result.convergence_window(0.9)
+
+    def test_render(self):
+        text = run_figure7().render()
+        assert "Figure 7" in text and "legend" in text
+
+
+class TestRunner:
+    def test_measurement_duration_bounds(self):
+        cnc = get_workload("cnc").prioritized()
+        d = measurement_duration(cnc)
+        assert d >= 1_000_000.0
+        assert d % cnc.hyperperiod == pytest.approx(0.0)
+
+    def test_measurement_duration_caps_large_hyperperiods(self):
+        avionics = get_workload("avionics").prioritized()
+        assert measurement_duration(avionics) == 10_000_000.0
+
+    def test_compare_schedulers_shared_streams(self):
+        points = compare_schedulers(
+            example_taskset(),
+            {"FPS": FpsScheduler, "LPFPS": LpfpsScheduler},
+            seeds=(1,),
+            duration=4000.0,
+        )
+        assert set(points) == {"FPS", "LPFPS"}
+        assert points["LPFPS"].average_power < points["FPS"].average_power
+        assert points["FPS"].runs == 1

@@ -1,0 +1,49 @@
+"""Reduced-scale Figure 8 runs asserting the paper's qualitative shape.
+
+Full-scale sweeps live in benchmarks/; these smoke tests use short
+horizons, coarse ratio grids, and single seeds to stay fast while still
+checking the acceptance criteria of DESIGN.md EXP-F8.
+"""
+
+import pytest
+
+from repro.experiments.figure8 import run_figure8
+
+_FAST = dict(ratios=(0.1, 0.5, 1.0), seeds=(1,), duration=500_000.0)
+
+
+class TestFigure8Shape:
+    @pytest.mark.parametrize("app", ["ins", "cnc", "flight_control"])
+    def test_lpfps_always_below_fps(self, app):
+        result = run_figure8(app, **_FAST)
+        for point in result.points:
+            assert point.lpfps_power < point.fps_power
+
+    @pytest.mark.parametrize("app", ["ins", "cnc"])
+    def test_no_deadline_misses(self, app):
+        result = run_figure8(app, **_FAST)
+        for point in result.points:
+            assert point.lpfps_misses == 0
+            assert point.fps_misses == 0
+
+    def test_gain_grows_as_bcet_shrinks(self):
+        result = run_figure8("ins", **_FAST)
+        reductions = [p.reduction for p in result.points]
+        assert reductions[0] > reductions[-1]
+
+    def test_gain_exists_at_wcet(self):
+        """LPFPS beats FPS even with zero execution-time variation."""
+        result = run_figure8("ins", **_FAST)
+        assert result.reduction_at_wcet > 0.05
+
+    def test_fps_power_tracks_utilization_scaling(self):
+        """FPS average power rises with the mean execution demand."""
+        result = run_figure8("cnc", **_FAST)
+        fps_powers = [p.fps_power for p in result.points]
+        assert fps_powers == sorted(fps_powers)
+
+    def test_render(self):
+        result = run_figure8("cnc", **_FAST)
+        text = result.render()
+        assert "Figure 8" in text
+        assert "reduction" in text

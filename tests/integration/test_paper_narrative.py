@@ -1,0 +1,134 @@
+"""End-to-end replays of every event the paper narrates.
+
+These integration tests execute whole simulations and assert the exact
+times, queue states, and speed decisions sections 2.3 and 3.2 describe.
+"""
+
+import pytest
+
+from repro.core.lpfps import LpfpsScheduler
+from repro.power.processor import ProcessorSpec
+from repro.schedulers.fps import FpsScheduler
+from repro.sim.dispatch import Scheduler, fixed_priority_dispatch
+from repro.sim.engine import Simulator, simulate
+from repro.sim.events import Decision
+from repro.workloads.example_dac99 import example_taskset
+
+
+class TestFigure2a:
+    """FPS, every job at its WCET."""
+
+    @pytest.fixture(autouse=True)
+    def _run(self):
+        self.result = simulate(
+            example_taskset(), FpsScheduler(), duration=400.0,
+            record_trace=True,
+        )
+        self.trace = self.result.trace
+
+    def test_tau1_preempts_tau3_at_50(self):
+        seg = self.trace.state_at(55.0)
+        assert seg.task == "tau1"
+        tau3_segments = self.trace.segments_for_task("tau3")
+        assert tau3_segments[0].end == 50.0
+
+    def test_first_idle_interval_is_180_to_200(self):
+        idles = self.trace.idle_intervals()
+        assert idles[0] == (180.0, 200.0)
+
+    def test_tau2_runs_80_to_100(self):
+        """'There will be requests for tau1 and tau3 at time 100, which is
+        the same time tau2 will complete its execution at its WCET.'"""
+        seg = self.trace.state_at(90.0)
+        assert seg.task == "tau2"
+        completions = [e for e in self.trace.events_of_kind("completion")
+                       if e.detail == "tau2#1"]
+        assert completions[0].time == pytest.approx(100.0)
+
+    def test_system_just_meets_schedulability(self):
+        assert not self.result.missed
+
+
+class TestFigure3QueueStates:
+    """Queue contents at t=0 and t=50 (Figure 3)."""
+
+    def test_queues(self):
+        snapshots = {}
+
+        class Spy(Scheduler):
+            name = "spy"
+
+            def schedule(self, kernel, event):
+                active = fixed_priority_dispatch(kernel)
+                snapshots[kernel.now] = (
+                    active.task.name if active else None,
+                    [j.task.name for j in kernel.run_queue.jobs()],
+                    [name for _, name in kernel.delay_queue.entries()],
+                )
+                return Decision(run=active)
+
+        Simulator(example_taskset(), Spy(), duration=60.0).run()
+
+        # Figure 3(a), t=0: tau1 active; tau2, tau3 in the run queue.
+        active, run_q, _ = snapshots[0.0]
+        assert active == "tau1"
+        assert run_q == ["tau2", "tau3"]
+
+        # Figure 3(b), t=50: tau1 active again; tau3 preempted back into
+        # the run queue; tau2 waiting in the delay queue.
+        active, run_q, delay_q = snapshots[50.0]
+        assert active == "tau1"
+        assert run_q == ["tau3"]
+        assert "tau2" in delay_q
+
+
+class TestFigure5Example2:
+    """Queue/speed states at t=160 and t=180 (Figure 5, ideal delays)."""
+
+    @pytest.fixture(autouse=True)
+    def _run(self):
+        base = example_taskset()
+        varied = base.with_tasks([
+            t.with_bcet(t.wcet / 2.0) if t.name == "tau2" else t for t in base
+        ])
+
+        from repro.tasks.generation import WcetModel
+
+        class HalfTau2(WcetModel):
+            def sample(self, task, rng):
+                return task.wcet / 2.0 if task.name == "tau2" else task.wcet
+
+        self.result = simulate(
+            varied, LpfpsScheduler(), spec=ProcessorSpec.ideal(),
+            execution_model=HalfTau2(), duration=400.0, record_trace=True,
+        )
+
+    def test_speed_ratio_half_at_160(self):
+        """'The scheduler computes the desired ratio ... = 0.5.'"""
+        seg = self.result.trace.state_at(170.0)
+        assert seg.task == "tau2"
+        assert seg.speed_start == pytest.approx(0.5)
+
+    def test_power_down_at_180_with_timer_200(self):
+        """'The scheduler brings the processor into a power-down mode with
+        the timer set to the next arrival time of tau1 (200).'"""
+        sleeps = self.result.trace.events_of_kind("sleep")
+        at_180 = [e for e in sleeps if abs(e.time - 180.0) < 1e-6]
+        assert at_180
+        assert float(at_180[0].detail) == pytest.approx(200.0)
+
+    def test_execution_resumes_at_200(self):
+        seg = self.result.trace.state_at(200.5)
+        assert seg.state == "run" and seg.task == "tau1"
+
+
+class TestPowerOrdering:
+    """Energy sanity across the scheduler family on the example set."""
+
+    def test_lpfps_never_exceeds_fps(self):
+        for spec in (ProcessorSpec.ideal(), ProcessorSpec.arm8()):
+            fps = simulate(example_taskset(), FpsScheduler(),
+                           spec=spec, duration=400.0)
+            lpfps = simulate(example_taskset(), LpfpsScheduler(),
+                             spec=spec, duration=400.0, on_miss="record")
+            assert lpfps.average_power < fps.average_power

@@ -1,0 +1,108 @@
+"""Property tests: every policy produces structurally valid traces."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.lpfps import LpfpsScheduler
+from repro.power.processor import ProcessorSpec
+from repro.schedulers.edf import AvrScheduler, EdfScheduler
+from repro.schedulers.fps import FpsScheduler
+from repro.schedulers.powerdown import ThresholdPowerDownFps, TimerPowerDownFps
+from repro.sim.engine import simulate
+from repro.sim.validate import validate_trace
+from repro.tasks.generation import GaussianModel, MarkovModel, UniformModel
+
+from .test_properties import _horizon, _schedulable_set
+
+_SLOW = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestFixedPriorityTraces:
+    @given(seed=st.integers(0, 5_000))
+    @_SLOW
+    def test_fps_trace_valid(self, seed):
+        ts = _schedulable_set(seed)
+        result = simulate(ts, FpsScheduler(), execution_model=GaussianModel(),
+                          duration=_horizon(ts), seed=seed, record_trace=True)
+        assert validate_trace(result.trace, ts) == []
+
+    @given(seed=st.integers(0, 5_000))
+    @_SLOW
+    def test_lpfps_trace_valid(self, seed):
+        ts = _schedulable_set(seed)
+        result = simulate(ts, LpfpsScheduler(), execution_model=UniformModel(),
+                          duration=_horizon(ts), seed=seed, record_trace=True)
+        assert validate_trace(result.trace, ts) == []
+
+    @given(seed=st.integers(0, 5_000))
+    @_SLOW
+    def test_lpfps_optimal_trace_valid(self, seed):
+        ts = _schedulable_set(seed)
+        result = simulate(
+            ts, LpfpsScheduler(speed_policy="optimal"),
+            execution_model=MarkovModel(), duration=_horizon(ts), seed=seed,
+            record_trace=True,
+        )
+        assert validate_trace(result.trace, ts) == []
+
+    @given(seed=st.integers(0, 5_000))
+    @_SLOW
+    def test_powerdown_traces_valid(self, seed):
+        ts = _schedulable_set(seed)
+        for scheduler in (TimerPowerDownFps(), ThresholdPowerDownFps()):
+            result = simulate(ts, scheduler, execution_model=GaussianModel(),
+                              duration=_horizon(ts), seed=seed,
+                              record_trace=True)
+            assert validate_trace(result.trace, ts) == []
+
+
+class TestEnergyAudit:
+    @given(seed=st.integers(0, 5_000))
+    @_SLOW
+    def test_lpfps_energy_audit_consistent(self, seed):
+        """The trace-recomputed energy matches the engine's accumulators."""
+        from repro.sim.audit import audit_energy
+
+        ts = _schedulable_set(seed)
+        spec = ProcessorSpec.arm8()
+        result = simulate(ts, LpfpsScheduler(), spec=spec,
+                          execution_model=GaussianModel(),
+                          duration=_horizon(ts), seed=seed, record_trace=True)
+        audit = audit_energy(result.trace, spec, result.energy, tolerance=1e-4)
+        assert audit.consistent, audit.summary()
+
+
+class TestDynamicPriorityTraces:
+    """EDF-family policies: skip the fixed-priority check, keep the rest."""
+
+    @given(seed=st.integers(0, 5_000))
+    @_SLOW
+    def test_edf_trace_valid(self, seed):
+        ts = _schedulable_set(seed)
+        result = simulate(ts, EdfScheduler(), execution_model=GaussianModel(),
+                          duration=_horizon(ts), seed=seed, record_trace=True)
+        violations = validate_trace(
+            result.trace, ts, check_priorities=False,
+            check_slowdown_exclusive=False,
+        )
+        assert violations == []
+
+    @given(seed=st.integers(0, 5_000))
+    @_SLOW
+    def test_avr_trace_valid(self, seed):
+        ts = _schedulable_set(seed)
+        result = simulate(ts, AvrScheduler(), execution_model=GaussianModel(),
+                          duration=_horizon(ts), seed=seed, record_trace=True,
+                          on_miss="record")
+        violations = validate_trace(
+            result.trace, ts, check_priorities=False,
+            check_slowdown_exclusive=False,
+        )
+        assert violations == []

@@ -1,0 +1,71 @@
+"""Cross-validation of analysis vs simulation on the paper's workloads."""
+
+import pytest
+
+from repro.analysis.demand import edf_feasible, minimum_edf_speed
+from repro.analysis.rta import analyze
+from repro.analysis.sensitivity import wcet_margins
+from repro.core.lpfps import LpfpsScheduler
+from repro.schedulers.fps import FpsScheduler
+from repro.sim.engine import simulate
+from repro.workloads.registry import TABLE2_NAMES, get_workload
+
+
+@pytest.fixture(params=TABLE2_NAMES)
+def workload(request):
+    return get_workload(request.param)
+
+
+class TestAnalysisAgreement:
+    def test_edf_feasible_at_full_speed(self, workload):
+        assert edf_feasible(workload.taskset)
+
+    def test_minimum_edf_speed_is_utilization(self, workload):
+        """Implicit deadlines: the EDF floor equals total utilisation."""
+        speed = minimum_edf_speed(workload.prioritized())
+        assert speed == pytest.approx(workload.utilization, abs=1e-4)
+
+    def test_positive_wcet_margins(self, workload):
+        """All four sets have real static slack (unlike Table 1)."""
+        result = wcet_margins(workload.prioritized())
+        assert result.critical_margin > 0
+
+    def test_rta_slack_positive(self, workload):
+        result = analyze(workload.prioritized())
+        assert result.schedulable
+        assert result.worst_slack() > 0
+
+
+class TestSimulationWithinBounds:
+    def _horizon(self, taskset):
+        return min(taskset.hyperperiod, 2_000_000.0)
+
+    def test_fps_worst_response_within_rta(self, workload):
+        """At WCET demand, the critical instant bounds every observed
+        response — simulation agrees with the exact analysis."""
+        taskset = workload.prioritized()
+        bounds = analyze(taskset).response_times
+        result = simulate(taskset, FpsScheduler(),
+                          duration=self._horizon(taskset))
+        for name, stats in result.task_stats.items():
+            if stats.jobs_completed:
+                assert stats.worst_response <= bounds[name] + 1e-6, name
+
+    def test_lpfps_responses_within_deadlines(self, workload):
+        taskset = workload.prioritized()
+        result = simulate(taskset, LpfpsScheduler(),
+                          duration=self._horizon(taskset))
+        assert not result.missed
+        for name, stats in result.task_stats.items():
+            if stats.jobs_completed:
+                assert stats.worst_response <= taskset.task(name).deadline + 1e-6
+
+    def test_lpfps_slack_covers_return_ramp(self, workload):
+        """Why the heuristic is safe on all four applications: the static
+        slack exceeds the worst DVS transition delay by a wide margin."""
+        from repro.power.processor import ProcessorSpec
+
+        taskset = workload.prioritized()
+        slack = analyze(taskset).worst_slack()
+        worst_ramp = ProcessorSpec.arm8().worst_case_transition_delay
+        assert slack > 3 * worst_ramp

@@ -1,0 +1,84 @@
+"""Unit tests for the discrete frequency grid."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.power.frequency import FrequencyGrid
+
+
+class TestGridConstruction:
+    def test_paper_grid_levels(self):
+        grid = FrequencyGrid(f_max=100.0, f_min=8.0, step=1.0)
+        levels = grid.levels()
+        assert levels[0] == 8.0
+        assert levels[-1] == 100.0
+        assert len(levels) == 93
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyGrid(f_max=0.0)
+        with pytest.raises(ConfigurationError):
+            FrequencyGrid(f_min=0.0)
+        with pytest.raises(ConfigurationError):
+            FrequencyGrid(f_min=200.0, f_max=100.0)
+        with pytest.raises(ConfigurationError):
+            FrequencyGrid(step=-1.0)
+
+    def test_continuous_grid_has_no_levels(self):
+        grid = FrequencyGrid(step=None)
+        assert grid.continuous
+        with pytest.raises(ConfigurationError):
+            grid.levels()
+
+    def test_step_not_dividing_range(self):
+        grid = FrequencyGrid(f_max=100.0, f_min=10.0, step=7.0)
+        levels = grid.levels()
+        assert levels[0] == 10.0
+        assert levels[-1] == 100.0
+
+
+class TestQuantizeUp:
+    def test_rounds_up_to_next_level(self):
+        grid = FrequencyGrid(f_max=100.0, f_min=8.0, step=1.0)
+        assert grid.quantize_up(36.2) == 37.0
+        assert grid.quantize_up(37.0) == 37.0
+
+    def test_clamps_to_range(self):
+        grid = FrequencyGrid(f_max=100.0, f_min=8.0, step=1.0)
+        assert grid.quantize_up(3.0) == 8.0
+        assert grid.quantize_up(150.0) == 100.0
+
+    def test_continuous_passthrough(self):
+        grid = FrequencyGrid(f_max=100.0, f_min=8.0, step=None)
+        assert grid.quantize_up(36.2) == 36.2
+
+    def test_speed_for_ratio_example2(self):
+        """Example 2's ratio 0.5 lands exactly on the 50 MHz level."""
+        grid = FrequencyGrid(f_max=100.0, f_min=8.0, step=1.0)
+        assert grid.speed_for_ratio(0.5) == pytest.approx(0.5)
+
+    def test_speed_for_ratio_rounds_up(self):
+        grid = FrequencyGrid(f_max=100.0, f_min=8.0, step=1.0)
+        assert grid.speed_for_ratio(0.333) == pytest.approx(0.34)
+
+    def test_speed_for_ratio_rejects_nonpositive(self):
+        grid = FrequencyGrid()
+        with pytest.raises(ConfigurationError):
+            grid.speed_for_ratio(0.0)
+
+    def test_min_speed(self):
+        assert FrequencyGrid(f_max=100.0, f_min=8.0).min_speed == pytest.approx(0.08)
+
+    @given(freq=st.floats(0.1, 200.0), step=st.sampled_from([0.5, 1.0, 2.5, 10.0]))
+    @settings(max_examples=150, deadline=None)
+    def test_property_quantize_up_never_below_request(self, freq, step):
+        """Rounding up preserves deadlines: quantised >= requested
+        (within the supported range)."""
+        grid = FrequencyGrid(f_max=100.0, f_min=8.0, step=step)
+        q = grid.quantize_up(freq)
+        assert 8.0 <= q <= 100.0
+        if 8.0 <= freq <= 100.0:
+            assert q >= freq - 1e-9
+            assert q - freq <= step + 1e-9

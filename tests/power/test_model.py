@@ -1,0 +1,78 @@
+"""Unit tests for the normalised power model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.model import PowerModel
+from repro.power.voltage import LinearVoltage
+
+
+class TestInstantaneousPowers:
+    def test_defaults_match_paper(self):
+        model = PowerModel()
+        assert model.idle_power() == pytest.approx(0.20)
+        assert model.sleep_power() == pytest.approx(0.05)
+        assert model.active_power(1.0) == pytest.approx(1.0)
+
+    def test_idle_scales_with_speed(self):
+        model = PowerModel()
+        assert model.idle_power(0.5) == pytest.approx(
+            0.2 * model.active_power(0.5)
+        )
+
+    def test_invalid_ratios(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(sleep_ratio=1.5)
+        with pytest.raises(ConfigurationError):
+            PowerModel(idle_ratio=-0.1)
+
+
+class TestEnergies:
+    def test_active_energy_linear_in_time(self):
+        model = PowerModel()
+        assert model.active_energy(1.0, 50.0) == pytest.approx(50.0)
+        assert model.active_energy(1.0, 100.0) == pytest.approx(
+            2 * model.active_energy(1.0, 50.0)
+        )
+
+    def test_sleep_and_idle_energy(self):
+        model = PowerModel()
+        assert model.sleep_energy(100.0) == pytest.approx(5.0)
+        assert model.idle_energy(100.0) == pytest.approx(20.0)
+
+    def test_negative_duration_rejected(self):
+        model = PowerModel()
+        with pytest.raises(ConfigurationError):
+            model.active_energy(1.0, -1.0)
+        with pytest.raises(ConfigurationError):
+            model.ramp_energy(0.5, 1.0, -1.0)
+
+
+class TestRampEnergy:
+    def test_zero_duration_zero_energy(self):
+        assert PowerModel().ramp_energy(0.5, 1.0, 0.0) == 0.0
+
+    def test_flat_ramp_equals_active(self):
+        model = PowerModel()
+        assert model.ramp_energy(0.7, 0.7, 10.0) == pytest.approx(
+            model.active_energy(0.7, 10.0), rel=1e-9
+        )
+
+    def test_simpson_exact_for_cubic(self):
+        """With V ~ f the power is s^3: Simpson integrates cubics exactly.
+        A 0->1 ramp over T has energy T/4."""
+        model = PowerModel(voltage=LinearVoltage())
+        assert model.ramp_energy(0.0, 1.0, 12.0) == pytest.approx(3.0, rel=1e-12)
+
+    def test_between_endpoint_bounds(self):
+        model = PowerModel()
+        lo = model.active_power(0.3) * 10.0
+        hi = model.active_power(0.9) * 10.0
+        e = model.ramp_energy(0.3, 0.9, 10.0)
+        assert lo < e < hi
+
+    def test_direction_symmetry(self):
+        model = PowerModel()
+        up = model.ramp_energy(0.3, 0.9, 10.0)
+        down = model.ramp_energy(0.9, 0.3, 10.0)
+        assert up == pytest.approx(down, rel=1e-12)

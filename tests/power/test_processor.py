@@ -1,0 +1,64 @@
+"""Unit tests for the complete processor specification."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.processor import ProcessorSpec
+
+
+class TestArm8Factory:
+    def test_paper_parameters(self):
+        spec = ProcessorSpec.arm8()
+        assert spec.f_max == 100.0
+        assert spec.grid.f_min == 8.0
+        assert spec.grid.step == 1.0
+        assert spec.power.idle_ratio == pytest.approx(0.20)
+        assert spec.power.sleep_ratio == pytest.approx(0.05)
+        assert spec.transition.rho == pytest.approx(0.07)
+        assert spec.wakeup_cycles == 10.0
+        assert spec.power.voltage.v_max == pytest.approx(3.3)
+
+    def test_wakeup_delay_is_tenth_of_microsecond(self):
+        """10 cycles at 100 MHz."""
+        assert ProcessorSpec.arm8().wakeup_delay == pytest.approx(0.1)
+
+    def test_worst_case_transition_about_13us(self):
+        # 8 MHz -> 100 MHz at 0.07/us.
+        spec = ProcessorSpec.arm8()
+        assert spec.worst_case_transition_delay == pytest.approx(0.92 / 0.07)
+
+    def test_quantized_speed_rounds_up(self):
+        spec = ProcessorSpec.arm8()
+        assert spec.quantized_speed(0.333) == pytest.approx(0.34)
+        assert spec.quantized_speed(0.5) == pytest.approx(0.5)
+        assert spec.quantized_speed(0.001) == pytest.approx(0.08)
+
+    def test_voltage_and_frequency_lookup(self):
+        spec = ProcessorSpec.arm8()
+        assert spec.frequency_at(0.5) == pytest.approx(50.0)
+        assert 0.5 < spec.voltage_at(0.5) < 3.3
+
+
+class TestIdealFactory:
+    def test_free_everything(self):
+        spec = ProcessorSpec.ideal()
+        assert spec.wakeup_delay == 0.0
+        assert spec.transition.instantaneous
+        assert spec.power.sleep_ratio == 0.0
+        assert spec.grid.continuous
+
+
+class TestModifiers:
+    def test_with_grid_step(self):
+        spec = ProcessorSpec.arm8().with_grid_step(10.0)
+        assert spec.grid.step == 10.0
+        assert spec.grid.f_max == 100.0  # everything else untouched
+
+    def test_with_rho(self):
+        spec = ProcessorSpec.arm8().with_rho(None)
+        assert spec.transition.instantaneous
+        assert spec.grid.step == 1.0
+
+    def test_negative_wakeup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessorSpec(wakeup_cycles=-1.0)

@@ -1,0 +1,61 @@
+"""Unit tests for the DVS transition (ramp) model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.transitions import INSTANT, TransitionModel
+
+
+class TestDuration:
+    def test_paper_example(self):
+        """30 -> 100 MHz in 10 us gives rho = 0.07/us (paper section 3.3)."""
+        model = TransitionModel(rho=0.07)
+        assert model.duration(0.3, 1.0) == pytest.approx(10.0)
+
+    def test_symmetric(self):
+        model = TransitionModel(rho=0.07)
+        assert model.duration(1.0, 0.3) == pytest.approx(10.0)
+
+    def test_worst_case_delay(self):
+        model = TransitionModel(rho=0.07)
+        assert model.worst_case_delay(0.08) == pytest.approx(0.92 / 0.07)
+
+    def test_instantaneous(self):
+        assert INSTANT.duration(0.1, 1.0) == 0.0
+        assert INSTANT.instantaneous
+
+    def test_invalid_rho(self):
+        with pytest.raises(ConfigurationError):
+            TransitionModel(rho=0.0)
+        with pytest.raises(ConfigurationError):
+            TransitionModel(rho=-1.0)
+
+
+class TestWorkDuring:
+    def test_trapezoid(self):
+        model = TransitionModel(rho=0.07)
+        # 0.3 -> 1.0 over 10 us: mean speed 0.65 -> 6.5 work units.
+        assert model.work_during(0.3, 1.0) == pytest.approx(6.5)
+
+    def test_stalled_processor_does_no_work(self):
+        model = TransitionModel(rho=0.07, executes_during_change=False)
+        assert model.work_during(0.3, 1.0) == 0.0
+
+    def test_instant_no_ramp_work(self):
+        assert INSTANT.work_during(0.3, 1.0) == 0.0
+
+
+class TestSpeedAt:
+    def test_linear_interpolation(self):
+        model = TransitionModel(rho=0.07)
+        assert model.speed_at(0.3, 1.0, 0.0) == pytest.approx(0.3)
+        assert model.speed_at(0.3, 1.0, 5.0) == pytest.approx(0.65)
+        assert model.speed_at(0.3, 1.0, 10.0) == pytest.approx(1.0)
+
+    def test_clamps_beyond_ramp(self):
+        model = TransitionModel(rho=0.07)
+        assert model.speed_at(0.3, 1.0, 99.0) == 1.0
+        assert model.speed_at(0.3, 1.0, -1.0) == 0.3
+
+    def test_instant_jumps_to_target(self):
+        assert INSTANT.speed_at(0.3, 1.0, 0.0) == 1.0

@@ -1,0 +1,107 @@
+"""Unit and property tests for voltage/frequency models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.power.voltage import AlphaPowerLawVoltage, FixedVoltage, LinearVoltage
+
+
+class TestAlphaPowerLaw:
+    def test_full_speed_point(self):
+        model = AlphaPowerLawVoltage(v_max=3.3, v_threshold=0.5)
+        assert model.voltage_for_speed(1.0) == pytest.approx(3.3)
+        assert model.power_ratio(1.0) == pytest.approx(1.0)
+        assert model.speed_ratio(3.3) == pytest.approx(1.0)
+
+    def test_roundtrip_voltage_speed(self):
+        model = AlphaPowerLawVoltage()
+        for speed in (0.05, 0.1, 0.25, 0.5, 0.9, 1.0):
+            v = model.voltage_for_speed(speed)
+            assert model.speed_ratio(v) == pytest.approx(speed, rel=1e-9)
+
+    def test_power_better_than_linear_frequency_scaling(self):
+        """Voltage drops with frequency, so P(s) < s (the DVS argument)."""
+        model = AlphaPowerLawVoltage()
+        for speed in (0.1, 0.3, 0.5, 0.8):
+            assert model.power_ratio(speed) < speed
+
+    def test_power_worse_than_ideal_cubic(self):
+        """A non-zero threshold keeps the voltage above the ideal V ~ f."""
+        model = AlphaPowerLawVoltage(v_threshold=0.8)
+        ideal = LinearVoltage()
+        for speed in (0.1, 0.3, 0.5, 0.8):
+            assert model.power_ratio(speed) > ideal.power_ratio(speed)
+
+    def test_below_threshold_speed_zero(self):
+        model = AlphaPowerLawVoltage(v_threshold=0.8)
+        assert model.speed_ratio(0.5) == 0.0
+
+    def test_generic_alpha_bisection_matches_closed_form_at_two(self):
+        closed = AlphaPowerLawVoltage(alpha=2.0)
+        # alpha=2.0000001 forces the bisection path; results must agree.
+        bisected = AlphaPowerLawVoltage(alpha=2.0000001)
+        for speed in (0.1, 0.5, 0.9):
+            assert bisected.voltage_for_speed(speed) == pytest.approx(
+                closed.voltage_for_speed(speed), rel=1e-5
+            )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            AlphaPowerLawVoltage(v_max=0.0)
+        with pytest.raises(ConfigurationError):
+            AlphaPowerLawVoltage(v_threshold=4.0, v_max=3.3)
+        with pytest.raises(ConfigurationError):
+            AlphaPowerLawVoltage(alpha=0.0)
+
+    def test_speed_out_of_domain(self):
+        model = AlphaPowerLawVoltage()
+        with pytest.raises(ConfigurationError):
+            model.voltage_for_speed(0.0)
+        with pytest.raises(ConfigurationError):
+            model.voltage_for_speed(1.5)
+
+    @given(speed=st.floats(0.01, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_property_power_monotone_and_bounded(self, speed):
+        model = AlphaPowerLawVoltage()
+        p = model.power_ratio(speed)
+        assert 0.0 < p <= 1.0 + 1e-12
+        # Monotonicity against a slightly higher speed.
+        if speed <= 0.99:
+            assert model.power_ratio(speed + 0.01) >= p - 1e-12
+
+    @given(speed=st.floats(0.01, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_property_voltage_between_threshold_and_vmax(self, speed):
+        model = AlphaPowerLawVoltage(v_threshold=0.6)
+        v = model.voltage_for_speed(speed)
+        assert 0.6 < v <= 3.3 + 1e-9
+
+
+class TestLinearVoltage:
+    def test_cubic_power(self):
+        model = LinearVoltage()
+        assert model.power_ratio(0.5) == pytest.approx(0.125)
+        assert model.power_ratio(1.0) == pytest.approx(1.0)
+
+    def test_voltage_linear(self):
+        assert LinearVoltage(v_max=2.0).voltage_for_speed(0.5) == pytest.approx(1.0)
+
+
+class TestFixedVoltage:
+    def test_linear_power(self):
+        model = FixedVoltage()
+        assert model.power_ratio(0.5) == pytest.approx(0.5)
+
+    def test_voltage_constant(self):
+        assert FixedVoltage(v_max=3.3).voltage_for_speed(0.1) == 3.3
+
+    def test_energy_per_cycle_is_constant(self):
+        """Fixed-voltage slowdown saves power but not energy per work unit:
+        the reason DVS must scale voltage (paper section 1)."""
+        model = FixedVoltage()
+        # energy per work unit = P(s)/s = 1 for all s.
+        for s in (0.2, 0.5, 1.0):
+            assert model.power_ratio(s) / s == pytest.approx(1.0)

@@ -1,0 +1,97 @@
+"""Tests for the PAST interval-prediction scheduler and engine ticks."""
+
+import pytest
+
+from repro.core.lpfps import LpfpsScheduler
+from repro.errors import ConfigurationError
+from repro.schedulers.fps import FpsScheduler
+from repro.schedulers.interval import PastScheduler
+from repro.sim.engine import simulate
+from repro.tasks.generation import BimodalModel, GaussianModel
+from repro.tasks.task import Task, TaskSet
+from repro.workloads.example_dac99 import example_taskset
+from repro.workloads.registry import get_workload
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            PastScheduler(interval=0.0)
+        with pytest.raises(ConfigurationError):
+            PastScheduler(raise_threshold=0.4, lower_threshold=0.6)
+        with pytest.raises(ConfigurationError):
+            PastScheduler(step=0.0)
+
+    def test_tick_interval_exposed(self):
+        assert PastScheduler(interval=7_000.0).tick_interval == 7_000.0
+
+
+class TestEngineTicks:
+    def test_invalid_tick_rejected(self):
+        class BadTick(FpsScheduler):
+            tick_interval = -1.0
+
+        from repro.sim.engine import Simulator
+
+        with pytest.raises(ConfigurationError):
+            Simulator(example_taskset(), BadTick())
+
+    def test_ticks_fire_periodically(self):
+        from repro.sim.dispatch import Scheduler, fixed_priority_dispatch
+        from repro.sim.events import Decision, SchedEvent
+
+        ticks = []
+
+        class TickProbe(Scheduler):
+            name = "tick-probe"
+            tick_interval = 50.0
+
+            def schedule(self, kernel, event):
+                if event is SchedEvent.TICK:
+                    ticks.append(kernel.now)
+                return Decision(run=fixed_priority_dispatch(kernel))
+
+        ts = TaskSet([Task(name="a", wcet=10.0, period=100.0, priority=0)])
+        simulate(ts, TickProbe(), duration=400.0)
+        assert ticks == [50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 350.0]
+
+
+class TestPastBehaviour:
+    def test_slows_under_light_steady_load(self):
+        ts = TaskSet([Task(name="a", wcet=10.0, period=100.0, priority=0,
+                           bcet=10.0)])
+        result = simulate(ts, PastScheduler(interval=200.0),
+                          duration=20_000.0, record_trace=True,
+                          on_miss="record")
+        speeds = [s.speed_end for s in result.trace.segments if s.state == "run"]
+        assert min(speeds) < 0.5  # converges well below full speed
+
+    def test_saves_power_vs_fps_on_steady_load(self):
+        ts = get_workload("cnc").prioritized().with_bcet_ratio(0.5)
+        past = simulate(ts, PastScheduler(), execution_model=GaussianModel(),
+                        duration=500_000.0, seed=1, on_miss="record")
+        fps = simulate(ts, FpsScheduler(), execution_model=GaussianModel(),
+                       duration=500_000.0, seed=1)
+        assert past.average_power < fps.average_power
+
+    def test_misses_deadlines_on_bursty_demand(self):
+        """The section 2.2 disqualification: prediction failure costs a
+        hard deadline, which LPFPS never does on the same job stream."""
+        ts = get_workload("ins").prioritized().with_bcet_ratio(0.1)
+        model = BimodalModel(p_short=0.9)
+        past = simulate(ts, PastScheduler(), execution_model=model,
+                        duration=5_000_000.0, seed=1, on_miss="record")
+        lpfps = simulate(ts, LpfpsScheduler(), execution_model=model,
+                         duration=5_000_000.0, seed=1, on_miss="record")
+        assert past.missed
+        assert not lpfps.missed
+
+    def test_recovers_speed_after_burst(self):
+        ts = get_workload("ins").prioritized().with_bcet_ratio(0.1)
+        result = simulate(ts, PastScheduler(),
+                          execution_model=BimodalModel(p_short=0.9),
+                          duration=1_000_000.0, seed=1, on_miss="record",
+                          record_trace=True)
+        speeds = [s.speed_end for s in result.trace.segments if s.state == "run"]
+        assert max(speeds) > 0.9  # bursts push it back up
+        assert min(speeds) < 0.3  # quiet stretches pull it down

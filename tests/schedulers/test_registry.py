@@ -1,0 +1,35 @@
+"""Tests for the scheduler registry."""
+
+import pytest
+
+from repro.core.lpfps import LpfpsScheduler
+from repro.errors import ConfigurationError
+from repro.schedulers.registry import available_schedulers, make_scheduler
+from repro.sim.dispatch import Scheduler
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in available_schedulers():
+            scheduler = make_scheduler(name)
+            assert isinstance(scheduler, Scheduler)
+
+    def test_known_names_present(self):
+        names = available_schedulers()
+        for expected in ("fps", "lpfps", "lpfps-opt", "edf", "avr", "static-fps"):
+            assert expected in names
+
+    def test_case_insensitive(self):
+        assert isinstance(make_scheduler("LPFPS"), LpfpsScheduler)
+
+    def test_variant_configuration(self):
+        assert make_scheduler("lpfps-opt").speed_policy == "optimal"
+        assert make_scheduler("lpfps-nodvs").use_dvs is False
+        assert make_scheduler("lpfps-nopd").use_powerdown is False
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler("round-robin")
+
+    def test_fresh_instance_per_call(self):
+        assert make_scheduler("lpfps") is not make_scheduler("lpfps")

@@ -1,0 +1,58 @@
+"""Behavioural tests for the static-DVS FPS baseline."""
+
+import pytest
+
+from repro.schedulers.fps import FpsScheduler
+from repro.schedulers.static_dvs import StaticDvsFps
+from repro.sim.engine import Simulator, simulate
+from repro.tasks.priority import rate_monotonic
+from repro.tasks.task import Task, TaskSet
+from repro.workloads.example_dac99 import example_taskset
+from repro.workloads.flight_control import flight_control_taskset
+
+
+class TestStaticSpeedSelection:
+    def test_zero_slack_set_stays_at_full_speed(self):
+        """Table 1's breakdown factor is 1.0: no static slowdown exists."""
+        sim = Simulator(example_taskset(), StaticDvsFps())
+        sim.scheduler.setup(sim)
+        assert sim.scheduler.static_speed == pytest.approx(1.0)
+
+    def test_harmonic_set_slows_to_utilization(self):
+        ts = rate_monotonic(flight_control_taskset())
+        sim = Simulator(ts, StaticDvsFps(margin=1.0))
+        sim.scheduler.setup(sim)
+        # Harmonic: breakdown factor = 1/U -> static speed ~ U = 0.881.
+        assert sim.scheduler.static_speed == pytest.approx(0.89, abs=0.01)
+
+    def test_margin_raises_speed(self):
+        ts = rate_monotonic(flight_control_taskset())
+        tight = Simulator(ts, StaticDvsFps(margin=1.0))
+        tight.scheduler.setup(tight)
+        padded = Simulator(ts, StaticDvsFps(margin=1.05))
+        padded.scheduler.setup(padded)
+        assert padded.scheduler.static_speed >= tight.scheduler.static_speed
+
+
+class TestStaticDvsRuns:
+    def test_meets_deadlines_on_workloads(self):
+        ts = rate_monotonic(flight_control_taskset())
+        result = simulate(ts, StaticDvsFps(), duration=640_000.0)
+        assert not result.missed
+
+    def test_saves_power_vs_fps_when_slack_exists(self):
+        ts = rate_monotonic(TaskSet([
+            Task(name="a", wcet=10.0, period=100.0),
+            Task(name="b", wcet=20.0, period=200.0),
+        ]))
+        static = simulate(ts, StaticDvsFps(), duration=10_000.0)
+        fps = simulate(ts, FpsScheduler(), duration=10_000.0)
+        assert not static.missed
+        assert static.average_power < fps.average_power
+
+    def test_no_powerdown_variant(self):
+        ts = rate_monotonic(flight_control_taskset())
+        result = simulate(
+            ts, StaticDvsFps(use_powerdown=False), duration=640_000.0
+        )
+        assert result.sleep_entries == 0

@@ -1,0 +1,136 @@
+"""Tests for the YDS offline-optimal algorithm and oracle scheduler."""
+
+import pytest
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.power.processor import ProcessorSpec
+from repro.schedulers.yds import (
+    YdsJob,
+    YdsOracleScheduler,
+    jobs_over_hyperperiod,
+    profile_for_taskset,
+    yds_profile,
+)
+from repro.sim.engine import simulate
+from repro.tasks.priority import rate_monotonic
+from repro.tasks.task import Task, TaskSet
+from repro.workloads.cnc import cnc_taskset
+from repro.workloads.example_dac99 import example_taskset
+from repro.workloads.flight_control import flight_control_taskset
+
+
+class TestCriticalIntervals:
+    def test_single_job(self):
+        profile = yds_profile([YdsJob("j", 0.0, 10.0, 5.0)])
+        assert len(profile.intervals) == 1
+        assert profile.intervals[0].speed == pytest.approx(0.5)
+        assert profile.speed_of["j"] == pytest.approx(0.5)
+
+    def test_textbook_two_jobs(self):
+        """A dense job forces a fast interval; the loose one absorbs the rest."""
+        jobs = [
+            YdsJob("dense", 0.0, 10.0, 8.0),
+            YdsJob("loose", 0.0, 100.0, 10.0),
+        ]
+        profile = yds_profile(jobs)
+        assert profile.speed_of["dense"] == pytest.approx(0.8)
+        # After compressing [0, 10], 'loose' has 90 us for 10 units.
+        assert profile.speed_of["loose"] == pytest.approx(10.0 / 90.0)
+
+    def test_nested_jobs_share_critical_interval(self):
+        jobs = [
+            YdsJob("a", 0.0, 20.0, 8.0),
+            YdsJob("b", 5.0, 15.0, 4.0),
+        ]
+        profile = yds_profile(jobs)
+        # Candidate [0,20] has intensity 12/20 = 0.6; [5,15] has 0.4.
+        assert profile.speed_of["a"] == pytest.approx(0.6)
+        assert profile.speed_of["b"] == pytest.approx(0.6)
+
+    def test_intensities_nonincreasing(self):
+        """YDS removes the *most* intense interval first."""
+        profile = profile_for_taskset(example_taskset())
+        speeds = [i.speed for i in profile.intervals]
+        assert speeds == sorted(speeds, reverse=True)
+
+    def test_feasible_set_peak_at_most_one(self):
+        for ts in (example_taskset(), rate_monotonic(cnc_taskset()),
+                   rate_monotonic(flight_control_taskset())):
+            assert profile_for_taskset(ts).max_speed <= 1.0 + 1e-9
+
+    def test_every_job_assigned(self):
+        ts = example_taskset()
+        profile = profile_for_taskset(ts)
+        assert len(profile.speed_of) == 17  # hyperperiod job count
+
+    def test_job_guard(self):
+        jobs = [YdsJob(f"j{i}", 0.0, 1000.0, 0.1) for i in range(601)]
+        with pytest.raises(AnalysisError):
+            yds_profile(jobs)
+
+    def test_energy_lower_bound_below_constant_full_speed(self):
+        ts = example_taskset()
+        profile = profile_for_taskset(ts)
+        spec = ProcessorSpec.arm8()
+        bound = profile.energy_lower_bound(spec.power, ts.hyperperiod)
+        # Running the same work at full speed costs sum(C_i * jobs).
+        full_speed_busy = 0.85 * ts.hyperperiod
+        assert bound < full_speed_busy
+
+
+class TestJobsExpansion:
+    def test_counts_and_deadlines(self):
+        jobs = jobs_over_hyperperiod(example_taskset())
+        assert len(jobs) == 17
+        tau1_jobs = [j for j in jobs if j.name.startswith("tau1")]
+        assert [j.release for j in tau1_jobs] == [
+            0.0, 50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 350.0
+        ]
+        assert all(j.deadline == j.release + 50.0 for j in tau1_jobs)
+
+
+class TestOracleScheduler:
+    def test_meets_deadlines_at_wcet(self):
+        ts = rate_monotonic(flight_control_taskset())
+        result = simulate(ts, YdsOracleScheduler(), duration=ts.hyperperiod,
+                          on_miss="record")
+        assert not result.missed
+
+    def test_beats_fps_and_avr_at_wcet(self):
+        from repro.schedulers.edf import AvrScheduler
+        from repro.schedulers.fps import FpsScheduler
+
+        ts = rate_monotonic(cnc_taskset())
+        duration = 10 * ts.hyperperiod
+        yds = simulate(ts, YdsOracleScheduler(), duration=duration,
+                       on_miss="record")
+        fps = simulate(ts, FpsScheduler(), duration=duration)
+        assert not yds.missed
+        assert yds.average_power < fps.average_power
+
+    def test_matches_analytic_bound_on_ideal_processor(self):
+        """At WCET demands on an ideal processor, the oracle's measured
+        power approaches the analytic YDS lower bound."""
+        ts = rate_monotonic(cnc_taskset())
+        profile = profile_for_taskset(ts)
+        spec = ProcessorSpec.ideal()
+        bound = profile.energy_lower_bound(spec.power, ts.hyperperiod)
+        result = simulate(ts, YdsOracleScheduler(), spec=spec,
+                          duration=ts.hyperperiod, on_miss="record")
+        assert not result.missed
+        assert result.energy.total == pytest.approx(bound, rel=0.02)
+        assert result.energy.total >= bound - 1e-6
+
+    def test_rejects_phased_tasksets(self):
+        ts = TaskSet([Task(name="a", wcet=1.0, period=10.0, phase=2.0,
+                           priority=0)])
+        with pytest.raises(ConfigurationError):
+            simulate(ts, YdsOracleScheduler(), duration=100.0)
+
+    def test_rejects_infeasible_sets(self):
+        ts = rate_monotonic(TaskSet([
+            Task(name="a", wcet=40.0, period=50.0),
+            Task(name="b", wcet=50.0, period=100.0, deadline=100.0),
+        ]))
+        with pytest.raises(ConfigurationError):
+            simulate(ts, YdsOracleScheduler(), duration=100.0, on_miss="record")

@@ -1,0 +1,78 @@
+"""Tests for the trace-based energy audit."""
+
+import pytest
+
+from repro.core.lpfps import LpfpsScheduler
+from repro.power.processor import ProcessorSpec
+from repro.schedulers.fps import FpsScheduler
+from repro.schedulers.powerdown import TimerPowerDownFps
+from repro.sim.audit import audit_energy, recompute_energy
+from repro.sim.engine import simulate
+from repro.sim.metrics import EnergyBreakdown
+from repro.tasks.generation import GaussianModel
+from repro.workloads.example_dac99 import example_taskset
+from repro.workloads.registry import get_workload
+
+
+def _audit(scheduler, spec=None, **kwargs):
+    spec = spec if spec is not None else ProcessorSpec.arm8()
+    result = simulate(
+        example_taskset(), scheduler, spec=spec, record_trace=True,
+        on_miss="record", **kwargs,
+    )
+    return audit_energy(result.trace, spec, result.energy, tolerance=1e-4)
+
+
+class TestAuditConsistency:
+    def test_fps(self):
+        audit = _audit(FpsScheduler(), duration=4_000.0)
+        assert audit.consistent, audit.summary()
+
+    def test_lpfps_with_ramps(self):
+        audit = _audit(LpfpsScheduler(), duration=4_000.0)
+        assert audit.consistent, audit.summary()
+
+    def test_lpfps_ideal(self):
+        audit = _audit(LpfpsScheduler(), spec=ProcessorSpec.ideal(),
+                       duration=4_000.0)
+        assert audit.consistent, audit.summary()
+
+    def test_powerdown_with_wakeups(self):
+        audit = _audit(TimerPowerDownFps(), duration=4_000.0)
+        assert audit.consistent, audit.summary()
+
+    def test_with_scheduler_overhead(self):
+        audit = _audit(FpsScheduler(), duration=4_000.0,
+                       scheduler_overhead=1.0)
+        assert audit.consistent, audit.summary()
+        assert audit.recomputed.scheduler > 0
+
+    def test_workload_run(self):
+        spec = ProcessorSpec.arm8()
+        ts = get_workload("cnc").prioritized().with_bcet_ratio(0.5)
+        result = simulate(ts, LpfpsScheduler(), spec=spec,
+                          execution_model=GaussianModel(),
+                          duration=200_000.0, seed=4, record_trace=True)
+        audit = audit_energy(result.trace, spec, result.energy, tolerance=1e-4)
+        assert audit.consistent, audit.summary()
+
+
+class TestAuditDetection:
+    def test_mismatch_detected(self):
+        spec = ProcessorSpec.arm8()
+        result = simulate(example_taskset(), FpsScheduler(), spec=spec,
+                          duration=400.0, record_trace=True)
+        corrupted = EnergyBreakdown(active=result.energy.active * 2)
+        audit = audit_energy(result.trace, spec, corrupted)
+        assert not audit.consistent
+        assert "MISMATCH" in audit.summary()
+
+    def test_recompute_breakdown_categories(self):
+        spec = ProcessorSpec.arm8()
+        result = simulate(example_taskset(), LpfpsScheduler(), spec=spec,
+                          duration=400.0, record_trace=True,
+                          on_miss="record")
+        recomputed = recompute_energy(result.trace, spec)
+        assert recomputed.active > 0
+        assert recomputed.ramp > 0  # LPFPS slowed tau2 at t=160
+        assert recomputed.sleep == pytest.approx(result.energy.sleep, rel=1e-6)

@@ -1,0 +1,145 @@
+"""Engine behaviour for speed scaling: ramps, work integration, energy."""
+
+import pytest
+
+from repro.power.frequency import FrequencyGrid
+from repro.power.model import PowerModel
+from repro.power.processor import ProcessorSpec
+from repro.power.transitions import TransitionModel
+from repro.sim.dispatch import Scheduler, fixed_priority_dispatch
+from repro.sim.engine import simulate
+from repro.sim.events import Decision
+from repro.tasks.task import Task, TaskSet
+
+
+class FixedSpeedFps(Scheduler):
+    """Test helper: FP dispatch at one constant speed ratio."""
+
+    name = "fixed-speed"
+
+    def __init__(self, speed: float):
+        self.speed = speed
+
+    def schedule(self, kernel, event):
+        active = fixed_priority_dispatch(kernel)
+        return Decision(run=active, speed_target=self.speed)
+
+
+def _one_task(wcet=10.0, period=100.0):
+    return TaskSet([Task(name="t", wcet=wcet, period=period, priority=0)],
+                   name="one")
+
+
+def _spec(rho=None, executes=True):
+    return ProcessorSpec(
+        grid=FrequencyGrid(f_max=100.0, f_min=8.0, step=None),
+        power=PowerModel(),
+        transition=TransitionModel(rho=rho, executes_during_change=executes),
+        wakeup_cycles=0.0,
+    )
+
+
+class TestInstantSpeedChange:
+    def test_execution_stretches_by_inverse_speed(self):
+        result = simulate(
+            _one_task(), FixedSpeedFps(0.5), spec=_spec(),
+            duration=100.0, record_trace=True,
+        )
+        runs = [s for s in result.trace.segments if s.state == "run"]
+        assert runs[0].end == pytest.approx(20.0)
+
+    def test_active_energy_uses_reduced_power(self):
+        spec = _spec()
+        result = simulate(
+            _one_task(), FixedSpeedFps(0.5), spec=spec, duration=100.0
+        )
+        expected = spec.power.active_power(0.5) * 20.0
+        assert result.energy.active == pytest.approx(expected, rel=1e-9)
+
+    def test_energy_per_job_decreases_with_speed(self):
+        """The quadratic-voltage argument: slower is cheaper per job."""
+        spec = _spec()
+        powers = []
+        for speed in (1.0, 0.75, 0.5, 0.25):
+            r = simulate(_one_task(), FixedSpeedFps(speed), spec=spec,
+                         duration=100.0)
+            powers.append(r.energy.active)
+        assert powers == sorted(powers, reverse=True)
+
+
+class TestRampedSpeedChange:
+    def test_ramp_down_work_conservation(self):
+        """With rho=0.07, 1.0 -> 0.5 takes 50/7 us doing (0.75)(50/7) work;
+        the 10-unit job finishes at ramp_end + remaining/0.5."""
+        spec = _spec(rho=0.07)
+        result = simulate(
+            _one_task(), FixedSpeedFps(0.5), spec=spec,
+            duration=100.0, record_trace=True,
+        )
+        ramp_duration = 0.5 / 0.07
+        ramp_work = 0.75 * ramp_duration
+        expected_end = ramp_duration + (10.0 - ramp_work) / 0.5
+        completion = result.trace.events_of_kind("completion")[0]
+        assert completion.time == pytest.approx(expected_end, rel=1e-9)
+
+    def test_ramp_energy_accounted_separately(self):
+        spec = _spec(rho=0.07)
+        result = simulate(
+            _one_task(), FixedSpeedFps(0.5), spec=spec, duration=100.0
+        )
+        assert result.energy.ramp > 0.0
+        ramp_duration = 0.5 / 0.07
+        lo = spec.power.active_power(0.5) * ramp_duration
+        hi = spec.power.active_power(1.0) * ramp_duration
+        assert lo < result.energy.ramp < hi
+
+    def test_stalled_transition_does_no_work(self):
+        """executes_during_change=False: the job waits out the ramp."""
+        spec = _spec(rho=0.07, executes=False)
+        result = simulate(
+            _one_task(), FixedSpeedFps(0.5), spec=spec,
+            duration=100.0, record_trace=True,
+        )
+        ramp_duration = 0.5 / 0.07
+        expected_end = ramp_duration + 10.0 / 0.5
+        completion = result.trace.events_of_kind("completion")[0]
+        assert completion.time == pytest.approx(expected_end, rel=1e-9)
+
+    def test_job_completing_inside_ramp(self):
+        """A short job ends mid-ramp; the quadratic solver must place it."""
+        spec = _spec(rho=0.07)
+        result = simulate(
+            _one_task(wcet=2.0), FixedSpeedFps(0.5), spec=spec,
+            duration=100.0, record_trace=True,
+        )
+        completion = result.trace.events_of_kind("completion")[0]
+        # Solve 1.0*x - 0.07*x^2/2 = 2.0 -> x = (1 - sqrt(0.72))/0.07.
+        assert completion.time == pytest.approx(2.16388, abs=1e-4)
+
+    def test_speed_changes_counted(self):
+        result = simulate(
+            _one_task(), FixedSpeedFps(0.5), spec=_spec(rho=0.07), duration=300.0
+        )
+        assert result.speed_changes >= 1
+
+
+class TestWorkConservation:
+    @pytest.mark.parametrize("speed", [1.0, 0.66, 0.5, 0.31])
+    def test_all_demand_executed(self, speed):
+        """Sum of executed work equals jobs x WCET regardless of speed."""
+        result = simulate(
+            _one_task(), FixedSpeedFps(speed), spec=_spec(rho=0.07),
+            duration=1000.0,
+        )
+        assert result.jobs_completed == 10
+        assert not result.missed
+
+    def test_quantized_grid_rounds_decision_up(self):
+        """A discrete grid never runs slower than requested."""
+        spec = ProcessorSpec(
+            grid=FrequencyGrid(f_max=100.0, f_min=8.0, step=10.0),
+            power=PowerModel(),
+            transition=TransitionModel(rho=None),
+            wakeup_cycles=0.0,
+        )
+        assert spec.quantized_speed(0.55) == pytest.approx(0.58)

@@ -1,0 +1,145 @@
+"""Engine behaviour under plain fixed-priority scheduling."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DeadlineMissError
+from repro.schedulers.fps import FpsScheduler
+from repro.sim.engine import Simulator, simulate
+from repro.tasks.generation import UniformModel
+from repro.tasks.priority import rate_monotonic
+from repro.tasks.task import Task, TaskSet
+from repro.workloads.example_dac99 import example_taskset
+
+
+class TestFigure2aSchedule:
+    """The exact Figure 2(a) timeline, every job at WCET."""
+
+    @pytest.fixture(autouse=True)
+    def _run(self):
+        self.result = simulate(
+            example_taskset(), FpsScheduler(), duration=400.0, record_trace=True
+        )
+
+    def test_run_segments(self):
+        expected = [
+            (0.0, 10.0, "tau1"), (10.0, 30.0, "tau2"), (30.0, 50.0, "tau3"),
+            (50.0, 60.0, "tau1"), (60.0, 80.0, "tau3"), (80.0, 100.0, "tau2"),
+            (100.0, 110.0, "tau1"), (110.0, 150.0, "tau3"),
+            (150.0, 160.0, "tau1"), (160.0, 180.0, "tau2"),
+        ]
+        runs = [
+            (s.start, s.end, s.task)
+            for s in self.result.trace.segments
+            if s.state == "run"
+        ][: len(expected)]
+        assert runs == expected
+
+    def test_idle_interval_180_200(self):
+        assert (180.0, 200.0) in self.result.trace.idle_intervals()
+
+    def test_preemption_of_tau3_at_50(self):
+        tau3 = self.result.trace.segments_for_task("tau3")
+        assert tau3[0].end == 50.0 and tau3[1].start == 60.0
+        assert self.result.preemptions >= 1
+
+    def test_no_misses(self):
+        assert not self.result.missed
+
+    def test_job_count_over_hyperperiod(self):
+        # 8 + 5 + 4 releases; the tau3 job finishing exactly at t=400 is
+        # still in flight when the horizon closes.
+        total = sum(s.jobs_released for s in self.result.task_stats.values())
+        assert total == 17
+
+
+class TestEnergyAccounting:
+    def test_fps_energy_closed_form(self):
+        """busy time at full power + idle time at 20%."""
+        result = simulate(example_taskset(), FpsScheduler(), duration=400.0)
+        busy = 2 * (8 * 10.0 + 5 * 20.0 + 4 * 40.0) / 2  # = 340 us of work
+        idle = 400.0 - busy
+        assert result.energy.active == pytest.approx(busy)
+        assert result.energy.idle == pytest.approx(0.2 * idle)
+        assert result.average_power == pytest.approx((busy + 0.2 * idle) / 400.0)
+
+    def test_energy_scales_with_duration(self):
+        r1 = simulate(example_taskset(), FpsScheduler(), duration=400.0)
+        r2 = simulate(example_taskset(), FpsScheduler(), duration=4000.0)
+        assert r2.average_power == pytest.approx(r1.average_power, rel=1e-9)
+
+
+class TestExecutionModels:
+    def test_same_seed_same_power(self):
+        ts = example_taskset().with_bcet_ratio(0.4)
+        a = simulate(ts, FpsScheduler(), execution_model=UniformModel(), seed=5)
+        b = simulate(ts, FpsScheduler(), execution_model=UniformModel(), seed=5)
+        assert a.average_power == b.average_power
+
+    def test_different_seed_different_power(self):
+        ts = example_taskset().with_bcet_ratio(0.4)
+        a = simulate(ts, FpsScheduler(), execution_model=UniformModel(), seed=5)
+        b = simulate(ts, FpsScheduler(), execution_model=UniformModel(), seed=6)
+        assert a.average_power != b.average_power
+
+    def test_shorter_executions_use_less_power(self):
+        full = simulate(example_taskset(), FpsScheduler())
+        varied = simulate(
+            example_taskset().with_bcet_ratio(0.2),
+            FpsScheduler(),
+            execution_model=UniformModel(),
+            seed=1,
+        )
+        assert varied.average_power < full.average_power
+
+
+class TestDeadlineHandling:
+    def _overloaded(self):
+        # U = 1.1: tau2 must eventually miss.
+        return rate_monotonic(TaskSet([
+            Task(name="t1", wcet=30.0, period=50.0),
+            Task(name="t2", wcet=50.0, period=100.0),
+        ]))
+
+    def test_raise_mode(self):
+        with pytest.raises(DeadlineMissError):
+            simulate(self._overloaded(), FpsScheduler(), duration=1000.0)
+
+    def test_record_mode(self):
+        result = simulate(
+            self._overloaded(), FpsScheduler(), duration=1000.0, on_miss="record"
+        )
+        assert result.missed
+        assert all(m.task_name == "t2" for m in result.deadline_misses)
+
+    def test_invalid_on_miss(self):
+        with pytest.raises(ConfigurationError):
+            Simulator(example_taskset(), FpsScheduler(), on_miss="explode")
+
+
+class TestEngineConfiguration:
+    def test_trace_disabled_by_default(self):
+        assert simulate(example_taskset(), FpsScheduler()).trace is None
+
+    def test_duration_defaults_to_hyperperiod(self):
+        result = simulate(example_taskset(), FpsScheduler())
+        assert result.duration == 400.0
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate(example_taskset(), FpsScheduler(), duration=0.0)
+
+    def test_missing_priorities_rejected(self):
+        ts = TaskSet([Task(name="a", wcet=1.0, period=10.0)])
+        from repro.errors import InvalidTaskSetError
+
+        with pytest.raises(InvalidTaskSetError):
+            simulate(ts, FpsScheduler())
+
+    def test_phase_offsets_respected(self):
+        ts = TaskSet([
+            Task(name="a", wcet=5.0, period=50.0, phase=20.0, priority=0),
+        ])
+        result = simulate(ts, FpsScheduler(), duration=100.0, record_trace=True)
+        runs = [s for s in result.trace.segments if s.state == "run"]
+        assert runs[0].start == 20.0
+        assert runs[1].start == 70.0

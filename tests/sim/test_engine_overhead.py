@@ -1,0 +1,70 @@
+"""Engine behaviour with modelled scheduler overhead."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.schedulers.fps import FpsScheduler
+from repro.sim.engine import Simulator, simulate
+from repro.tasks.task import Task, TaskSet
+from repro.workloads.example_dac99 import example_taskset
+
+
+def _one_task():
+    return TaskSet([Task(name="t", wcet=10.0, period=100.0, priority=0)])
+
+
+class TestOverheadAccounting:
+    def test_zero_overhead_is_default(self):
+        a = simulate(example_taskset(), FpsScheduler(), duration=400.0)
+        b = simulate(example_taskset(), FpsScheduler(), duration=400.0,
+                     scheduler_overhead=0.0)
+        assert a.energy.total == b.energy.total
+        assert a.energy.scheduler == 0.0
+
+    def test_overhead_energy_charged(self):
+        result = simulate(_one_task(), FpsScheduler(), duration=100.0,
+                          scheduler_overhead=1.0)
+        # Invocations: INIT at 0 and COMPLETION at 11 (job shifted by the
+        # INIT overhead) -> 2 us at full power.
+        assert result.energy.scheduler == pytest.approx(2.0)
+
+    def test_overhead_delays_execution(self):
+        result = simulate(_one_task(), FpsScheduler(), duration=100.0,
+                          scheduler_overhead=2.5, record_trace=True)
+        runs = [s for s in result.trace.segments if s.state == "run"]
+        assert runs[0].start == pytest.approx(2.5)
+        assert runs[0].end == pytest.approx(12.5)
+        scheds = [s for s in result.trace.segments if s.state == "sched"]
+        assert scheds and scheds[0].duration == pytest.approx(2.5)
+
+    def test_response_time_includes_overhead(self):
+        # The dispatching invocation's overhead delays the job by 1 us; the
+        # completion-side invocation runs after the job's completion stamp.
+        result = simulate(_one_task(), FpsScheduler(), duration=500.0,
+                          scheduler_overhead=1.0)
+        assert result.task_stats["t"].worst_response == pytest.approx(11.0)
+
+    def test_total_work_unchanged(self):
+        plain = simulate(_one_task(), FpsScheduler(), duration=500.0)
+        loaded = simulate(_one_task(), FpsScheduler(), duration=500.0,
+                          scheduler_overhead=1.0)
+        assert loaded.jobs_completed == plain.jobs_completed
+        assert loaded.energy.active == pytest.approx(plain.energy.active)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Simulator(_one_task(), FpsScheduler(), scheduler_overhead=-1.0)
+
+
+class TestOverheadBreaksTightSets:
+    def test_table1_misses_under_overhead(self):
+        """The zero-slack Table 1 set cannot absorb any scheduler cost —
+        the engine now shows what the RTA predicted (see test_rta.py)."""
+        result = simulate(example_taskset(), FpsScheduler(), duration=4000.0,
+                          scheduler_overhead=2.0, on_miss="record")
+        assert result.missed
+
+    def test_slack_absorbs_small_overhead(self):
+        result = simulate(_one_task(), FpsScheduler(), duration=2000.0,
+                          scheduler_overhead=2.0)
+        assert not result.missed

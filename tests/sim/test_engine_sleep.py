@@ -1,0 +1,125 @@
+"""Engine behaviour for power-down modes (timer, interrupt, threshold)."""
+
+import pytest
+
+from repro.power.frequency import FrequencyGrid
+from repro.power.model import PowerModel
+from repro.power.processor import ProcessorSpec
+from repro.power.transitions import TransitionModel
+from repro.schedulers.powerdown import ThresholdPowerDownFps, TimerPowerDownFps
+from repro.sim.engine import simulate
+from repro.tasks.task import Task, TaskSet
+
+
+def _one_task():
+    return TaskSet([Task(name="t", wcet=10.0, period=100.0, priority=0)],
+                   name="one")
+
+
+def _spec(wakeup_cycles=10.0):
+    return ProcessorSpec(
+        grid=FrequencyGrid(f_max=100.0, f_min=8.0, step=1.0),
+        power=PowerModel(),
+        transition=TransitionModel(rho=None),
+        wakeup_cycles=wakeup_cycles,
+    )
+
+
+class TestExactTimerPowerDown:
+    def test_timeline(self):
+        result = simulate(
+            _one_task(), TimerPowerDownFps(), spec=_spec(),
+            duration=200.0, record_trace=True,
+        )
+        states = [(s.start, s.end, s.state) for s in result.trace.segments]
+        assert states[0] == (0.0, 10.0, "run")
+        # Sleep from completion until (100 - 0.1), wake over 0.1 us.
+        assert states[1] == (10.0, pytest.approx(99.9), "sleep")
+        assert states[2] == (pytest.approx(99.9), pytest.approx(100.0), "wakeup")
+        assert states[3][2] == "run"
+        assert states[3][0] == pytest.approx(100.0)
+
+    def test_wakeup_timer_leads_release_by_wakeup_delay(self):
+        """Paper L14: timer = next release - wakeup delay, so the job
+        starts exactly on time."""
+        result = simulate(
+            _one_task(), TimerPowerDownFps(), spec=_spec(), duration=500.0
+        )
+        assert result.task_stats["t"].worst_response == pytest.approx(10.0)
+        assert not result.missed
+
+    def test_energy_closed_form(self):
+        result = simulate(
+            _one_task(), TimerPowerDownFps(), spec=_spec(), duration=200.0
+        )
+        expected = 2 * (10.0 * 1.0 + 89.9 * 0.05 + 0.1 * 1.0)
+        assert result.energy.total == pytest.approx(expected, rel=1e-9)
+        assert result.sleep_entries == 2
+
+    def test_zero_wakeup_delay(self):
+        result = simulate(
+            _one_task(), TimerPowerDownFps(), spec=_spec(wakeup_cycles=0.0),
+            duration=200.0, record_trace=True,
+        )
+        assert result.energy.wakeup == 0.0
+        assert result.task_stats["t"].worst_response == pytest.approx(10.0)
+
+
+class TestThresholdPowerDown:
+    def test_waits_threshold_before_sleeping(self):
+        result = simulate(
+            _one_task(), ThresholdPowerDownFps(threshold=30.0), spec=_spec(),
+            duration=200.0, record_trace=True,
+        )
+        states = [(s.start, s.end, s.state) for s in result.trace.segments]
+        assert states[0] == (0.0, 10.0, "run")
+        assert states[1] == (10.0, 40.0, "idle")       # busy-wait threshold
+        assert states[2] == (40.0, 100.0, "sleep")      # no timer -> interrupt
+        assert states[3][2] == "wakeup"                  # latency lands on job
+        assert states[3] == (100.0, pytest.approx(100.1), "wakeup")
+
+    def test_wakeup_latency_delays_job(self):
+        result = simulate(
+            _one_task(), ThresholdPowerDownFps(threshold=30.0), spec=_spec(),
+            duration=500.0,
+        )
+        assert result.task_stats["t"].worst_response == pytest.approx(10.1)
+
+    def test_threshold_longer_than_idle_never_sleeps(self):
+        result = simulate(
+            _one_task(), ThresholdPowerDownFps(threshold=1000.0), spec=_spec(),
+            duration=300.0,
+        )
+        assert result.sleep_entries == 0
+        assert result.energy.sleep == 0.0
+
+    def test_costs_more_than_exact_timer(self):
+        """Section 2.1's criticism of the conventional approach."""
+        naive = simulate(
+            _one_task(), ThresholdPowerDownFps(threshold=30.0), spec=_spec(),
+            duration=1000.0,
+        )
+        exact = simulate(
+            _one_task(), TimerPowerDownFps(), spec=_spec(), duration=1000.0
+        )
+        assert exact.average_power < naive.average_power
+
+    def test_invalid_threshold(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ThresholdPowerDownFps(threshold=-1.0)
+
+
+class TestSleepPreemptedByWork:
+    def test_pending_sleep_cancelled_by_release(self):
+        """A release during the threshold wait keeps the processor awake."""
+        ts = TaskSet([
+            Task(name="a", wcet=10.0, period=50.0, priority=0),
+        ])
+        result = simulate(
+            ts, ThresholdPowerDownFps(threshold=45.0), spec=_spec(),
+            duration=200.0, record_trace=True,
+        )
+        # Idle gap is 40 us < threshold 45: never sleeps.
+        assert result.sleep_entries == 0

@@ -1,0 +1,58 @@
+"""Unit tests for Decision/SleepRequest semantics."""
+
+import pytest
+
+from repro.sim.events import KEEP, NO_CHANGE, Decision, SleepRequest
+from repro.tasks.job import Job
+from repro.tasks.task import Task
+
+
+def _job():
+    task = Task(name="t", wcet=10.0, period=100.0, priority=1)
+    return Job(task, index=0, release_time=0.0, execution_time=10.0)
+
+
+class TestDecision:
+    def test_default_keeps_active(self):
+        assert Decision().keeps_active
+        assert NO_CHANGE.keeps_active
+
+    def test_explicit_idle_does_not_keep(self):
+        assert not Decision(run=None).keeps_active
+
+    def test_job_decision(self):
+        job = _job()
+        d = Decision(run=job)
+        assert d.run is job
+        assert not d.keeps_active
+
+    def test_sleep_with_job_rejected(self):
+        with pytest.raises(ValueError):
+            Decision(run=_job(), sleep=SleepRequest(until=100.0))
+
+    def test_sleep_with_idle_allowed(self):
+        d = Decision(run=None, sleep=SleepRequest(until=100.0))
+        assert d.sleep.until == 100.0
+
+    def test_sleep_with_keep_allowed(self):
+        # KEEP + sleep is legal: the engine validates no job is active.
+        Decision(sleep=SleepRequest(until=100.0))
+
+    def test_speed_target_bounds(self):
+        Decision(speed_target=0.5)
+        Decision(speed_target=1.0)
+        with pytest.raises(ValueError):
+            Decision(speed_target=0.0)
+        with pytest.raises(ValueError):
+            Decision(speed_target=1.5)
+
+
+class TestSleepRequest:
+    def test_defaults(self):
+        req = SleepRequest()
+        assert req.until is None
+        assert req.start_at is None
+
+    def test_threshold_style(self):
+        req = SleepRequest(until=None, start_at=150.0)
+        assert req.start_at == 150.0

@@ -1,0 +1,94 @@
+"""Unit tests for simulation metrics containers."""
+
+import pytest
+
+from repro.sim.metrics import (
+    EnergyBreakdown,
+    SimulationResult,
+    TaskStats,
+    merge_speed_residency,
+)
+from repro.tasks.job import Job
+from repro.tasks.task import Task
+
+
+def _result(energy=None, duration=100.0):
+    return SimulationResult(
+        scheduler="X",
+        taskset="ts",
+        duration=duration,
+        energy=energy or EnergyBreakdown(active=50.0, idle=10.0),
+        task_stats={},
+    )
+
+
+class TestEnergyBreakdown:
+    def test_total(self):
+        e = EnergyBreakdown(active=1.0, ramp=2.0, idle=3.0, sleep=4.0, wakeup=5.0)
+        assert e.total == 15.0
+
+    def test_add(self):
+        e = EnergyBreakdown()
+        e.add("active", 2.5)
+        e.add("active", 2.5)
+        e.add("sleep", 1.0)
+        assert e.active == 5.0 and e.sleep == 1.0
+
+    def test_as_dict_keys(self):
+        assert set(EnergyBreakdown().as_dict()) == {
+            "active", "ramp", "idle", "sleep", "wakeup", "scheduler"
+        }
+
+    def test_total_includes_scheduler_overhead(self):
+        e = EnergyBreakdown(active=1.0, scheduler=2.0)
+        assert e.total == 3.0
+
+
+class TestTaskStats:
+    def test_record_completion(self):
+        task = Task(name="t", wcet=10.0, period=100.0, priority=1)
+        stats = TaskStats("t")
+        for release, completion in [(0.0, 30.0), (100.0, 110.0)]:
+            job = Job(task, index=0, release_time=release, execution_time=10.0)
+            job.completion_time = completion
+            stats.record_completion(job)
+        assert stats.jobs_completed == 2
+        assert stats.worst_response == 30.0
+        assert stats.average_response == pytest.approx(20.0)
+
+    def test_average_with_no_jobs(self):
+        assert TaskStats("t").average_response == 0.0
+
+
+class TestSimulationResult:
+    def test_average_power(self):
+        assert _result().average_power == pytest.approx(0.6)
+
+    def test_zero_duration(self):
+        assert _result(duration=0.0).average_power == 0.0
+
+    def test_power_reduction(self):
+        lpfps = _result(EnergyBreakdown(active=30.0))
+        fps = _result(EnergyBreakdown(active=60.0))
+        assert lpfps.power_reduction_vs(fps) == pytest.approx(0.5)
+
+    def test_reduction_against_zero_baseline(self):
+        assert _result().power_reduction_vs(_result(EnergyBreakdown())) == 0.0
+
+    def test_summary_contains_key_numbers(self):
+        text = _result().summary()
+        assert "X on ts" in text
+        assert "0.6" in text
+
+
+class TestSpeedResidency:
+    def test_merge_buckets(self):
+        residency = {}
+        merge_speed_residency(residency, 0.501, 10.0)
+        merge_speed_residency(residency, 0.499, 5.0)
+        assert residency == {0.5: 15.0}
+
+    def test_zero_duration_ignored(self):
+        residency = {}
+        merge_speed_residency(residency, 0.5, 0.0)
+        assert residency == {}

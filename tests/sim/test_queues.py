@@ -1,0 +1,103 @@
+"""Unit tests for the run queue and delay queue."""
+
+import pytest
+
+from repro.sim.queues import DelayQueue, RunQueue, deadline_key, priority_key
+from repro.tasks.job import Job
+from repro.tasks.task import Task
+
+
+def _job(name="t", priority=1, release=0.0, period=100.0, index=0, wcet=10.0):
+    task = Task(name=name, wcet=wcet, period=period, priority=priority)
+    return Job(task, index=index, release_time=release, execution_time=wcet)
+
+
+class TestRunQueue:
+    def test_empty(self):
+        q = RunQueue()
+        assert q.empty
+        assert q.peek() is None
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_priority_ordering(self):
+        q = RunQueue()
+        q.push(_job("lo", priority=5))
+        q.push(_job("hi", priority=1))
+        q.push(_job("mid", priority=3))
+        assert [q.pop().task.name for _ in range(3)] == ["hi", "mid", "lo"]
+
+    def test_fifo_within_priority(self):
+        q = RunQueue()
+        first = _job("a", priority=2, index=0)
+        second = _job("a", priority=2, index=1)
+        q.push(first)
+        q.push(second)
+        assert q.pop() is first
+        assert q.pop() is second
+
+    def test_peek_does_not_remove(self):
+        q = RunQueue()
+        q.push(_job("a", priority=2))
+        assert q.peek() is not None
+        assert len(q) == 1
+
+    def test_deadline_key_for_edf(self):
+        q = RunQueue(key=deadline_key)
+        late = _job("late", priority=1, release=0.0, period=500.0)
+        soon = _job("soon", priority=9, release=0.0, period=50.0)
+        q.push(late)
+        q.push(soon)
+        assert q.pop() is soon  # earlier absolute deadline wins despite priority
+
+    def test_jobs_listing_sorted(self):
+        q = RunQueue()
+        q.push(_job("b", priority=2))
+        q.push(_job("a", priority=1))
+        assert [j.task.name for j in q.jobs()] == ["a", "b"]
+
+
+class TestDelayQueue:
+    def _task(self, name, priority, period=100.0):
+        return Task(name=name, wcet=10.0, period=period, priority=priority)
+
+    def test_next_release_time(self):
+        q = DelayQueue()
+        assert q.next_release_time() is None
+        q.push(self._task("a", 1), 50.0, 0)
+        q.push(self._task("b", 2), 30.0, 0)
+        assert q.next_release_time() == 30.0
+
+    def test_pop_due_ordering(self):
+        q = DelayQueue()
+        q.push(self._task("a", 1), 50.0, 0)
+        q.push(self._task("b", 2), 30.0, 1)
+        q.push(self._task("c", 3), 80.0, 2)
+        due = q.pop_due(50.0)
+        assert [(t.name, r, i) for t, r, i in due] == [("b", 30.0, 1), ("a", 50.0, 0)]
+        assert q.next_release_time() == 80.0
+
+    def test_pop_due_tolerance(self):
+        q = DelayQueue()
+        q.push(self._task("a", 1), 50.0, 0)
+        assert q.pop_due(50.0 - 1e-12)  # within engine tolerance
+
+    def test_simultaneous_releases_priority_order(self):
+        """Figure 3(a): at t=0 the run queue fills in priority order."""
+        q = DelayQueue()
+        q.push(self._task("tau3", 3), 0.0, 0)
+        q.push(self._task("tau1", 1), 0.0, 0)
+        q.push(self._task("tau2", 2), 0.0, 0)
+        names = [t.name for t, _, _ in q.pop_due(0.0)]
+        assert names == ["tau1", "tau2", "tau3"]
+
+    def test_entries_listing(self):
+        q = DelayQueue()
+        q.push(self._task("a", 1), 50.0, 0)
+        q.push(self._task("b", 2), 30.0, 0)
+        assert q.entries() == [(30.0, "b"), (50.0, "a")]
+
+    def test_unprioritised_tasks_allowed(self):
+        q = DelayQueue()
+        q.push(Task(name="x", wcet=1.0, period=10.0), 5.0, 0)
+        assert q.next_release_time() == 5.0

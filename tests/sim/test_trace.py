@@ -1,0 +1,70 @@
+"""Unit tests for trace recording and queries."""
+
+import pytest
+
+from repro.sim.trace import PointEvent, Segment, TraceRecorder
+
+
+def _seg(start, end, state="run", job="t#0", task="t", s0=1.0, s1=1.0):
+    return Segment(start=start, end=end, state=state, job=job, task=task,
+                   speed_start=s0, speed_end=s1)
+
+
+class TestSegmentMerging:
+    def test_contiguous_identical_segments_merge(self):
+        trace = TraceRecorder()
+        trace.record_segment(_seg(0.0, 10.0))
+        trace.record_segment(_seg(10.0, 20.0))
+        assert len(trace.segments) == 1
+        assert trace.segments[0].end == 20.0
+
+    def test_different_jobs_do_not_merge(self):
+        trace = TraceRecorder()
+        trace.record_segment(_seg(0.0, 10.0, job="a#0", task="a"))
+        trace.record_segment(_seg(10.0, 20.0, job="b#0", task="b"))
+        assert len(trace.segments) == 2
+
+    def test_ramping_segments_do_not_merge(self):
+        trace = TraceRecorder()
+        trace.record_segment(_seg(0.0, 10.0, s0=1.0, s1=0.5))
+        trace.record_segment(_seg(10.0, 20.0, s0=0.5, s1=0.5))
+        assert len(trace.segments) == 2
+
+    def test_zero_duration_dropped(self):
+        trace = TraceRecorder()
+        trace.record_segment(_seg(5.0, 5.0))
+        assert trace.segments == []
+
+
+class TestQueries:
+    def _trace(self):
+        trace = TraceRecorder()
+        trace.record_segment(_seg(0.0, 10.0, job="a#0", task="a"))
+        trace.record_segment(_seg(10.0, 20.0, state="idle", job=None, task=None))
+        trace.record_segment(_seg(20.0, 30.0, state="sleep", job=None, task=None))
+        trace.record_segment(_seg(30.0, 40.0, job="b#0", task="b"))
+        return trace
+
+    def test_segments_for_task(self):
+        segs = self._trace().segments_for_task("a")
+        assert len(segs) == 1 and segs[0].end == 10.0
+
+    def test_busy_intervals(self):
+        assert self._trace().busy_intervals() == [(0.0, 10.0), (30.0, 40.0)]
+
+    def test_idle_intervals_merge_idle_and_sleep(self):
+        assert self._trace().idle_intervals() == [(10.0, 30.0)]
+
+    def test_state_at(self):
+        trace = self._trace()
+        assert trace.state_at(5.0).task == "a"
+        assert trace.state_at(25.0).state == "sleep"
+        assert trace.state_at(99.0) is None
+
+    def test_events_of_kind(self):
+        trace = TraceRecorder()
+        trace.record_event(1.0, "release", "a#0")
+        trace.record_event(2.0, "completion", "a#0")
+        trace.record_event(3.0, "release", "b#0")
+        releases = trace.events_of_kind("release")
+        assert [e.detail for e in releases] == ["a#0", "b#0"]

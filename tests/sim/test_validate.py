@@ -1,0 +1,111 @@
+"""Tests for the trace invariant checker."""
+
+import pytest
+
+from repro.core.lpfps import LpfpsScheduler
+from repro.power.processor import ProcessorSpec
+from repro.schedulers.fps import FpsScheduler
+from repro.sim.engine import simulate
+from repro.sim.trace import Segment, TraceRecorder
+from repro.sim.validate import assert_valid, validate_trace
+from repro.workloads.example_dac99 import example_taskset
+
+
+def _trace(segments, events=()):
+    trace = TraceRecorder()
+    for seg in segments:
+        trace.record_segment(seg)
+    for time, kind, detail in events:
+        trace.record_event(time, kind, detail)
+    return trace
+
+
+def _run_seg(start, end, job="a#0", task="a", s0=1.0, s1=1.0):
+    return Segment(start=start, end=end, state="run", job=job, task=task,
+                   speed_start=s0, speed_end=s1)
+
+
+class TestCleanTraces:
+    def test_fps_on_table1_is_clean(self):
+        result = simulate(example_taskset(), FpsScheduler(), duration=400.0,
+                          record_trace=True)
+        assert validate_trace(result.trace, example_taskset()) == []
+
+    def test_lpfps_on_table1_is_clean(self):
+        result = simulate(example_taskset(), LpfpsScheduler(),
+                          spec=ProcessorSpec.ideal(), duration=400.0,
+                          record_trace=True)
+        assert_valid(result.trace, example_taskset())
+
+    def test_lpfps_with_ramps_is_clean(self):
+        result = simulate(example_taskset(), LpfpsScheduler(), duration=400.0,
+                          record_trace=True)
+        assert_valid(result.trace, example_taskset())
+
+
+class TestViolationDetection:
+    def test_overlapping_segments(self):
+        trace = _trace(
+            [_run_seg(0.0, 10.0), _run_seg(5.0, 15.0, job="b#0", task="b")],
+            [(0.0, "release", "a#0"), (0.0, "release", "b#0")],
+        )
+        violations = validate_trace(trace)
+        assert any(v.invariant == "continuity" for v in violations)
+
+    def test_run_before_release(self):
+        trace = _trace([_run_seg(0.0, 10.0)], [(5.0, "release", "a#0")])
+        violations = validate_trace(trace)
+        assert any(v.invariant == "causality" for v in violations)
+
+    def test_run_without_release(self):
+        trace = _trace([_run_seg(0.0, 10.0)])
+        violations = validate_trace(trace)
+        assert any(v.invariant == "causality" for v in violations)
+
+    def test_double_completion(self):
+        trace = _trace(
+            [_run_seg(0.0, 10.0)],
+            [(0.0, "release", "a#0"), (5.0, "completion", "a#0"),
+             (10.0, "completion", "a#0")],
+        )
+        violations = validate_trace(trace)
+        assert any(v.invariant == "single-completion" for v in violations)
+
+    def test_run_after_completion(self):
+        trace = _trace(
+            [_run_seg(0.0, 5.0), _run_seg(8.0, 10.0)],
+            [(0.0, "release", "a#0"), (5.0, "completion", "a#0")],
+        )
+        violations = validate_trace(trace)
+        assert any(v.invariant == "single-completion" for v in violations)
+
+    def test_speed_out_of_bounds(self):
+        trace = _trace(
+            [_run_seg(0.0, 10.0, s0=1.5, s1=1.5)],
+            [(0.0, "release", "a#0")],
+        )
+        violations = validate_trace(trace)
+        assert any(v.invariant == "speed-bounds" for v in violations)
+
+    def test_priority_inversion(self):
+        ts = example_taskset()
+        # tau3 runs while a released, unfinished tau1 job is pending.
+        trace = _trace(
+            [_run_seg(100.0, 140.0, job="tau3#0", task="tau3")],
+            [(0.0, "release", "tau3#0"), (0.0, "release", "tau1#0")],
+        )
+        violations = validate_trace(trace, ts)
+        assert any(v.invariant == "fixed-priority" for v in violations)
+
+    def test_slowdown_with_pending_job(self):
+        trace = _trace(
+            [_run_seg(0.0, 40.0, job="a#0", task="a", s0=0.5, s1=0.5)],
+            [(0.0, "release", "a#0"), (10.0, "release", "b#0")],
+        )
+        violations = validate_trace(trace)
+        assert any(v.invariant == "slowdown-exclusive" for v in violations)
+
+    def test_assert_valid_raises_with_summary(self):
+        trace = _trace([_run_seg(0.0, 10.0)])
+        with pytest.raises(AssertionError, match="causality"):
+            assert_valid(trace)

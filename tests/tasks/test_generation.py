@@ -1,0 +1,169 @@
+"""Unit and property tests for execution-time models and task generation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.tasks.generation import (
+    BcetModel,
+    BimodalModel,
+    GaussianModel,
+    UniformModel,
+    WcetModel,
+    draw_job_demands,
+    log_uniform_periods,
+    random_taskset,
+    uunifast,
+)
+from repro.tasks.task import Task, TaskSet
+
+
+def _task(wcet=100.0, bcet=20.0):
+    return Task(name="t", wcet=wcet, period=1000.0, bcet=bcet)
+
+
+class TestFixedModels:
+    def test_wcet_model(self):
+        assert WcetModel().sample(_task(), random.Random(0)) == 100.0
+
+    def test_bcet_model(self):
+        assert BcetModel().sample(_task(), random.Random(0)) == 20.0
+
+
+class TestGaussianModel:
+    """The paper's Eqs. (4)-(5): m=(B+W)/2, sigma=(W-B)/6, clamped."""
+
+    def test_draws_stay_in_range(self):
+        rng = random.Random(1)
+        model = GaussianModel()
+        task = _task()
+        for _ in range(2000):
+            v = model.sample(task, rng)
+            assert task.bcet <= v <= task.wcet
+
+    def test_mean_matches_equation_4(self):
+        rng = random.Random(2)
+        model = GaussianModel()
+        task = _task()
+        samples = [model.sample(task, rng) for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(60.0, abs=1.0)
+
+    def test_spread_matches_equation_5(self):
+        rng = random.Random(3)
+        model = GaussianModel()
+        task = _task()
+        samples = [model.sample(task, rng) for _ in range(20000)]
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / len(samples)
+        # sigma = (100-20)/6 = 13.33; clamping shaves a little variance.
+        assert var**0.5 == pytest.approx(13.33, rel=0.05)
+
+    def test_degenerate_no_variation(self):
+        task = _task(bcet=100.0)
+        assert GaussianModel().sample(task, random.Random(0)) == 100.0
+
+
+class TestUniformAndBimodal:
+    def test_uniform_in_range(self):
+        rng = random.Random(4)
+        task = _task()
+        for _ in range(500):
+            v = UniformModel().sample(task, rng)
+            assert task.bcet <= v <= task.wcet
+
+    def test_bimodal_concentrates_near_modes(self):
+        rng = random.Random(5)
+        model = BimodalModel(p_short=0.8, spread=0.05)
+        task = _task()
+        samples = [model.sample(task, rng) for _ in range(4000)]
+        span = task.wcet - task.bcet
+        near_bcet = sum(1 for s in samples if s <= task.bcet + 0.1 * span)
+        near_wcet = sum(1 for s in samples if s >= task.wcet - 0.1 * span)
+        assert near_bcet + near_wcet == len(samples)
+        assert near_bcet / len(samples) == pytest.approx(0.8, abs=0.05)
+
+    def test_bimodal_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            BimodalModel(p_short=1.5)
+        with pytest.raises(ConfigurationError):
+            BimodalModel(spread=0.9)
+
+    def test_bimodal_degenerate_no_variation(self):
+        task = _task(bcet=100.0)
+        assert BimodalModel().sample(task, random.Random(0)) == 100.0
+
+
+class TestUunifast:
+    def test_sums_to_target(self):
+        utils = uunifast(8, 0.75, random.Random(6))
+        assert sum(utils) == pytest.approx(0.75)
+        assert len(utils) == 8
+
+    def test_all_positive(self):
+        utils = uunifast(20, 0.9, random.Random(7))
+        assert all(u > 0 for u in utils)
+
+    def test_single_task(self):
+        assert uunifast(1, 0.5, random.Random(0)) == [0.5]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            uunifast(0, 0.5, random.Random(0))
+        with pytest.raises(ConfigurationError):
+            uunifast(3, 0.0, random.Random(0))
+
+    @given(n=st.integers(1, 30), u=st.floats(0.05, 2.0), seed=st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_property_sum_and_positivity(self, n, u, seed):
+        utils = uunifast(n, u, random.Random(seed))
+        assert len(utils) == n
+        assert sum(utils) == pytest.approx(u, rel=1e-9)
+        assert all(x >= 0 for x in utils)
+
+
+class TestRandomTaskset:
+    def test_period_bounds_and_granularity(self):
+        periods = log_uniform_periods(50, random.Random(8), lo=1000, hi=50000,
+                                      granularity=100)
+        for p in periods:
+            assert 100 <= p <= 50100
+            assert p % 100 == 0
+
+    def test_invalid_period_bounds(self):
+        with pytest.raises(ConfigurationError):
+            log_uniform_periods(3, random.Random(0), lo=100, hi=50)
+
+    def test_taskset_shape(self):
+        ts = random_taskset(6, 0.6, random.Random(9), bcet_ratio=0.5)
+        assert len(ts) == 6
+        for t in ts:
+            assert t.bcet <= t.wcet <= t.period
+        # min_wcet clamping can only raise utilisation slightly.
+        assert ts.utilization >= 0.6 - 1e-9
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_property_valid_tasksets(self, seed):
+        rng = random.Random(seed)
+        ts = random_taskset(rng.randint(1, 12), rng.uniform(0.1, 0.9), rng,
+                            bcet_ratio=rng.uniform(0.1, 1.0))
+        # Construction succeeding means every task passed model validation.
+        assert isinstance(ts, TaskSet)
+
+
+class TestDrawJobDemands:
+    def test_deterministic_per_seed(self):
+        ts = TaskSet([_task()])
+        a = draw_job_demands(ts, GaussianModel(), 10, seed=3)
+        b = draw_job_demands(ts, GaussianModel(), 10, seed=3)
+        assert a == b
+
+    def test_counts(self):
+        ts = TaskSet([Task(name="a", wcet=5, period=10),
+                      Task(name="b", wcet=5, period=10)])
+        demands = draw_job_demands(ts, WcetModel(), 7)
+        assert set(demands) == {"a", "b"}
+        assert all(len(v) == 7 for v in demands.values())

@@ -1,0 +1,72 @@
+"""Tests for the Markov-modulated (correlated) execution-time model."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tasks.generation import MarkovModel
+from repro.tasks.task import Task
+
+
+def _task(name="t", wcet=100.0, bcet=20.0):
+    return Task(name=name, wcet=wcet, period=1000.0, bcet=bcet)
+
+
+class TestMarkovModel:
+    def test_draws_stay_in_range(self):
+        model = MarkovModel()
+        rng = random.Random(1)
+        task = _task()
+        for _ in range(2000):
+            v = model.sample(task, rng)
+            assert task.bcet <= v <= task.wcet
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            MarkovModel(p_stay_quiet=1.5)
+        with pytest.raises(ConfigurationError):
+            MarkovModel(p_stay_loaded=-0.1)
+        with pytest.raises(ConfigurationError):
+            MarkovModel(spread=0.9)
+
+    def test_degenerate_no_variation(self):
+        task = _task(bcet=100.0)
+        assert MarkovModel().sample(task, random.Random(0)) == 100.0
+
+    def test_burst_persistence(self):
+        """Consecutive draws are positively correlated: runs of loaded
+        samples are far longer than under i.i.d. bimodal draws."""
+        model = MarkovModel(p_stay_quiet=0.95, p_stay_loaded=0.95)
+        rng = random.Random(7)
+        task = _task()
+        mid = (task.bcet + task.wcet) / 2
+        states = [model.sample(task, rng) > mid for _ in range(5000)]
+        # Count state changes; persistence 0.95 -> ~5% switch rate.
+        switches = sum(1 for a, b in zip(states, states[1:]) if a != b)
+        assert switches / len(states) < 0.12
+
+    def test_per_task_state_is_independent(self):
+        model = MarkovModel(p_stay_quiet=1.0, p_stay_loaded=1.0)
+        rng = random.Random(3)
+        a, b = _task("a"), _task("b")
+        # With absorbing states both tasks stay quiet forever,
+        # and their states do not interfere.
+        for _ in range(50):
+            va = model.sample(a, rng)
+            vb = model.sample(b, rng)
+            assert va <= a.bcet + 0.1 * (a.wcet - a.bcet)
+            assert vb <= b.bcet + 0.1 * (b.wcet - b.bcet)
+
+    def test_stresses_lpfps_more_than_gaussian(self):
+        """Correlated bursts reduce reclaimable slack during loaded spells;
+        LPFPS must still meet every deadline."""
+        from repro.core.lpfps import LpfpsScheduler
+        from repro.sim.engine import simulate
+        from repro.workloads.registry import get_workload
+
+        ts = get_workload("cnc").prioritized().with_bcet_ratio(0.2)
+        result = simulate(ts, LpfpsScheduler(), execution_model=MarkovModel(),
+                          duration=500_000.0, seed=5)
+        assert not result.missed
+        assert result.jobs_completed > 0

@@ -1,0 +1,89 @@
+"""Unit tests for priority assignment policies."""
+
+import pytest
+
+from repro.errors import InvalidTaskSetError
+from repro.tasks.priority import audsley, deadline_monotonic, explicit, rate_monotonic
+from repro.tasks.task import Task, TaskSet
+
+
+def _set(*specs):
+    return TaskSet([Task(name=n, wcet=c, period=t, deadline=d)
+                    for n, c, t, d in specs])
+
+
+class TestRateMonotonic:
+    def test_shorter_period_higher_priority(self):
+        ts = rate_monotonic(_set(("slow", 1, 100, None), ("fast", 1, 10, None)))
+        assert ts.task("fast").priority < ts.task("slow").priority
+
+    def test_ties_break_by_declaration_order(self):
+        ts = rate_monotonic(_set(("a", 1, 50, None), ("b", 1, 50, None)))
+        assert ts.task("a").priority < ts.task("b").priority
+
+    def test_preserves_declaration_order_of_set(self):
+        ts = rate_monotonic(_set(("slow", 1, 100, None), ("fast", 1, 10, None)))
+        assert [t.name for t in ts] == ["slow", "fast"]
+
+    def test_table1_matches_paper(self):
+        ts = rate_monotonic(_set(
+            ("tau1", 10, 50, None), ("tau2", 20, 80, None), ("tau3", 40, 100, None)
+        ))
+        assert [t.name for t in ts.by_priority()] == ["tau1", "tau2", "tau3"]
+
+
+class TestDeadlineMonotonic:
+    def test_shorter_deadline_higher_priority(self):
+        ts = deadline_monotonic(_set(("a", 1, 100, 90.0), ("b", 1, 50, 50.0)))
+        assert ts.task("b").priority < ts.task("a").priority
+
+    def test_differs_from_rm_with_constrained_deadlines(self):
+        specs = (("a", 1, 50, 50.0), ("b", 1, 100, 20.0))
+        rm = rate_monotonic(_set(*specs))
+        dm = deadline_monotonic(_set(*specs))
+        assert rm.task("a").priority < rm.task("b").priority
+        assert dm.task("b").priority < dm.task("a").priority
+
+
+class TestExplicit:
+    def test_positional_assignment(self):
+        ts = explicit(_set(("a", 1, 50, None), ("b", 1, 60, None)), [5, 2])
+        assert ts.task("a").priority == 5
+        assert ts.task("b").priority == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidTaskSetError):
+            explicit(_set(("a", 1, 50, None)), [1, 2])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(InvalidTaskSetError):
+            explicit(_set(("a", 1, 50, None), ("b", 1, 60, None)), [1, 1])
+
+
+class TestAudsley:
+    def test_schedulable_set_gets_assignment(self):
+        ts = audsley(_set(("a", 10, 50, None), ("b", 20, 80, None), ("c", 40, 100, None)))
+        assert ts is not None
+        ts.assert_priorities()
+
+    def test_assignment_is_feasible_per_rta(self):
+        from repro.analysis.rta import is_schedulable
+
+        ts = audsley(_set(("a", 10, 50, None), ("b", 20, 80, None), ("c", 40, 100, None)))
+        assert is_schedulable(ts)
+
+    def test_infeasible_set_returns_none(self):
+        # Utilisation > 1: no fixed-priority assignment can work.
+        ts = audsley(_set(("a", 40, 50, None), ("b", 40, 60, None)))
+        assert ts is None
+
+    def test_beats_dm_on_crafted_set(self):
+        # Audsley is optimal: if it fails, RM must fail too.
+        tasks = _set(("a", 25, 50, None), ("b", 40, 100, None))
+        from repro.analysis.rta import is_schedulable
+
+        result = audsley(tasks)
+        if result is None:
+            assert not is_schedulable(rate_monotonic(tasks))
+        else:
+            assert is_schedulable(result)

@@ -1,0 +1,186 @@
+"""Unit tests for the Task / TaskSet model."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidTaskError, InvalidTaskSetError
+from repro.tasks.task import Task, TaskSet
+
+
+class TestTaskValidation:
+    def test_minimal_task_defaults(self):
+        t = Task(name="a", wcet=5.0, period=20.0)
+        assert t.deadline == 20.0
+        assert t.bcet == 5.0
+        assert t.phase == 0.0
+        assert t.priority is None
+
+    def test_zero_wcet_rejected(self):
+        with pytest.raises(InvalidTaskError):
+            Task(name="a", wcet=0.0, period=10.0)
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(InvalidTaskError):
+            Task(name="a", wcet=1.0, period=-5.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidTaskError):
+            Task(name="", wcet=1.0, period=5.0)
+
+    def test_deadline_beyond_period_rejected(self):
+        with pytest.raises(InvalidTaskError):
+            Task(name="a", wcet=1.0, period=5.0, deadline=6.0)
+
+    def test_constrained_deadline_accepted(self):
+        t = Task(name="a", wcet=1.0, period=5.0, deadline=3.0)
+        assert t.deadline == 3.0
+
+    def test_wcet_beyond_deadline_rejected(self):
+        with pytest.raises(InvalidTaskError):
+            Task(name="a", wcet=4.0, period=5.0, deadline=3.0)
+
+    def test_bcet_above_wcet_rejected(self):
+        with pytest.raises(InvalidTaskError):
+            Task(name="a", wcet=2.0, period=5.0, bcet=3.0)
+
+    def test_zero_bcet_rejected(self):
+        with pytest.raises(InvalidTaskError):
+            Task(name="a", wcet=2.0, period=5.0, bcet=0.0)
+
+    def test_negative_phase_rejected(self):
+        with pytest.raises(InvalidTaskError):
+            Task(name="a", wcet=1.0, period=5.0, phase=-1.0)
+
+
+class TestTaskProperties:
+    def test_utilization(self):
+        assert Task(name="a", wcet=10.0, period=50.0).utilization == pytest.approx(0.2)
+
+    def test_density_uses_min_of_deadline_and_period(self):
+        t = Task(name="a", wcet=2.0, period=10.0, deadline=4.0)
+        assert t.density == pytest.approx(0.5)
+
+    def test_rate(self):
+        assert Task(name="a", wcet=1.0, period=4.0).rate == pytest.approx(0.25)
+
+    def test_release_time_sequence(self):
+        t = Task(name="a", wcet=1.0, period=10.0, phase=3.0)
+        assert [t.release_time(k) for k in range(3)] == [3.0, 13.0, 23.0]
+
+    def test_release_time_negative_index(self):
+        t = Task(name="a", wcet=1.0, period=10.0)
+        with pytest.raises(ValueError):
+            t.release_time(-1)
+
+    def test_with_priority_is_nondestructive(self):
+        t = Task(name="a", wcet=1.0, period=10.0)
+        t2 = t.with_priority(3)
+        assert t.priority is None
+        assert t2.priority == 3
+
+    def test_with_bcet_ratio(self):
+        t = Task(name="a", wcet=10.0, period=50.0)
+        assert t.with_bcet_ratio(0.3).bcet == pytest.approx(3.0)
+
+    def test_with_bcet_ratio_bounds(self):
+        t = Task(name="a", wcet=10.0, period=50.0)
+        with pytest.raises(InvalidTaskError):
+            t.with_bcet_ratio(0.0)
+        with pytest.raises(InvalidTaskError):
+            t.with_bcet_ratio(1.5)
+
+    def test_scaled(self):
+        t = Task(name="a", wcet=10.0, period=50.0, bcet=4.0)
+        s = t.scaled(2.0)
+        assert s.wcet == 20.0 and s.bcet == 8.0 and s.period == 50.0
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(InvalidTaskError):
+            Task(name="a", wcet=10.0, period=50.0).scaled(0.0)
+
+
+class TestTaskSet:
+    def _set(self):
+        return TaskSet(
+            [
+                Task(name="a", wcet=10.0, period=50.0),
+                Task(name="b", wcet=20.0, period=80.0),
+            ],
+            name="s",
+        )
+
+    def test_len_iter_getitem(self):
+        ts = self._set()
+        assert len(ts) == 2
+        assert [t.name for t in ts] == ["a", "b"]
+        assert ts[1].name == "b"
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidTaskSetError):
+            TaskSet([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(InvalidTaskSetError):
+            TaskSet([Task(name="a", wcet=1, period=5), Task(name="a", wcet=1, period=6)])
+
+    def test_lookup_by_name(self):
+        ts = self._set()
+        assert ts.task("b").wcet == 20.0
+        with pytest.raises(KeyError):
+            ts.task("zzz")
+
+    def test_utilization_sum(self):
+        assert self._set().utilization == pytest.approx(10 / 50 + 20 / 80)
+
+    def test_hyperperiod_integer_periods(self):
+        assert self._set().hyperperiod == pytest.approx(400.0)
+
+    def test_hyperperiod_fractional_periods(self):
+        ts = TaskSet([Task(name="a", wcet=0.1, period=0.5),
+                      Task(name="b", wcet=0.1, period=0.75)])
+        assert ts.hyperperiod == pytest.approx(1.5)
+
+    def test_wcet_range(self):
+        assert self._set().wcet_range == (10.0, 20.0)
+
+    def test_priorities_missing_detected(self):
+        ts = self._set()
+        assert not ts.has_priorities
+        with pytest.raises(InvalidTaskSetError):
+            ts.assert_priorities()
+
+    def test_duplicate_priorities_rejected(self):
+        ts = TaskSet([
+            Task(name="a", wcet=1, period=5, priority=1),
+            Task(name="b", wcet=1, period=6, priority=1),
+        ])
+        with pytest.raises(InvalidTaskSetError):
+            ts.assert_priorities()
+
+    def test_by_priority_ordering(self):
+        ts = TaskSet([
+            Task(name="a", wcet=1, period=5, priority=2),
+            Task(name="b", wcet=1, period=6, priority=1),
+        ])
+        assert [t.name for t in ts.by_priority()] == ["b", "a"]
+
+    def test_with_bcet_ratio_applies_to_all(self):
+        ts = self._set().with_bcet_ratio(0.5)
+        assert [t.bcet for t in ts] == [5.0, 10.0]
+
+    def test_scaled_applies_to_all(self):
+        ts = self._set().scaled(0.5)
+        assert [t.wcet for t in ts] == [5.0, 10.0]
+
+    def test_higher_priority_than(self):
+        ts = TaskSet([
+            Task(name="a", wcet=1, period=5, priority=0),
+            Task(name="b", wcet=1, period=6, priority=1),
+            Task(name="c", wcet=1, period=7, priority=2),
+        ])
+        assert [t.name for t in ts.higher_priority_than(ts.task("c"))] == ["a", "b"]
+
+    def test_equality_and_hash(self):
+        assert self._set() == self._set()
+        assert hash(self._set()) == hash(self._set())

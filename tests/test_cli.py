@@ -1,0 +1,87 @@
+"""CLI tests (fast subcommands only; sweeps are covered by benchmarks)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in ("figure1", "table1", "table2", "figure7"):
+            assert parser.parse_args([cmd]).command == cmd
+
+    def test_figure8_arguments(self):
+        args = build_parser().parse_args(["figure8", "--app", "ins",
+                                          "--seeds", "1", "2"])
+        assert args.app == "ins"
+        assert args.seeds == [1, 2]
+
+    def test_simulate_arguments(self):
+        args = build_parser().parse_args([
+            "simulate", "--app", "cnc", "--scheduler", "lpfps",
+            "--bcet-ratio", "0.5", "--duration", "9600",
+        ])
+        assert args.bcet_ratio == 0.5
+        assert args.duration == 9600.0
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure8", "--app", "nope"])
+
+
+class TestMain:
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "INS" in out and "CNC" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "checkpoints" in capsys.readouterr().out
+
+    def test_figure7(self, capsys):
+        assert main(["figure7"]) == 0
+        assert "r_heu" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        code = main([
+            "simulate", "--app", "cnc", "--scheduler", "lpfps",
+            "--duration", "96000", "--bcet-ratio", "0.5",
+        ])
+        assert code == 0
+        assert "LPFPS on cnc" in capsys.readouterr().out
+
+    def test_simulate_fps(self, capsys):
+        code = main([
+            "simulate", "--app", "example", "--scheduler", "fps",
+            "--duration", "400",
+        ])
+        assert code == 0
+
+    def test_validate_clean_run(self, capsys):
+        code = main([
+            "validate", "--app", "example", "--scheduler", "lpfps",
+            "--duration", "4000",
+        ])
+        assert code == 0
+        assert "passes all kernel invariants" in capsys.readouterr().out
+
+    def test_validate_edf(self, capsys):
+        code = main([
+            "validate", "--app", "example", "--scheduler", "edf",
+            "--duration", "4000",
+        ])
+        assert code == 0
+
+    def test_extensions_parser(self):
+        args = build_parser().parse_args(["extensions", "--which", "oracle"])
+        assert args.which == "oracle"

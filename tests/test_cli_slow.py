@@ -1,0 +1,33 @@
+"""CLI end-to-end tests for the heavier subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFigure8Command:
+    def test_single_panel(self, capsys):
+        code = main(["figure8", "--app", "cnc", "--seeds", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "max reduction" in out
+
+
+class TestAblationCommand:
+    def test_policy_ablation(self, capsys):
+        code = main(["ablation", "--which", "policy", "--app", "cnc"])
+        assert code == 0
+        assert "A1" in capsys.readouterr().out
+
+    def test_rho_ablation(self, capsys):
+        code = main(["ablation", "--which", "rho", "--app", "cnc"])
+        assert code == 0
+        assert "A4" in capsys.readouterr().out
+
+
+class TestExtensionsCommand:
+    def test_oracle_extension(self, capsys):
+        code = main(["extensions", "--which", "oracle"])
+        assert code == 0
+        assert "A6" in capsys.readouterr().out

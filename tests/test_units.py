@@ -1,0 +1,48 @@
+"""Tests for the units helper module."""
+
+import pytest
+
+from repro.units import (
+    MHZ,
+    MS,
+    SECOND,
+    US,
+    approx_equal,
+    cycles_to_us,
+    mhz,
+    ms,
+    seconds,
+    us,
+    us_to_cycles,
+)
+
+
+class TestConversions:
+    def test_constants(self):
+        assert US == 1.0
+        assert MS == 1_000.0
+        assert SECOND == 1_000_000.0
+        assert MHZ == 1.0
+
+    def test_helpers(self):
+        assert us(25) == 25.0
+        assert ms(2.5) == 2_500.0
+        assert seconds(0.5) == 500_000.0
+        assert mhz(100) == 100.0
+
+    def test_cycles_roundtrip(self):
+        """µs x MHz = cycles: the paper's 10-cycle wakeup at 100 MHz."""
+        assert cycles_to_us(10, 100.0) == pytest.approx(0.1)
+        assert us_to_cycles(0.1, 100.0) == pytest.approx(10.0)
+        duration = 123.4
+        assert cycles_to_us(us_to_cycles(duration, 73.0), 73.0) == pytest.approx(
+            duration
+        )
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            cycles_to_us(10, 0.0)
+
+    def test_approx_equal(self):
+        assert approx_equal(1.0, 1.0 + 1e-12)
+        assert not approx_equal(1.0, 1.0 + 1e-6)

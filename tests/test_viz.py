@@ -1,0 +1,136 @@
+"""Tests for the plain-text visualisation helpers."""
+
+import pytest
+
+from repro.schedulers.fps import FpsScheduler
+from repro.sim.engine import simulate
+from repro.viz.gantt import render_gantt
+from repro.viz.series import render_bars, render_series
+from repro.viz.tables import format_cell, render_table
+from repro.workloads.example_dac99 import example_taskset
+
+
+class TestTables:
+    def test_alignment_and_headers(self):
+        text = render_table(["name", "value"], [("a", 1), ("bbbb", 22.5)])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = render_table(["x"], [(1,)], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [(1,)])
+
+    def test_format_cell(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(1234) == "1,234"
+        assert format_cell(1234.0) == "1,234"
+        assert format_cell(0.5) == "0.5"
+        assert format_cell(0.12345) == "0.1235"
+        assert format_cell("txt") == "txt"
+
+
+class TestSeries:
+    def test_bars(self):
+        text = render_bars(["a", "b"], [0.5, 1.0], width=10)
+        lines = text.splitlines()
+        assert "#" * 5 in lines[0]
+        assert "#" * 10 in lines[1]
+
+    def test_bars_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_bars(["a"], [1.0, 2.0])
+
+    def test_series_renders_legend_and_axes(self):
+        text = render_series(
+            [1, 2, 3], {"up": [1, 2, 3], "down": [3, 2, 1]}, title="T"
+        )
+        assert text.splitlines()[0] == "T"
+        assert "legend:" in text
+        assert "up" in text and "down" in text
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series([1, 2], {"s": [1.0]})
+
+    def test_flat_series_does_not_crash(self):
+        assert render_series([1, 2], {"s": [5.0, 5.0]})
+
+
+class TestGantt:
+    def test_figure2a_features(self):
+        result = simulate(
+            example_taskset(), FpsScheduler(), duration=400.0, record_trace=True
+        )
+        chart = render_gantt(
+            result.trace, ["tau1", "tau2", "tau3"], 0.0, 400.0, width=80
+        )
+        lines = chart.splitlines()
+        assert any(line.strip().startswith("tau1:") for line in lines)
+        # Full-speed runs are upper case; idle shows dots on the state row.
+        assert "A" in chart and "B" in chart and "C" in chart
+        assert "." in chart
+
+    def test_sleep_and_wakeup_markers(self):
+        from repro.schedulers.powerdown import TimerPowerDownFps
+        from repro.tasks.task import Task, TaskSet
+
+        ts = TaskSet([Task(name="solo", wcet=10.0, period=100.0, priority=0)])
+        result = simulate(ts, TimerPowerDownFps(), duration=200.0,
+                          record_trace=True)
+        chart = render_gantt(result.trace, ["solo"], 0.0, 200.0, width=40)
+        assert "_" in chart  # power-down span on the processor row
+
+    def test_slowed_segments_lower_case(self):
+        from repro.core.lpfps import LpfpsScheduler
+        from repro.power.processor import ProcessorSpec
+
+        result = simulate(
+            example_taskset(), LpfpsScheduler(), spec=ProcessorSpec.ideal(),
+            duration=400.0, record_trace=True,
+        )
+        chart = render_gantt(result.trace, ["tau1", "tau2", "tau3"], 0.0, 400.0)
+        assert "b" in chart or "c" in chart  # tau2/tau3 run slowed spans
+
+    def test_invalid_range(self):
+        result = simulate(
+            example_taskset(), FpsScheduler(), duration=400.0, record_trace=True
+        )
+        with pytest.raises(ValueError):
+            render_gantt(result.trace, ["tau1"], 100.0, 100.0)
+
+
+class TestSpeedProfile:
+    def _lpfps_trace(self):
+        from repro.core.lpfps import LpfpsScheduler
+        from repro.power.processor import ProcessorSpec
+
+        return simulate(
+            example_taskset(), LpfpsScheduler(), spec=ProcessorSpec.ideal(),
+            duration=400.0, record_trace=True,
+        ).trace
+
+    def test_renders_axes_and_marks(self):
+        from repro.viz.speedplot import render_speed_profile
+
+        text = render_speed_profile(self._lpfps_trace(), 0.0, 400.0)
+        assert "speed 1.0" in text
+        assert "0.0 |" in text
+        assert "#" in text
+
+    def test_shows_power_down(self):
+        from repro.viz.speedplot import render_speed_profile
+
+        text = render_speed_profile(self._lpfps_trace(), 150.0, 250.0, width=50)
+        assert "_" in text  # the 180-200 power-down window
+
+    def test_invalid_range(self):
+        from repro.viz.speedplot import render_speed_profile
+
+        with pytest.raises(ValueError):
+            render_speed_profile(self._lpfps_trace(), 10.0, 10.0)

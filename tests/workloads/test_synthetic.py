@@ -1,0 +1,69 @@
+"""Tests for the synthetic task-set families."""
+
+import random
+
+import pytest
+
+from repro.analysis.rta import is_schedulable
+from repro.analysis.utilization import is_fully_harmonic
+from repro.errors import ConfigurationError
+from repro.tasks.priority import rate_monotonic
+from repro.workloads.synthetic import (
+    harmonic_chain,
+    heavy_plus_light,
+    uniform_spread,
+)
+
+
+class TestHeavyPlusLight:
+    def test_total_utilization(self):
+        ts = heavy_plus_light(0.7, rng=random.Random(1))
+        assert ts.utilization == pytest.approx(0.7, rel=1e-9)
+
+    def test_heavy_task_dominates_and_is_fastest(self):
+        ts = heavy_plus_light(0.7, heavy_share=0.65, rng=random.Random(1))
+        heavy = ts.task("heavy")
+        assert heavy.utilization == pytest.approx(0.455, rel=1e-9)
+        assert heavy.period == min(t.period for t in ts)
+
+    def test_rm_schedulable_at_moderate_load(self):
+        for u in (0.3, 0.5, 0.7):
+            ts = rate_monotonic(heavy_plus_light(u, rng=random.Random(2)))
+            assert is_schedulable(ts), u
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            heavy_plus_light(1.2)
+        with pytest.raises(ConfigurationError):
+            heavy_plus_light(0.5, heavy_share=1.0)
+
+
+class TestUniformSpread:
+    def test_total_utilization_and_count(self):
+        ts = uniform_spread(0.6, n=8, rng=random.Random(3))
+        assert len(ts) == 8
+        assert ts.utilization == pytest.approx(0.6, rel=1e-9)
+
+    def test_shares_equal(self):
+        ts = uniform_spread(0.6, n=6, rng=random.Random(3))
+        for t in ts:
+            assert t.utilization == pytest.approx(0.1, rel=1e-9)
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            uniform_spread(0.5, n=0)
+
+
+class TestHarmonicChain:
+    def test_harmonic_structure(self):
+        ts = harmonic_chain(0.8, n=5)
+        assert is_fully_harmonic(ts)
+        assert ts.utilization == pytest.approx(0.8, rel=1e-9)
+
+    def test_schedulable_up_to_high_utilization(self):
+        ts = rate_monotonic(harmonic_chain(0.95, n=4))
+        assert is_schedulable(ts)
+
+    def test_periods_double(self):
+        ts = harmonic_chain(0.5, n=4, base_period=1_000.0)
+        assert [t.period for t in ts] == [1_000.0, 2_000.0, 4_000.0, 8_000.0]

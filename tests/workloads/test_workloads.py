@@ -1,0 +1,122 @@
+"""Workload definitions: Table 2 constraints and paper-stated facts."""
+
+import pytest
+
+from repro.analysis.rta import is_schedulable
+from repro.analysis.utilization import is_fully_harmonic
+from repro.errors import ConfigurationError
+from repro.workloads.bcet_data import BCET_WCET_RATIOS, mean_ratio
+from repro.workloads.registry import (
+    TABLE2_NAMES,
+    available_workloads,
+    get_workload,
+    table2_workloads,
+)
+
+
+class TestTable2Constraints:
+    """The paper's Table 2 rows, verified field by field."""
+
+    def test_avionics(self):
+        wl = get_workload("avionics")
+        assert wl.task_count == 17
+        lo, hi = wl.wcet_range
+        assert lo == 1_000.0 and hi == 9_000.0
+
+    def test_ins(self):
+        wl = get_workload("ins")
+        assert wl.task_count == 6
+        lo, hi = wl.wcet_range
+        assert lo == 1_180.0 and hi == 100_280.0
+
+    def test_flight_control(self):
+        wl = get_workload("flight_control")
+        assert wl.task_count == 6
+        lo, hi = wl.wcet_range
+        assert lo == 10_000.0 and hi == 60_000.0
+
+    def test_cnc(self):
+        wl = get_workload("cnc")
+        assert wl.task_count == 8
+        lo, hi = wl.wcet_range
+        assert lo == 35.0 and hi == 720.0
+
+    @pytest.mark.parametrize("name", TABLE2_NAMES)
+    def test_all_rm_schedulable(self, name):
+        assert is_schedulable(get_workload(name).prioritized())
+
+    @pytest.mark.parametrize("name", TABLE2_NAMES)
+    def test_implicit_deadlines(self, name):
+        """'Periods are equal to deadlines' — the paper's RM justification."""
+        for task in get_workload(name).taskset:
+            assert task.deadline == task.period
+
+
+class TestInsPaperFacts:
+    """Section 4's detailed description of INS."""
+
+    def test_total_utilization(self):
+        assert get_workload("ins").utilization == pytest.approx(0.736, abs=0.001)
+
+    def test_dominant_task(self):
+        ts = get_workload("ins").taskset
+        heavy = max(ts, key=lambda t: t.utilization)
+        assert heavy.utilization == pytest.approx(0.472, abs=0.001)
+        assert heavy.period == 2_500.0
+
+    def test_heavy_task_has_highest_rm_priority(self):
+        ts = get_workload("ins").prioritized()
+        heavy = max(ts, key=lambda t: t.utilization)
+        assert heavy.priority == min(t.priority for t in ts)
+
+    def test_other_utilizations_in_stated_band(self):
+        ts = get_workload("ins").taskset
+        others = sorted(t.utilization for t in ts)[:-1]
+        for u in others:
+            assert 0.015 <= u <= 0.11  # paper: "between 0.02 and 0.1"
+
+
+class TestWorkloadStructure:
+    def test_flight_control_harmonic(self):
+        assert is_fully_harmonic(get_workload("flight_control").taskset)
+
+    def test_cnc_timescales_comparable_to_transition_delay(self):
+        """The paper's point about CNC: WCETs of tens of us vs 10 us ramp."""
+        lo, _ = get_workload("cnc").wcet_range
+        assert lo < 100.0
+
+    def test_registry_listing(self):
+        names = available_workloads()
+        assert set(TABLE2_NAMES) <= set(names)
+        assert "example" in names
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigurationError):
+            get_workload("doom")
+
+    def test_table2_ordering_matches_paper(self):
+        assert [w.name for w in table2_workloads()] == [
+            "Avionics", "INS", "Flight control", "CNC"
+        ]
+
+    def test_metadata_present(self):
+        for wl in table2_workloads():
+            assert wl.citation
+            assert wl.description
+            row = wl.summary_row()
+            assert row[1] == wl.task_count
+
+
+class TestBcetData:
+    def test_ratios_in_unit_interval(self):
+        for entry in BCET_WCET_RATIOS:
+            assert 0.0 < entry.ratio <= 1.0
+
+    def test_spans_wide_range(self):
+        """Figure 1's point: variation spans an order of magnitude."""
+        ratios = [e.ratio for e in BCET_WCET_RATIOS]
+        assert min(ratios) <= 0.2
+        assert max(ratios) >= 0.9
+
+    def test_mean_ratio(self):
+        assert 0.0 < mean_ratio() < 1.0
