@@ -1,0 +1,80 @@
+"""Robustness benchmarks: guard efficacy and policy fault dose-response.
+
+The tentpole claims of the fault-injection subsystem, checked end to end:
+guarded LPFPS strictly beats unguarded LPFPS at every informative overrun
+intensity, guards cost nothing on a fault-free run, and a seeded campaign
+is bit-identical on repetition.
+"""
+
+import pytest
+
+from repro.experiments.robustness import (
+    STRESS_INTENSITIES,
+    run_robustness_campaign,
+    run_robustness_sweep,
+)
+
+
+@pytest.mark.faults
+def test_guard_efficacy_sweep(benchmark, artifact):
+    """Guarded vs unguarded LPFPS under targeted WCET overruns."""
+    result = benchmark.pedantic(run_robustness_sweep, rounds=1, iterations=1)
+    artifact("robustness_guard_efficacy", result.render())
+
+    # Guards strictly lower the miss rate at every nonzero intensity swept.
+    for point in result.points:
+        if point.intensity > 0:
+            assert point.guarded_miss_rate < point.unguarded_miss_rate, (
+                f"guards did not strictly win at intensity {point.intensity}"
+            )
+            assert point.guard_activations > 0
+    # ... and are inert when nothing goes wrong: fault-free energy within 1 %.
+    assert abs(result.fault_free_energy_delta_pct) < 1.0
+    base = result.point(0.0)
+    assert base.unguarded_misses == 0 and base.guarded_misses == 0
+
+    benchmark.extra_info["intensities"] = list(STRESS_INTENSITIES)
+    benchmark.extra_info["fault_free_dE_pct"] = round(
+        result.fault_free_energy_delta_pct, 6
+    )
+
+
+@pytest.mark.faults
+def test_policy_dose_response(benchmark, artifact):
+    """FPS / static DVS / ccEDF / LPFPS degradation on INS overruns."""
+    campaigns = benchmark.pedantic(
+        lambda: run_robustness_campaign(
+            application="ins", intensities=(0.0, 0.2), seeds=(1, 2)
+        ),
+        rounds=1, iterations=1,
+    )
+    artifact(
+        "robustness_dose_response_ins",
+        "\n\n".join(c.render() for c in campaigns),
+    )
+
+    control, faulted = campaigns
+    # The zero-intensity campaign is a pure control: every cell matches its
+    # own fault-free baseline exactly.
+    for out in control.outcomes:
+        assert out.misses == 0
+        assert out.fault_count == 0
+        assert out.power == pytest.approx(out.baseline_power, abs=0.0)
+    # At nonzero intensity faults were actually injected everywhere, and
+    # full-speed FPS shrugs off overruns that the DVS policies feel.
+    for out in faulted.outcomes:
+        assert out.fault_count > 0
+    fps = faulted.outcome("fps", guarded=False)
+    lpfps = faulted.outcome("lpfps", guarded=False)
+    assert fps.miss_rate <= lpfps.miss_rate
+    benchmark.extra_info["lpfps_missrate"] = round(lpfps.miss_rate, 6)
+
+
+@pytest.mark.faults
+def test_campaign_bit_identical(artifact):
+    """Repeating a seeded campaign renders byte-for-byte the same report."""
+    first = run_robustness_sweep(intensities=(0.0, 0.35), seeds=(1, 2))
+    second = run_robustness_sweep(intensities=(0.0, 0.35), seeds=(1, 2))
+    assert first.render() == second.render()
+    assert first == second
+    artifact("robustness_determinism", first.render())

@@ -18,7 +18,7 @@ Quickstart
 True
 """
 
-from . import analysis, core, power, schedulers, sim, tasks, workloads
+from . import analysis, core, faults, power, schedulers, sim, tasks, workloads
 from .core.lpfps import LpfpsScheduler
 from .core.speed import heuristic_speed_ratio, optimal_speed_ratio
 from .errors import (
@@ -31,6 +31,7 @@ from .errors import (
     SchedulingError,
     SimulationError,
 )
+from .faults import FaultLayer, GuardConfig, make_injector
 from .power.processor import ProcessorSpec
 from .schedulers.fps import FpsScheduler
 from .sim.engine import Simulator, simulate
@@ -56,6 +57,10 @@ __all__ = [
     "DeadlineMissError",
     "SimulationError",
     "AnalysisError",
+    "FaultLayer",
+    "GuardConfig",
+    "make_injector",
+    "faults",
     "tasks",
     "analysis",
     "power",

@@ -33,6 +33,9 @@ from .experiments.figure1 import run_figure1
 from .experiments.figure7 import run_figure7
 from .experiments.figure8 import run_figure8, run_figure8_all
 from .experiments.runner import measurement_duration
+from .faults.campaign import DEFAULT_POLICIES, run_campaign
+from .faults.guards import MISS_POLICIES
+from .faults.injectors import available_injectors
 from .power.processor import ProcessorSpec
 from .experiments.table1_schedule import run_table1
 from .experiments.table2 import run_table2
@@ -83,6 +86,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--which",
         choices=["overhead", "oracle", "predictive", "all"],
         default="all",
+    )
+
+    flt = sub.add_parser(
+        "faults", help="seeded fault-injection campaign over the policy field"
+    )
+    flt.add_argument(
+        "--workload", choices=available_workloads(), required=True,
+        help="application task set the faults are injected into",
+    )
+    flt.add_argument(
+        "--injector", choices=available_injectors(), default="wcet-overrun"
+    )
+    flt.add_argument(
+        "--intensity", type=float, default=0.2,
+        help="fault dose knob in [0, 1]; 0 runs a control campaign",
+    )
+    flt.add_argument(
+        "--seed", type=int, nargs="+", default=[1, 2, 3],
+        help="execution + fault-layer seeds (one run per seed)",
+    )
+    flt.add_argument(
+        "--miss-policy", choices=MISS_POLICIES, default="run-to-completion",
+        help="guarded cells' deadline-miss containment",
+    )
+    flt.add_argument("--bcet-ratio", type=float, default=0.5)
+    flt.add_argument(
+        "--policies", nargs="+", choices=available_schedulers(),
+        default=list(DEFAULT_POLICIES),
     )
 
     val = sub.add_parser(
@@ -157,6 +188,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         for key in which:
             print(runs[key]().render())
             print()
+    elif args.command == "faults":
+        taskset = (
+            get_workload(args.workload).prioritized().with_bcet_ratio(args.bcet_ratio)
+        )
+        campaign = run_campaign(
+            taskset,
+            injector=args.injector,
+            intensity=args.intensity,
+            policies=args.policies,
+            seeds=tuple(args.seed),
+            miss_policy=args.miss_policy,
+        )
+        print(campaign.render())
     elif args.command == "validate":
         from .sim.validate import validate_trace
 

@@ -46,6 +46,13 @@ class LpfpsScheduler(Scheduler):
         Enable the lone-task slow-down hook (L16–L19).
     use_powerdown:
         Enable the exact-timer power-down hook (L13–L15).
+    wakeup_margin:
+        Robustness knob: arm the wake-up timer at
+        ``next_release − wakeup_delay · (1 + margin)`` instead of the
+        paper-exact ``next_release − wakeup_delay``.  A positive margin
+        buys headroom against a late-firing timer (see the ``wake-timer``
+        fault injector) at the cost of waking — and burning idle power —
+        that much earlier on every sleep.  Default 0 is paper-exact.
     """
 
     def __init__(
@@ -55,6 +62,7 @@ class LpfpsScheduler(Scheduler):
         use_powerdown: bool = True,
         eager_restore: Optional[bool] = None,
         dual_level: bool = False,
+        wakeup_margin: float = 0.0,
     ):
         if speed_policy not in ("heuristic", "optimal"):
             raise ConfigurationError(
@@ -79,6 +87,11 @@ class LpfpsScheduler(Scheduler):
                 "change; enable at most one"
             )
         self.dual_level = dual_level
+        if wakeup_margin < 0:
+            raise ConfigurationError(
+                f"wakeup_margin must be >= 0, got {wakeup_margin}"
+            )
+        self.wakeup_margin = wakeup_margin
         self._restoring = False
         self.name = self._build_name()
 
@@ -150,7 +163,7 @@ class LpfpsScheduler(Scheduler):
     def _idle_decision(self, kernel, spec) -> Decision:
         next_release = kernel.delay_queue.next_release_time()
         if self.use_powerdown and next_release is not None:
-            wake_at = next_release - spec.wakeup_delay
+            wake_at = next_release - spec.wakeup_delay * (1.0 + self.wakeup_margin)
             if wake_at > kernel.now + _EPS:
                 return Decision(run=None, sleep=SleepRequest(until=wake_at))
         # Power-down disabled or not worthwhile: busy-wait until the release.

@@ -10,6 +10,8 @@ the engine can be configured to either record or raise them.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for every exception raised by :mod:`repro`."""
@@ -28,21 +30,74 @@ class InvalidTaskSetError(ConfigurationError):
 
 
 class SchedulingError(ReproError):
-    """Base class for run-time scheduling violations."""
+    """Base class for run-time scheduling violations.
+
+    Subclasses carry structured fields (not just a message) so campaign
+    runners can aggregate misses without parsing strings, and implement
+    ``__reduce__`` so instances survive pickling — workers re-raising
+    across process boundaries must not lose the structure.
+    """
 
 
 class DeadlineMissError(SchedulingError):
     """A job overran its absolute deadline.
 
-    Attributes
+    Parameters
     ----------
+    message:
+        Optional override for the formatted message; when ``None`` (the
+        usual case) a message is built from the structured fields.
     job:
-        The offending job (``repro.sim`` attaches it when raising).
+        The offending :class:`~repro.tasks.job.Job` (or its name).
+    deadline:
+        The absolute deadline that was violated, µs.
+    completion:
+        When the job actually finished, µs — ``None`` when it was caught
+        still running (containment abort, or pending at the horizon).
+    miss_margin:
+        How late the job was, µs (``completion - deadline``); derived from
+        the other two when not given and both are known.
     """
 
-    def __init__(self, message: str, job=None):
+    def __init__(
+        self,
+        message: Optional[str] = None,
+        job=None,
+        deadline: Optional[float] = None,
+        completion: Optional[float] = None,
+        miss_margin: Optional[float] = None,
+    ):
+        if deadline is None:
+            deadline = getattr(job, "absolute_deadline", None)
+        if miss_margin is None and deadline is not None and completion is not None:
+            miss_margin = completion - deadline
+        if message is None:
+            name = getattr(job, "name", job) or "<unknown job>"
+            dl = f"{deadline:.3f}" if deadline is not None else "?"
+            if completion is None:
+                how = "still running"
+            else:
+                how = f"completed {completion:.3f}"
+                if miss_margin is not None:
+                    how += f", {miss_margin:.3f}us late"
+            message = f"{name} missed deadline {dl} ({how})"
         super().__init__(message)
+        self.message = message
         self.job = job
+        self.deadline = deadline
+        self.completion = completion
+        self.miss_margin = miss_margin
+
+    def __str__(self) -> str:
+        return self.message
+
+    def __reduce__(self):
+        # Exception.__reduce__ would replay ``*args`` (just ``message``)
+        # and drop the structured fields; rebuild from all five instead.
+        return (
+            type(self),
+            (self.message, self.job, self.deadline, self.completion, self.miss_margin),
+        )
 
 
 class SimulationError(ReproError):

@@ -18,6 +18,13 @@ from .extensions import (
 from .figure1 import Figure1Result, run_figure1
 from .figure7 import Figure7Result, run_figure7
 from .figure8 import Figure8Point, Figure8Result, run_figure8, run_figure8_all
+from .robustness import (
+    RobustnessPoint,
+    RobustnessResult,
+    run_robustness_campaign,
+    run_robustness_sweep,
+    stress_taskset,
+)
 from .runner import ComparisonPoint, compare_schedulers, measurement_duration
 from .structure import StructureResult, run_structure_study
 from .table1_schedule import Table1Result, run_table1
@@ -50,6 +57,11 @@ __all__ = [
     "PredictiveFailureResult",
     "run_structure_study",
     "StructureResult",
+    "run_robustness_sweep",
+    "run_robustness_campaign",
+    "stress_taskset",
+    "RobustnessResult",
+    "RobustnessPoint",
     "compare_schedulers",
     "measurement_duration",
     "ComparisonPoint",

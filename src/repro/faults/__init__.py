@@ -1,0 +1,59 @@
+"""Fault injection and graceful degradation for the LPFPS reproduction.
+
+The paper's guarantees hold *given* its model: actual demand within
+``[BCET, WCET]``, releases exactly on period boundaries, a wake-up timer
+that fires at ``t_a - t_wakeup``, DVS writes that take effect at the
+datasheet ``rho``, and a free scheduler.  This package breaks each of
+those assumptions on purpose (:mod:`repro.faults.injectors`), contains the
+damage with kernel-level guards (:mod:`repro.faults.guards`), and sweeps
+the dose-response (:mod:`repro.faults.campaign`).
+
+The bridge to the engine is :class:`~repro.faults.layer.FaultLayer`,
+passed as ``simulate(..., faults=layer)``.
+"""
+
+from .guards import MISS_POLICIES, GuardActivation, GuardConfig
+from .injector import FaultEvent, Injector
+from .injectors import (
+    OverheadSpikeInjector,
+    ReleaseJitterInjector,
+    ScriptedOverrun,
+    SpeedTransitionFaultInjector,
+    WakeTimerErrorInjector,
+    WcetOverrunInjector,
+    available_injectors,
+    make_injector,
+)
+from .layer import FaultLayer
+
+__all__ = [
+    "FaultEvent",
+    "Injector",
+    "WcetOverrunInjector",
+    "ReleaseJitterInjector",
+    "WakeTimerErrorInjector",
+    "SpeedTransitionFaultInjector",
+    "OverheadSpikeInjector",
+    "ScriptedOverrun",
+    "available_injectors",
+    "make_injector",
+    "GuardConfig",
+    "GuardActivation",
+    "MISS_POLICIES",
+    "FaultLayer",
+    "CampaignResult",
+    "PolicyOutcome",
+    "run_campaign",
+]
+
+_CAMPAIGN_EXPORTS = ("CampaignResult", "PolicyOutcome", "run_campaign")
+
+
+def __getattr__(name):
+    # Lazy: campaign pulls in the scheduler registry, which must not load
+    # while the engine (which imports this package) is itself mid-import.
+    if name in _CAMPAIGN_EXPORTS:
+        from . import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,109 @@
+"""Fault-injector protocol and fault-event records.
+
+LPFPS's safety argument (Theorem 1, Eqs. 2-3) holds only while the model's
+assumptions hold: actual demand never exceeds ``C_i``, releases arrive on
+their periods, the wake-up timer fires exactly at ``next_release -
+wakeup_delay``, the speed ramp rate ``rho`` is the one the analysis used,
+and the scheduler itself costs nothing.  Each injector breaks exactly one
+of those assumptions, with a single ``intensity`` knob scaling both the
+probability and the magnitude of the perturbation.
+
+Design rules every injector must obey:
+
+* **Zero intensity is a strict no-op** — no perturbation, no RNG draw, no
+  recorded event — so a fault layer configured at zero intensity yields a
+  simulation trace bit-identical to a run with no fault layer at all
+  (property-tested in ``tests/faults``).
+* **Own randomness** — injectors draw from the fault layer's dedicated RNG,
+  never the engine's execution-time RNG, so attaching a layer does not
+  shift the job-demand stream.
+* **Reproducibility** — a (seed, intensity) pair fully determines the fault
+  sequence for a given simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..tasks.task import Task
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Record of one injected fault (also mirrored into the trace)."""
+
+    time: float          #: simulation time of the injection, µs
+    injector: str        #: injector name, e.g. ``"wcet-overrun"``
+    detail: str          #: what was perturbed, e.g. a job or request name
+    magnitude: float     #: perturbation size in the injector's natural unit
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[t={self.time:.3f}] {self.injector}: {self.detail} ({self.magnitude:+.4g})"
+
+
+class Injector:
+    """Base fault injector: every hook defaults to a no-op.
+
+    Subclasses set :attr:`name`, validate their parameters, and override
+    the one hook that implements their fault.  Hooks receive the dedicated
+    fault RNG and return either the unperturbed value (no fault this time)
+    or the perturbed one; the :class:`~repro.faults.layer.FaultLayer`
+    records a :class:`FaultEvent` whenever the returned value differs.
+    """
+
+    #: Registry/reporting name.
+    name: str = "injector"
+
+    def __init__(self, intensity: float = 0.0):
+        if intensity < 0.0:
+            raise ConfigurationError(
+                f"{self.name}: intensity must be >= 0, got {intensity}"
+            )
+        self.intensity = float(intensity)
+
+    @property
+    def active(self) -> bool:
+        """False when the injector can never perturb anything."""
+        return self.intensity > 0.0
+
+    def reset(self) -> None:
+        """Clear per-run state (called by the layer before each run)."""
+
+    # -- hooks (engine-facing, dispatched via the fault layer) -------------
+    def perturb_demand(
+        self, task: Task, demand: float, rng: random.Random
+    ) -> float:
+        """Actual demand of a job about to be released (full-speed µs)."""
+        return demand
+
+    def perturb_release(
+        self, task: Task, nominal: float, rng: random.Random
+    ) -> float:
+        """Time at which a nominal release actually enters the run queue."""
+        return nominal
+
+    def perturb_wake_timer(
+        self, now: float, until: float, rng: random.Random
+    ) -> float:
+        """Time at which an armed wake-up timer actually fires."""
+        return until
+
+    def perturb_speed_request(
+        self, current: float, target: float, rng: random.Random
+    ) -> Optional[float]:
+        """Effective target of a DVS request; ``None`` drops it entirely."""
+        return target
+
+    def transition_duration_factor(self, rng: random.Random) -> float:
+        """Multiplier on the speed-ramp duration (effective ``rho`` fault)."""
+        return 1.0
+
+    def overhead_spike(self, rng: random.Random) -> float:
+        """Extra scheduler-invocation cost in µs (0 = no spike)."""
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(intensity={self.intensity})"

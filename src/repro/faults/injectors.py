@@ -1,0 +1,209 @@
+"""Concrete fault injectors, one per broken model assumption.
+
+========================  =================================================
+injector                  assumption it breaks
+========================  =================================================
+``wcet-overrun``          "actual execution never exceeds ``C_i``"
+``release-jitter``        "jobs arrive exactly on their periods"
+``wake-timer``            "the wake-up timer fires at ``t_a - t_wakeup``"
+``speed-fault``           "a DVS request takes effect, at the assumed rho"
+``overhead-spike``        "the scheduler itself costs nothing"
+========================  =================================================
+
+Every injector's behaviour is governed by one ``intensity`` knob in
+``[0, 1]``: it scales both the per-opportunity fault probability and the
+magnitude of the perturbation, so campaign sweeps can plot degradation as a
+single-parameter dose-response curve.  Zero intensity is a strict no-op
+(see :mod:`repro.faults.injector`).
+
+:class:`ScriptedOverrun` is the deterministic cousin of
+:class:`WcetOverrunInjector` used by tests to place one overrun on one
+named job.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..errors import ConfigurationError
+from ..tasks.task import Task
+from .injector import Injector
+
+
+class WcetOverrunInjector(Injector):
+    """A job's actual demand exceeds its WCET by a sampled factor.
+
+    With probability ``intensity`` a released job's demand is replaced by
+    ``wcet * (1 + f)`` with ``f ~ U(0.25, 1.0) * intensity``; at intensity
+    0.2 roughly one job in five overruns by 5-20 %.
+
+    *tasks* optionally restricts injection to the named tasks (a targeted
+    campaign against one component); releases of other tasks draw nothing
+    from the RNG, so the targeted fault sequence is independent of how the
+    untargeted tasks interleave.
+    """
+
+    name = "wcet-overrun"
+
+    def __init__(self, intensity: float = 0.0, tasks: Optional[Iterable[str]] = None):
+        super().__init__(intensity)
+        self.tasks = frozenset(tasks) if tasks is not None else None
+
+    def perturb_demand(self, task: Task, demand: float, rng: random.Random) -> float:
+        if not self.active:
+            return demand
+        if self.tasks is not None and task.name not in self.tasks:
+            return demand
+        if rng.random() >= min(1.0, self.intensity):
+            return demand
+        factor = rng.uniform(0.25, 1.0) * self.intensity
+        return task.wcet * (1.0 + factor)
+
+
+class ReleaseJitterInjector(Injector):
+    """Releases enter the ready queue late by a sampled jitter.
+
+    With probability ``intensity`` the release is delayed by
+    ``U(0, 0.25 * intensity) * period``.  The job's deadline stays anchored
+    to the *nominal* release, so jitter genuinely consumes slack instead of
+    merely translating the schedule.
+    """
+
+    name = "release-jitter"
+
+    def perturb_release(self, task: Task, nominal: float, rng: random.Random) -> float:
+        if not self.active or rng.random() >= min(1.0, self.intensity):
+            return nominal
+        return nominal + rng.uniform(0.0, 0.25 * self.intensity) * task.period
+
+
+class WakeTimerErrorInjector(Injector):
+    """The power-down wake-up timer fires early or late.
+
+    With probability ``intensity`` the fire time moves by
+    ``U(-1, 1) * intensity * 0.5 * (until - now)`` — an early fire wastes a
+    wake-up (or thrashes the sleep loop); a late fire sleeps through the
+    release the timer was supposed to lead.
+    """
+
+    name = "wake-timer"
+
+    def perturb_wake_timer(self, now: float, until: float, rng: random.Random) -> float:
+        if not self.active or rng.random() >= min(1.0, self.intensity):
+            return until
+        span = max(0.0, until - now)
+        error = rng.uniform(-1.0, 1.0) * self.intensity * 0.5 * span
+        return max(now, until + error)
+
+
+class SpeedTransitionFaultInjector(Injector):
+    """DVS requests are dropped, clamped, or ramp slower than assumed.
+
+    Per request, with probability ``0.5 * intensity`` the request is
+    dropped outright (the voltage regulator ignored the write); otherwise
+    with probability ``0.5 * intensity`` the achieved target is clamped
+    halfway between the current speed and the requested one.  Every ramp
+    that does run is stretched by ``1 + intensity * U(0, 1)`` — the
+    effective ``rho`` is slower than the datasheet's.
+    """
+
+    name = "speed-fault"
+
+    def perturb_speed_request(
+        self, current: float, target: float, rng: random.Random
+    ) -> Optional[float]:
+        if not self.active:
+            return target
+        roll = rng.random()
+        if roll < 0.5 * self.intensity:
+            return None
+        if roll < self.intensity:
+            clamped = 0.5 * (current + target)
+            # Clamping must stay a legal speed; never clamp a full-speed
+            # restore below the restore direction's midpoint.
+            return min(1.0, max(1e-6, clamped))
+        return target
+
+    def transition_duration_factor(self, rng: random.Random) -> float:
+        if not self.active:
+            return 1.0
+        return 1.0 + self.intensity * rng.uniform(0.0, 1.0)
+
+
+class OverheadSpikeInjector(Injector):
+    """Scheduler invocations sporadically cost real processor time.
+
+    With probability ``intensity`` one invocation consumes an extra
+    ``U(0.5, 5.0) * intensity`` µs at the prevailing speed — an interrupt
+    storm, a cold cache, a lock-contended kernel path.
+    """
+
+    name = "overhead-spike"
+
+    def overhead_spike(self, rng: random.Random) -> float:
+        if not self.active or rng.random() >= min(1.0, self.intensity):
+            return 0.0
+        return rng.uniform(0.5, 5.0) * self.intensity
+
+
+class ScriptedOverrun(Injector):
+    """Deterministic overrun on explicitly named jobs (test harness).
+
+    Parameters
+    ----------
+    jobs:
+        Mapping of job name (``"tau2#2"``) to overrun factor ``f``; the
+        job's demand becomes ``wcet * (1 + f)``.
+    """
+
+    name = "scripted-overrun"
+
+    def __init__(self, jobs: Dict[str, float]):
+        super().__init__(intensity=1.0 if jobs else 0.0)
+        for job_name, factor in jobs.items():
+            if factor <= 0:
+                raise ConfigurationError(
+                    f"scripted overrun factor for {job_name} must be > 0, "
+                    f"got {factor}"
+                )
+        self.jobs = dict(jobs)
+        self._pending: Dict[str, int] = {}
+
+    def reset(self) -> None:
+        self._pending = {}
+
+    def perturb_demand(self, task: Task, demand: float, rng: random.Random) -> float:
+        index = self._pending.get(task.name, 0)
+        self._pending[task.name] = index + 1
+        factor = self.jobs.get(f"{task.name}#{index}")
+        if factor is None:
+            return demand
+        return task.wcet * (1.0 + factor)
+
+
+#: Name -> factory for the CLI and campaign runner.
+_INJECTORS: Dict[str, Callable[[float], Injector]] = {
+    WcetOverrunInjector.name: WcetOverrunInjector,
+    ReleaseJitterInjector.name: ReleaseJitterInjector,
+    WakeTimerErrorInjector.name: WakeTimerErrorInjector,
+    SpeedTransitionFaultInjector.name: SpeedTransitionFaultInjector,
+    OverheadSpikeInjector.name: OverheadSpikeInjector,
+}
+
+
+def available_injectors() -> List[str]:
+    """Registered injector names, sorted."""
+    return sorted(_INJECTORS)
+
+
+def make_injector(name: str, intensity: float) -> Injector:
+    """Instantiate an injector by registry name."""
+    try:
+        factory = _INJECTORS[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown injector {name!r}; available: "
+            f"{', '.join(available_injectors())}"
+        ) from None
+    return factory(intensity)

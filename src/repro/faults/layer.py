@@ -1,0 +1,162 @@
+"""The fault layer: composable, seeded, reproducible injection + guards.
+
+A :class:`FaultLayer` bundles any number of injectors with a
+:class:`~repro.faults.guards.GuardConfig` and a dedicated RNG, and is
+handed to the simulator via ``simulate(..., faults=layer)``.  The engine
+consults it at five well-defined points (job release, next-release
+arming, wake-timer arming, DVS request, scheduler invocation); the layer
+dispatches to every injector in order and records a
+:class:`~repro.faults.injector.FaultEvent` whenever the value actually
+changed.  Recorded events are mirrored into the trace so
+:func:`~repro.sim.validate.validate_trace` can tell "invariant broken by a
+policy bug" from "invariant broken by an injected fault".
+
+The layer is deliberately cheap: when no injector is active the engine
+skips every hook via :attr:`FaultLayer.injects`, and a layer whose
+injectors all sit at zero intensity produces bit-identical traces to no
+layer at all (the injectors never draw from the RNG, so determinism does
+not even depend on call ordering).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..tasks.task import Task
+from .guards import GuardConfig
+from .injector import FaultEvent, Injector
+
+
+class FaultLayer:
+    """Composable fault injection + guard configuration for one simulator.
+
+    Parameters
+    ----------
+    injectors:
+        Any number of :class:`~repro.faults.injector.Injector` instances.
+    guards:
+        The containment guards the engine should enforce; defaults to none
+        (the paper's idealised kernel).
+    seed:
+        Seed of the layer's dedicated RNG.  Independent of the simulator's
+        execution-time seed, so the same fault sequence can be replayed
+        against different demand draws and vice versa.
+    """
+
+    def __init__(
+        self,
+        injectors: Iterable[Injector] = (),
+        guards: Optional[GuardConfig] = None,
+        seed: int = 0,
+    ):
+        self.injectors: List[Injector] = list(injectors)
+        self.guards = guards if guards is not None else GuardConfig.none()
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.events: List[FaultEvent] = []
+        #: Optional callback invoked on every recorded event (the engine
+        #: installs one to mirror events into the trace).
+        self.observer: Optional[Callable[[FaultEvent], None]] = None
+        self._now = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+    @property
+    def injects(self) -> bool:
+        """True when at least one injector can perturb anything."""
+        return any(inj.active for inj in self.injectors)
+
+    def reset(self) -> None:
+        """Rewind to the seeded initial state (one layer, many runs)."""
+        self._rng = random.Random(self.seed)
+        self.events = []
+        self._now = 0.0
+        for injector in self.injectors:
+            injector.reset()
+
+    def advance_clock(self, now: float) -> None:
+        """The engine shares its clock so events carry honest timestamps."""
+        self._now = now
+
+    def _emit(self, injector: str, detail: str, magnitude: float) -> None:
+        event = FaultEvent(
+            time=self._now, injector=injector, detail=detail, magnitude=magnitude
+        )
+        self.events.append(event)
+        if self.observer is not None:
+            self.observer(event)
+
+    # ------------------------------------------------------------------ #
+    # Engine-facing hooks                                                  #
+    # ------------------------------------------------------------------ #
+    def perturb_demand(self, task: Task, demand: float, job_name: str) -> float:
+        """Actual demand for a job being released; > WCET marks an overrun."""
+        for injector in self.injectors:
+            perturbed = injector.perturb_demand(task, demand, self._rng)
+            if perturbed != demand:
+                self._emit(injector.name, job_name, perturbed - demand)
+                demand = perturbed
+        return demand
+
+    def perturb_release(self, task: Task, nominal: float) -> float:
+        """Actual ready time for a release nominally due at *nominal*."""
+        fire = nominal
+        for injector in self.injectors:
+            perturbed = injector.perturb_release(task, fire, self._rng)
+            if perturbed != fire:
+                self._emit(injector.name, task.name, perturbed - fire)
+                fire = perturbed
+        return fire
+
+    def perturb_wake_timer(self, now: float, until: float) -> float:
+        """Actual fire time for a wake-up timer armed at *until*."""
+        fire = until
+        for injector in self.injectors:
+            perturbed = injector.perturb_wake_timer(now, fire, self._rng)
+            if perturbed != fire:
+                self._emit(injector.name, "wake-timer", perturbed - fire)
+                fire = perturbed
+        return fire
+
+    def perturb_speed_request(
+        self, current: float, target: float
+    ) -> Optional[float]:
+        """Effective DVS target; ``None`` means the request was dropped."""
+        effective: Optional[float] = target
+        for injector in self.injectors:
+            perturbed = injector.perturb_speed_request(
+                current, effective, self._rng
+            )
+            if perturbed is None:
+                self._emit(injector.name, "dvs-dropped", effective - current)
+                return None
+            if perturbed != effective:
+                self._emit(injector.name, "dvs-clamped", perturbed - effective)
+                effective = perturbed
+        return effective
+
+    def transition_duration_factor(self) -> float:
+        """Combined multiplier on the next speed-ramp duration."""
+        factor = 1.0
+        for injector in self.injectors:
+            part = injector.transition_duration_factor(self._rng)
+            if part != 1.0:
+                self._emit(injector.name, "rho-degraded", part - 1.0)
+                factor *= part
+        return factor
+
+    def overhead_spike(self) -> float:
+        """Extra cost of the next scheduler invocation, in µs."""
+        spike = 0.0
+        for injector in self.injectors:
+            extra = injector.overhead_spike(self._rng)
+            if extra > 0.0:
+                self._emit(injector.name, "overhead-spike", extra)
+                spike += extra
+        return spike
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = ", ".join(inj.name for inj in self.injectors) or "none"
+        return f"FaultLayer(injectors=[{names}], guards={self.guards}, seed={self.seed})"

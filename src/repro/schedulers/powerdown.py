@@ -22,9 +22,26 @@ _EPS = 1e-9
 
 
 class TimerPowerDownFps(Scheduler):
-    """Fixed-priority scheduling + exact-timer power-down (no DVS)."""
+    """Fixed-priority scheduling + exact-timer power-down (no DVS).
+
+    Parameters
+    ----------
+    wakeup_margin:
+        Robustness knob shared with
+        :class:`~repro.core.lpfps.LpfpsScheduler`: arm the timer at
+        ``next_release − wakeup_delay · (1 + margin)``, trading early
+        wake-ups (idle power) for tolerance of a late-firing timer.
+        Default 0 is paper-exact.
+    """
 
     name = "FPS+PD"
+
+    def __init__(self, wakeup_margin: float = 0.0):
+        if wakeup_margin < 0:
+            raise ConfigurationError(
+                f"wakeup_margin must be >= 0, got {wakeup_margin}"
+            )
+        self.wakeup_margin = wakeup_margin
 
     def schedule(self, kernel, event: SchedEvent) -> Decision:
         """Dispatch by priority; sleep with an exact timer when idle."""
@@ -33,7 +50,8 @@ class TimerPowerDownFps(Scheduler):
             return Decision(run=active)
         next_release = kernel.delay_queue.next_release_time()
         if next_release is not None:
-            wake_at = next_release - kernel.spec.wakeup_delay
+            margin = 1.0 + self.wakeup_margin
+            wake_at = next_release - kernel.spec.wakeup_delay * margin
             if wake_at > kernel.now + _EPS:
                 return Decision(run=None, sleep=SleepRequest(until=wake_at))
         return Decision(run=None)

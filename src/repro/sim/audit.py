@@ -11,6 +11,7 @@ missed ramp splits, state mislabels).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..power.processor import ProcessorSpec
 from .metrics import EnergyBreakdown
@@ -19,27 +20,57 @@ from .trace import TraceRecorder
 #: Relative tolerance for the audit comparison.  The engine integrates
 #: ramps in sub-segments while the audit sees merged trace segments, so
 #: tiny quadrature differences are expected.
-DEFAULT_TOLERANCE = 1e-6
+DEFAULT_RTOL = 1e-6
+#: Absolute floor, for runs whose total energy is itself near zero (a
+#: processor that slept its whole horizon) where any relative measure
+#: degenerates.
+DEFAULT_ATOL = 1e-9
+
+#: Backwards-compatible alias for the old single-knob name.
+DEFAULT_TOLERANCE = DEFAULT_RTOL
 
 
 @dataclass(frozen=True)
 class AuditResult:
-    """Outcome of an energy audit."""
+    """Outcome of an energy audit.
+
+    Agreement follows the :func:`math.isclose` convention with explicit
+    knobs: consistent iff ``|recomputed - reported| <=
+    max(rtol * max(|recomputed|, |reported|), atol)``.  The old implicit
+    ``/ max(reported, 1)`` normalisation silently turned the relative
+    check absolute for sub-unit energies; the symmetric form keeps the
+    relative knob honest at every scale and leaves near-zero totals to
+    ``atol``, where they belong.
+    """
 
     recomputed: EnergyBreakdown
     reported: EnergyBreakdown
-    tolerance: float
+    rtol: float = DEFAULT_RTOL
+    atol: float = DEFAULT_ATOL
+
+    @property
+    def tolerance(self) -> float:
+        """Backwards-compatible alias for :attr:`rtol`."""
+        return self.rtol
+
+    @property
+    def absolute_error(self) -> float:
+        """``|recomputed − reported|``, in normalised energy units."""
+        return abs(self.recomputed.total - self.reported.total)
 
     @property
     def relative_error(self) -> float:
-        """|recomputed − reported| / max(reported, 1)."""
-        reference = max(self.reported.total, 1.0)
-        return abs(self.recomputed.total - self.reported.total) / reference
+        """Absolute error over the larger total (0 when both are 0)."""
+        reference = max(abs(self.recomputed.total), abs(self.reported.total))
+        if reference == 0.0:
+            return 0.0
+        return self.absolute_error / reference
 
     @property
     def consistent(self) -> bool:
-        """True when the two totals agree within tolerance."""
-        return self.relative_error <= self.tolerance
+        """True when the totals agree within ``rtol``/``atol``."""
+        reference = max(abs(self.recomputed.total), abs(self.reported.total))
+        return self.absolute_error <= max(self.rtol * reference, self.atol)
 
     def summary(self) -> str:
         """One-line digest."""
@@ -47,7 +78,8 @@ class AuditResult:
         return (
             f"energy audit {status}: reported {self.reported.total:.6f}, "
             f"recomputed {self.recomputed.total:.6f} "
-            f"(relative error {self.relative_error:.2e})"
+            f"(relative error {self.relative_error:.2e}, "
+            f"absolute {self.absolute_error:.2e})"
         )
 
 
@@ -89,11 +121,21 @@ def audit_energy(
     trace: TraceRecorder,
     spec: ProcessorSpec,
     reported: EnergyBreakdown,
-    tolerance: float = DEFAULT_TOLERANCE,
+    tolerance: Optional[float] = None,
+    rtol: Optional[float] = None,
+    atol: float = DEFAULT_ATOL,
 ) -> AuditResult:
-    """Recompute energy from *trace* and compare against *reported*."""
+    """Recompute energy from *trace* and compare against *reported*.
+
+    ``rtol``/``atol`` follow the :func:`math.isclose` convention;
+    ``tolerance`` is the historical name for the relative knob and is
+    honoured when ``rtol`` is not given.
+    """
+    if rtol is None:
+        rtol = tolerance if tolerance is not None else DEFAULT_RTOL
     return AuditResult(
         recomputed=recompute_energy(trace, spec),
         reported=reported,
-        tolerance=tolerance,
+        rtol=rtol,
+        atol=atol,
     )

@@ -31,6 +31,9 @@ from ..errors import (
     InvalidTaskSetError,
     SimulationError,
 )
+from ..faults.guards import GuardActivation, GuardConfig
+from ..faults.injector import FaultEvent
+from ..faults.layer import FaultLayer
 from ..power.processor import ProcessorSpec
 from ..tasks.generation import ExecutionTimeModel, WcetModel
 from ..tasks.job import Job
@@ -96,6 +99,11 @@ class Simulator:
         as possible so as not to violate the schedulability"); this knob
         makes that cost — and the §5 heuristic-vs-optimal trade-off —
         measurable.  Default 0 (the paper's own idealisation).
+    faults:
+        Optional :class:`~repro.faults.layer.FaultLayer` bundling fault
+        injectors with graceful-degradation guards.  ``None`` (default) is
+        the paper's idealised platform.  A layer whose injectors all sit at
+        zero intensity leaves the simulation bit-identical to ``None``.
     """
 
     def __init__(
@@ -109,6 +117,7 @@ class Simulator:
         on_miss: str = "raise",
         record_trace: bool = False,
         scheduler_overhead: float = 0.0,
+        faults: Optional[FaultLayer] = None,
     ):
         if on_miss not in ("raise", "record"):
             raise ConfigurationError(f"on_miss must be 'raise' or 'record', got {on_miss!r}")
@@ -148,10 +157,20 @@ class Simulator:
         self.active_job: Optional[Job] = None
         self.speed: float = 1.0
 
+        # -- fault layer and guards -------------------------------------------
+        self._faults = faults
+        self._guards = faults.guards if faults is not None else GuardConfig.none()
+        self._injecting = faults is not None and faults.injects
+        self._guard_activations: List[GuardActivation] = []
+        if faults is not None:
+            faults.reset()
+            faults.observer = self._on_fault_event
+
         # -- engine-private state ---------------------------------------------
         self._mode = _Mode.IDLE
         self._ramp: Optional[Ramp] = None
         self._sleep_timer: Optional[float] = None
+        self._sleep_intended: Optional[float] = None
         self._pending_sleep_at: Optional[float] = None
         self._pending_sleep_until: Optional[float] = None
         self._pending_restore_at: Optional[float] = None
@@ -190,7 +209,14 @@ class Simulator:
         released = []
         for task, release_time, job_index in self.delay_queue.pop_due(self.now, _TIME_EPS):
             demand = self._exec_model.sample(task, self._rng)
-            job = Job(task, job_index, release_time, demand)
+            faulted = False
+            if self._injecting:
+                self._faults.advance_clock(self.now)
+                demand = self._faults.perturb_demand(
+                    task, demand, f"{task.name}#{job_index}"
+                )
+                faulted = demand > task.wcet + _WORK_EPS
+            job = Job(task, job_index, release_time, demand, faulted=faulted)
             self.run_queue.push(job)
             self._task_stats[task.name].jobs_released += 1
             if self._trace is not None:
@@ -202,13 +228,34 @@ class Simulator:
         """Schedulers call this when they push the active job back."""
         self._preemptions += 1
 
+    def _push_release(self, task, nominal: float, job_index: int) -> None:
+        """Queue a future release, letting the fault layer jitter its fire time."""
+        fire = nominal
+        if self._injecting:
+            self._faults.advance_clock(self.now)
+            fire = self._faults.perturb_release(task, nominal)
+        self.delay_queue.push(task, fire, job_index, nominal=nominal)
+
+    def _on_fault_event(self, event: FaultEvent) -> None:
+        if self._trace is not None:
+            self._trace.record_event(
+                event.time, "fault", f"{event.injector}:{event.detail}"
+            )
+
+    def _record_guard(self, guard: str, detail: str, job: Optional[str]) -> None:
+        activation = GuardActivation(time=self.now, guard=guard, detail=detail, job=job)
+        self._guard_activations.append(activation)
+        if self._trace is not None:
+            label = f"{guard}:{job}" if job else guard
+            self._trace.record_event(self.now, "guard", f"{label}:{detail}")
+
     # ------------------------------------------------------------------ #
     # Main loop                                                            #
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationResult:
         """Execute the simulation and return its result."""
         for task in self.taskset:
-            self.delay_queue.push(task, task.phase, 0)
+            self._push_release(task, task.phase, 0)
         if hasattr(self.scheduler, "setup"):
             self.scheduler.setup(self)
         self._invoke_scheduler(SchedEvent.INIT)
@@ -245,6 +292,14 @@ class Simulator:
         if self._mode is _Mode.SLEEP:
             if self._sleep_timer is not None:
                 candidates.append((self._sleep_timer, "timer"))
+                if self._guards.sleep_guard:
+                    # Sleep guard: the release interrupt can pre-empt a
+                    # timer that would fire late.  In the fault-free case
+                    # the timer leads the release, so this candidate never
+                    # wins and behaviour is unchanged.
+                    release = self.delay_queue.next_release_time()
+                    if release is not None:
+                        candidates.append((release, "sleep_interrupt"))
             else:
                 release = self.delay_queue.next_release_time()
                 if release is not None:
@@ -265,20 +320,55 @@ class Simulator:
                 candidates.append((self._next_tick, "tick"))
             if self.active_job is not None:
                 candidates.append((self._completion_time(), "completion"))
+                watchdog = self._watchdog_time()
+                if watchdog is not None:
+                    candidates.append((watchdog, "watchdog"))
+                if (
+                    self._guards.miss_policy == "abort"
+                    and self.active_job.remaining > _WORK_EPS
+                ):
+                    candidates.append(
+                        (
+                            max(self.now, self.active_job.absolute_deadline),
+                            "containment",
+                        )
+                    )
         return min(candidates, key=lambda c: c[0])
 
     def _completion_time(self) -> float:
-        job = self.active_job
-        remaining = job.remaining
-        if remaining <= _WORK_EPS:
+        return self._time_for_work(self.active_job.remaining)
+
+    def _time_for_work(self, work: float) -> float:
+        """Time at which *work* full-speed µs will have been executed."""
+        if work <= _WORK_EPS:
             return self.now
         if self._ramp is not None:
             if self.spec.transition.executes_during_change:
-                return self._ramp.time_to_complete(self.now, remaining)
+                return self._ramp.time_to_complete(self.now, work)
             return constant_time_to_complete(
-                self._ramp.end_time, remaining, self._ramp.to_speed
+                self._ramp.end_time, work, self._ramp.to_speed
             )
-        return constant_time_to_complete(self.now, remaining, self.speed)
+        return constant_time_to_complete(self.now, work, self.speed)
+
+    def _watchdog_time(self) -> Optional[float]:
+        """When the overrun watchdog would fire, or ``None``.
+
+        The watchdog arms only while an overrun-faulted job runs toward a
+        below-full-speed target: its ``C_i - E_i`` budget (what the
+        slow-down was provisioned for, Eq. 3) then runs out strictly before
+        the job completes.  Non-faulted jobs finish within their budget by
+        construction, so gating on :attr:`Job.faulted` keeps the fault-free
+        boundary schedule — and hence the trace — bit-identical.
+        """
+        if not self._guards.overrun_watchdog:
+            return None
+        job = self.active_job
+        if job is None or not job.faulted:
+            return None
+        target = self._ramp.to_speed if self._ramp is not None else self.speed
+        if target >= 1.0 - 1e-9:
+            return None
+        return self._time_for_work(job.remaining_wcet)
 
     # ------------------------------------------------------------------ #
     # Time advance: integrate work and energy over [self.now, t1]         #
@@ -362,12 +452,39 @@ class Simulator:
                 and self.now >= self._sleep_timer - _TIME_EPS
             )
             release = self.delay_queue.next_release_time()
-            interrupted = (
-                self._sleep_timer is None
-                and release is not None
-                and self.now >= release - _TIME_EPS
+            release_due = release is not None and self.now >= release - _TIME_EPS
+            interrupted = self._sleep_timer is None and release_due
+            if (
+                timer_fired
+                and self._guards.sleep_guard
+                and self._sleep_intended is not None
+                and self.now < self._sleep_intended - _TIME_EPS
+            ):
+                # Sleep guard, early half: the timer fired before the wake
+                # time LPFPS programmed.  Re-validate t_a and re-arm instead
+                # of waking into an empty ready queue (and thrashing the
+                # sleep loop through another wake-up).
+                self._record_guard(
+                    "sleep-guard",
+                    f"timer fired {self._sleep_intended - self.now:.3f}us early; re-armed",
+                    None,
+                )
+                self._sleep_timer = self._sleep_intended
+                return
+            guard_interrupt = (
+                self._guards.sleep_guard
+                and self._sleep_timer is not None
+                and release_due
+                and not timer_fired
             )
-            if timer_fired or interrupted:
+            if guard_interrupt:
+                # Sleep guard, late half: a release is due but the broken
+                # timer has not fired — wake on the release interrupt
+                # instead of sleeping through the arrival.
+                self._record_guard(
+                    "sleep-guard", "timer late; waking on release interrupt", None
+                )
+            if timer_fired or interrupted or guard_interrupt:
                 self._begin_wake()
             return
         if self._mode is _Mode.WAKING:
@@ -390,6 +507,36 @@ class Simulator:
         if job is not None and job.remaining <= _WORK_EPS:
             self._complete_active()
             self._invoke_scheduler(SchedEvent.COMPLETION)
+            return
+        if (
+            job is not None
+            and job.faulted
+            and self._guards.overrun_watchdog
+            and job.remaining_wcet <= _WORK_EPS
+            and ((self._ramp.to_speed if self._ramp is not None else self.speed)
+                 < 1.0 - 1e-9)
+        ):
+            # Overrun watchdog: the C_i - E_i budget the slow-down was
+            # provisioned for is spent and the job is still running — its
+            # true demand exceeded the WCET.  Snap back to full speed (the
+            # fail-safe DVS direction) without waiting for the policy's
+            # next scheduling point, and cancel any armed restore (it is
+            # subsumed).
+            self._record_guard(
+                "watchdog", "WCET budget exhausted; snapped to full speed", job.name
+            )
+            self._pending_restore_at = None
+            self._pending_restore_target = 1.0
+            self._set_speed_target(1.0, faultable=False)
+            return
+        if (
+            job is not None
+            and self._guards.miss_policy == "abort"
+            and job.remaining > _WORK_EPS
+            and self.now >= job.absolute_deadline - _TIME_EPS
+        ):
+            self._abort_active()
+            self._invoke_scheduler(SchedEvent.ABORT)
             return
         if (
             self._pending_restore_at is not None
@@ -418,6 +565,7 @@ class Simulator:
 
     def _begin_wake(self) -> None:
         self._sleep_timer = None
+        self._sleep_intended = None
         delay = self.spec.wakeup_delay
         if delay <= 0:
             self._mode = _Mode.IDLE
@@ -434,7 +582,12 @@ class Simulator:
             self.speed = self._ramp.speed_at(self.now)
             self._ramp = None
         self._mode = _Mode.SLEEP
-        self._sleep_timer = until
+        timer = until
+        if until is not None and self._injecting:
+            self._faults.advance_clock(self.now)
+            timer = self._faults.perturb_wake_timer(self.now, until)
+        self._sleep_timer = timer
+        self._sleep_intended = until
         self._sleep_entries += 1
         if self._trace is not None:
             target = "interrupt" if until is None else f"{until:.3f}"
@@ -450,45 +603,76 @@ class Simulator:
         stats.record_completion(job)
         if job.completion_time > job.absolute_deadline + _TIME_EPS:
             self._record_miss(job, job.completion_time)
-        self.delay_queue.push(job.task, job.next_release, job.index + 1)
+        self._push_release(job.task, job.next_release, job.index + 1)
         if self._trace is not None:
             self._trace.record_event(self.now, "completion", job.name)
 
-    def _record_miss(self, job: Job, completion: Optional[float]) -> None:
+    def _abort_active(self) -> None:
+        """Deadline-miss containment: kill the active job at its deadline.
+
+        The job is *not* counted as completed; its next release is queued as
+        if it had finished, so the overrun cannot displace future instances
+        of its own task or run on into lower-priority tasks' windows.
+        """
+        job = self.active_job
+        self.active_job = None
+        self._mode = _Mode.IDLE
+        self._record_guard(
+            "containment",
+            f"aborted at deadline with {job.remaining:.3f}us unexecuted",
+            job.name,
+        )
+        self._record_miss(job, None, containment="abort")
+        self._push_release(job.task, job.next_release, job.index + 1)
+        if self._trace is not None:
+            self._trace.record_event(self.now, "abort", job.name)
+
+    def _record_miss(
+        self, job: Job, completion: Optional[float], containment: str = "run-to-completion"
+    ) -> None:
         miss = DeadlineMiss(
             job_name=job.name,
             task_name=job.task.name,
             release_time=job.release_time,
             deadline=job.absolute_deadline,
             completion_time=completion,
+            containment=containment,
         )
         self._misses.append(miss)
         self._task_stats[job.task.name].deadline_misses += 1
+        if self._trace is not None:
+            self._trace.record_event(
+                self.now, "miss", f"{job.name}:{containment}"
+            )
         if self._on_miss == "raise":
             raise DeadlineMissError(
-                f"{job.name} missed deadline {job.absolute_deadline:.3f} "
-                f"(completed {completion})",
                 job=job,
+                deadline=job.absolute_deadline,
+                completion=completion,
             )
 
     # ------------------------------------------------------------------ #
     # Scheduler invocation and decision application                        #
     # ------------------------------------------------------------------ #
     def _invoke_scheduler(self, event: SchedEvent) -> None:
-        if self._overhead > 0.0:
-            self._consume_overhead()
+        overhead = self._overhead
+        if self._injecting:
+            self._faults.advance_clock(self.now)
+            overhead += self._faults.overhead_spike()
+        if overhead > 0.0:
+            self._consume_overhead(overhead)
         decision = self.scheduler.schedule(self, event)
         if decision is None:
             decision = Decision()
         self._apply(decision)
 
-    def _consume_overhead(self) -> None:
+    def _consume_overhead(self, overhead: float) -> None:
         """Charge one scheduler invocation's processor time.
 
         The active job makes no progress while the scheduler runs; energy
         is charged at active power along the prevailing speed profile.
         """
-        end = min(self.now + self._overhead, self.horizon)
+        end = min(self.now + overhead, self.horizon)
         dt = end - self.now
         if dt <= 0:
             return
@@ -587,22 +771,36 @@ class Simulator:
         if target is not None:
             self._set_speed_target(target)
 
-    def _set_speed_target(self, target: float) -> None:
+    def _set_speed_target(self, target: float, faultable: bool = True) -> None:
         current_target = self._ramp.to_speed if self._ramp is not None else self.speed
         if abs(target - current_target) <= 1e-12:
             return
+        start_speed = (
+            self._ramp.speed_at(self.now) if self._ramp is not None else self.speed
+        )
+        if faultable and self._injecting:
+            # DVS hardware faults: the regulator may drop or clamp the
+            # request.  The watchdog's fail-safe snap bypasses this path
+            # (``faultable=False``) — it models a direct full-speed
+            # fallback, the one DVS write a safety kernel must trust.
+            self._faults.advance_clock(self.now)
+            effective = self._faults.perturb_speed_request(start_speed, target)
+            if effective is None:
+                return
+            target = effective
+            if abs(target - current_target) <= 1e-12:
+                return
         self._speed_changes += 1
         if self._trace is not None:
             self._trace.record_event(self.now, "speed", f"{target:.4f}")
         transition = self.spec.transition
-        start_speed = (
-            self._ramp.speed_at(self.now) if self._ramp is not None else self.speed
-        )
         if transition.instantaneous:
             self.speed = target
             self._ramp = None
             return
         duration = transition.duration(start_speed, target)
+        if faultable and self._injecting:
+            duration *= self._faults.transition_duration_factor()
         if duration <= _TIME_EPS:
             self.speed = target
             self._ramp = None
@@ -641,6 +839,8 @@ class Simulator:
             jobs_completed=self._jobs_completed,
             speed_residency=self._speed_residency,
             trace=self._trace,
+            fault_events=list(self._faults.events) if self._faults is not None else [],
+            guard_activations=list(self._guard_activations),
         )
 
 

@@ -37,6 +37,10 @@ class SchedEvent(enum.Enum):
     #: Periodic policy tick (only for schedulers declaring
     #: ``tick_interval``; used by interval-based prediction policies).
     TICK = "tick"
+    #: The kernel's deadline-miss containment aborted the active job at its
+    #: deadline (``miss_policy="abort"``); the scheduler must pick a
+    #: successor exactly as after a completion.
+    ABORT = "abort"
 
 
 class _KeepActive:

@@ -86,6 +86,10 @@ class DeadlineMiss:
     release_time: float
     deadline: float
     completion_time: Optional[float]  #: None when detected while still running
+    #: Which containment applied: ``"run-to-completion"`` (the job finished
+    #: past its deadline) or ``"abort"`` (the kernel killed it at the
+    #: deadline).
+    containment: str = "run-to-completion"
 
 
 @dataclass
@@ -110,6 +114,10 @@ class SimulationResult:
     jobs_completed: int = 0
     speed_residency: Dict[float, float] = field(default_factory=dict)
     trace: Optional["object"] = None  # TraceRecorder when tracing was enabled
+    #: Injected faults, in injection order (empty without a fault layer).
+    fault_events: List["object"] = field(default_factory=list)
+    #: Guard interventions, in activation order (empty without guards).
+    guard_activations: List["object"] = field(default_factory=list)
 
     @property
     def average_power(self) -> float:
@@ -157,6 +165,11 @@ class SimulationResult:
             f"preempt={self.preemptions} speed-changes={self.speed_changes} "
             f"sleeps={self.sleep_entries} misses={len(self.deadline_misses)}",
         ]
+        if self.fault_events or self.guard_activations:
+            lines.append(
+                f"  faults={len(self.fault_events)} "
+                f"guard-activations={len(self.guard_activations)}"
+            )
         return "\n".join(lines)
 
 

@@ -90,7 +90,7 @@ class DelayQueue:
     """
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[float, int, int, Task, int]] = []
+        self._heap: List[Tuple[float, int, int, Task, int, float]] = []
         self._counter = itertools.count()
 
     def __len__(self) -> int:
@@ -104,17 +104,35 @@ class DelayQueue:
         """True when every task is either active or overdue for release."""
         return not self._heap
 
-    def push(self, task: Task, release_time: float, job_index: int) -> None:
+    def push(
+        self,
+        task: Task,
+        release_time: float,
+        job_index: int,
+        nominal: Optional[float] = None,
+    ) -> None:
         """Queue *task*'s next instance, due at *release_time*.
 
         Simultaneous releases order by task priority (falling back to
         insertion order when unprioritised) so the run queue receives them
         in a deterministic order.
+
+        *nominal* is the model's unperturbed release time (defaults to
+        *release_time*).  Under injected release jitter the entry fires at
+        the perturbed *release_time* but the job keeps the nominal release
+        for its deadline, so jitter consumes real slack.
         """
         tiebreak = task.priority if task.priority is not None else 0
         heapq.heappush(
             self._heap,
-            (release_time, tiebreak, next(self._counter), task, job_index),
+            (
+                release_time,
+                tiebreak,
+                next(self._counter),
+                task,
+                job_index,
+                nominal if nominal is not None else release_time,
+            ),
         )
 
     def next_release_time(self) -> Optional[float]:
@@ -125,12 +143,14 @@ class DelayQueue:
         """Remove every entry due at or before *now*.
 
         Returns ``(task, release_time, job_index)`` tuples in due order —
-        the L5–L7 loop of the paper's pseudo-code.
+        the L5–L7 loop of the paper's pseudo-code.  The returned release
+        time is the *nominal* one (deadline anchor), which equals the fire
+        time except under injected release jitter.
         """
         due = []
         while self._heap and self._heap[0][0] <= now + tolerance:
-            release_time, _, _, task, job_index = heapq.heappop(self._heap)
-            due.append((task, release_time, job_index))
+            _, _, _, task, job_index, nominal = heapq.heappop(self._heap)
+            due.append((task, nominal, job_index))
         return due
 
     def entries(self) -> List[Tuple[float, str]]:

@@ -5,6 +5,23 @@ simulated time during which the processor stayed in one state — plus point
 events (releases, completions, preemptions, speed changes, sleep entries).
 Traces power the ASCII Gantt charts in :mod:`repro.viz.gantt` and the
 queue-state assertions that replay the paper's Figures 2, 3 and 5.
+
+Point-event kinds
+-----------------
+``release``, ``dispatch``, ``completion``, ``speed``, ``sleep`` — the
+paper-model kernel events.  Fault-injected runs add four more:
+
+* ``"fault"`` — an injector perturbed something; detail is
+  ``"<injector>:<what>"`` (e.g. ``"speed-fault:dvs-dropped"``).
+* ``"guard"`` — a graceful-degradation guard intervened; detail is
+  ``"<guard>:<job>:<why>"``.
+* ``"miss"`` — a deadline miss was recorded; detail is
+  ``"<job>:<containment>"``.
+* ``"abort"`` — miss containment removed the job; detail is the job name.
+
+:func:`~repro.sim.validate.validate_trace` keys its fault-aware behaviour
+off these kinds; use :meth:`TraceRecorder.fault_events` and
+:meth:`TraceRecorder.guard_events` to query them directly.
 """
 
 from __future__ import annotations
@@ -122,3 +139,11 @@ class TraceRecorder:
     def events_of_kind(self, kind: str) -> List[PointEvent]:
         """All point events of the given *kind*."""
         return [e for e in self.events if e.kind == kind]
+
+    def fault_events(self) -> List[PointEvent]:
+        """Injected-fault events mirrored into the trace (empty = clean run)."""
+        return self.events_of_kind("fault")
+
+    def guard_events(self) -> List[PointEvent]:
+        """Guard interventions mirrored into the trace."""
+        return self.events_of_kind("guard")

@@ -19,6 +19,22 @@ Checked invariants
   job runs, no *released and unfinished* higher-priority job exists.
 * **Slow-down exclusivity** — whenever a job runs below full speed, no
   other released unfinished job exists at all (LPFPS's L16 precondition).
+
+Fault awareness
+---------------
+Traces produced under fault injection (``simulate(..., faults=...)``)
+carry ``"fault"`` events, and deadline-miss containment closes jobs with
+``"abort"`` events instead of completions.  The validator accounts for
+both: aborted jobs stop being *pending* at their abort (they left the
+kernel), and the two *policy-behaviour* invariants — fixed-priority
+consistency and slow-down exclusivity — suppress violations that an
+earlier injected fault explains (a dropped or clamped DVS write leaves the
+processor slowed through a release; a stretched ramp or an overhead spike
+delays the context switch past the grace window).  The *structural*
+invariants (continuity, causality, single completion, speed bounds) are
+never suppressed: no injected fault licenses a double-booked processor, so
+a breach there is a kernel bug even under fire.  A trace with no fault
+events validates exactly as before.
 """
 
 from __future__ import annotations
@@ -44,13 +60,25 @@ class Violation:
         return f"[t={self.time:.3f}] {self.invariant}: {self.detail}"
 
 
+#: Invariants about *policy behaviour*, which an injected fault can break
+#: without the kernel being wrong.  Structural invariants are never here.
+_FAULT_SUPPRESSIBLE = frozenset({"fixed-priority", "slowdown-exclusive"})
+
+
 def validate_trace(
     trace: TraceRecorder,
     taskset: Optional[TaskSet] = None,
     check_priorities: bool = True,
     check_slowdown_exclusive: bool = True,
+    fault_aware: bool = True,
 ) -> List[Violation]:
-    """Check kernel invariants over *trace*; return all violations found."""
+    """Check kernel invariants over *trace*; return all violations found.
+
+    With ``fault_aware`` (the default), policy-behaviour violations that
+    follow the first injected fault in the trace are suppressed — the
+    fault, not the policy, explains them.  Structural violations always
+    survive.  Traces without fault events are unaffected.
+    """
     violations: List[Violation] = []
     violations += _check_continuity(trace)
     violations += _check_causality(trace)
@@ -60,7 +88,32 @@ def validate_trace(
         violations += _check_priority_consistency(trace, taskset)
     if check_slowdown_exclusive:
         violations += _check_slowdown_exclusivity(trace)
+    if fault_aware:
+        violations = _suppress_fault_explained(trace, violations)
     return violations
+
+
+def _suppress_fault_explained(
+    trace: TraceRecorder, violations: List[Violation]
+) -> List[Violation]:
+    """Drop policy-behaviour violations explained by an earlier fault.
+
+    Fault effects persist forward (a dropped restore leaves the processor
+    slowed until the next successful DVS write; an overrun job occupies
+    the processor past its budgeted window), so a violation is explained
+    by *any* injected fault at or before it.  Violations that pre-date the
+    first fault — and every structural violation — are genuine bugs and
+    are kept.
+    """
+    fault_events = trace.events_of_kind("fault")
+    if not fault_events:
+        return violations
+    first_fault = min(e.time for e in fault_events)
+    return [
+        v
+        for v in violations
+        if v.invariant not in _FAULT_SUPPRESSIBLE or v.time < first_fault - _EPS
+    ]
 
 
 def assert_valid(trace: TraceRecorder, taskset: Optional[TaskSet] = None, **kwargs) -> None:
@@ -122,9 +175,18 @@ def _check_causality(trace: TraceRecorder) -> List[Violation]:
     return violations
 
 
+def _terminal_times(trace: TraceRecorder) -> Dict[str, float]:
+    """Map job -> when it left the kernel (completion or containment abort)."""
+    done = {e.detail: e.time for e in trace.events_of_kind("completion")}
+    for event in trace.events_of_kind("abort"):
+        done.setdefault(event.detail, event.time)
+    return done
+
+
 def _check_single_completion(trace: TraceRecorder) -> List[Violation]:
     violations = []
     completions: Dict[str, float] = {}
+    aborted = {e.detail for e in trace.events_of_kind("abort")}
     for event in trace.events_of_kind("completion"):
         if event.detail in completions:
             violations.append(
@@ -134,7 +196,16 @@ def _check_single_completion(trace: TraceRecorder) -> List[Violation]:
                     f"{event.detail} completed twice",
                 )
             )
+        if event.detail in aborted:
+            violations.append(
+                Violation(
+                    event.time,
+                    "single-completion",
+                    f"{event.detail} completed after being aborted",
+                )
+            )
         completions[event.detail] = event.time
+    completions = _terminal_times(trace)
     for seg in trace.segments:
         if seg.state != "run" or seg.job is None:
             continue
@@ -167,11 +238,15 @@ def _check_speed_bounds(trace: TraceRecorder) -> List[Violation]:
 
 
 def _pending_intervals(trace: TraceRecorder) -> Dict[str, Tuple[float, float]]:
-    """Map job -> (release, completion-or-inf) interval."""
+    """Map job -> (release, terminal-or-inf) interval.
+
+    A job stops being pending when it completes *or* when deadline-miss
+    containment aborts it — either way it has left the kernel.
+    """
     import math
 
     releases = _release_times(trace)
-    completions = {e.detail: e.time for e in trace.events_of_kind("completion")}
+    completions = _terminal_times(trace)
     return {
         job: (released, completions.get(job, math.inf))
         for job, released in releases.items()

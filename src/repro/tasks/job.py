@@ -32,7 +32,14 @@ class Job:
     execution_time:
         The *actual* computation demand of this instance in full-speed µs,
         drawn from an execution-time model; always within
-        ``[task.bcet, task.wcet]``.
+        ``[task.bcet, task.wcet]`` — unless the job carries an injected
+        WCET-overrun fault (``faulted=True``), in which case the demand may
+        exceed the WCET the schedulability analysis budgeted for.
+    faulted:
+        True when a fault injector perturbed this job's demand beyond its
+        WCET.  The engine's overrun watchdog keys off this flag, and the
+        ``[BCET, WCET]`` validation is relaxed for such jobs (that broken
+        invariant *is* the fault being modelled).
     """
 
     task: Task
@@ -43,9 +50,17 @@ class Job:
     start_time: Optional[float] = None
     completion_time: Optional[float] = None
     preemptions: int = 0
+    faulted: bool = False
 
     def __post_init__(self) -> None:
         tol = 1e-9 * max(1.0, self.task.wcet)
+        if self.faulted:
+            if self.execution_time <= 0:
+                raise InvalidTaskError(
+                    f"{self.name}: faulted execution time must be > 0, "
+                    f"got {self.execution_time}"
+                )
+            return
         if not (self.task.bcet - tol <= self.execution_time <= self.task.wcet + tol):
             raise InvalidTaskError(
                 f"{self.name}: execution time {self.execution_time} outside "

@@ -1,0 +1,48 @@
+"""Smoke tests for the robustness experiment (full sweep runs in benchmarks)."""
+
+import pytest
+
+from repro.experiments.robustness import (
+    run_robustness_campaign,
+    run_robustness_sweep,
+    stress_taskset,
+)
+
+pytestmark = pytest.mark.faults
+
+
+def test_stress_taskset_shape():
+    taskset = stress_taskset()
+    assert [t.name for t in taskset] == ["heavy", "light"]
+    assert taskset.has_priorities
+    assert 0.85 < sum(t.wcet / t.period for t in taskset) < 0.90
+
+
+def test_sweep_guards_win_and_render(tmp_path):
+    result = run_robustness_sweep(
+        intensities=(0.0, 0.35), seeds=(1,), duration=100_000.0
+    )
+    point = result.point(0.35)
+    assert point.strictly_better
+    assert point.guard_activations > 0
+    assert result.strict_at_all_nonzero
+    base = result.point(0.0)
+    assert base.unguarded_misses == 0 and base.guarded_misses == 0
+    assert abs(result.fault_free_energy_delta_pct) < 1.0
+    text = result.render()
+    assert "Guard efficacy" in text and "yes" in text
+
+
+def test_sweep_is_deterministic():
+    kwargs = dict(intensities=(0.0, 0.2), seeds=(1,), duration=50_000.0)
+    assert run_robustness_sweep(**kwargs) == run_robustness_sweep(**kwargs)
+
+
+def test_campaign_wrapper_orders_by_intensity():
+    campaigns = run_robustness_campaign(
+        application="ins",
+        intensities=(0.0, 0.2),
+        seeds=(1,),
+    )
+    assert [c.intensity for c in campaigns] == [0.0, 0.2]
+    assert all(c.workload == "ins" for c in campaigns)

@@ -1,0 +1,66 @@
+"""Campaign runner: determinism, control cells, containment accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import run_campaign
+from repro.workloads.example_dac99 import example_taskset
+
+pytestmark = pytest.mark.faults
+
+_FAST = dict(policies=("fps", "lpfps"), seeds=(1, 2), duration=2_000.0)
+
+
+def test_repeat_is_bit_identical():
+    first = run_campaign(example_taskset(), "wcet-overrun", 0.4, **_FAST)
+    second = run_campaign(example_taskset(), "wcet-overrun", 0.4, **_FAST)
+    assert first.render() == second.render()
+    assert first.outcomes == second.outcomes
+
+
+def test_zero_intensity_is_a_control():
+    campaign = run_campaign(example_taskset(), "wcet-overrun", 0.0, **_FAST)
+    for outcome in campaign.outcomes:
+        assert outcome.fault_count == 0
+        assert outcome.power == outcome.baseline_power
+        assert outcome.energy_delta_pct == 0.0
+
+
+def test_faults_and_energy_delta_reported():
+    campaign = run_campaign(example_taskset(), "wcet-overrun", 0.6, **_FAST)
+    lpfps = campaign.outcome("lpfps", guarded=False)
+    assert lpfps.fault_count > 0
+    # Overruns add real work, so the faulted runs burn more energy.
+    assert lpfps.energy_delta_pct > 0.0
+    # Both guard columns exist for every policy, in a fixed order.
+    assert [(o.policy, o.guarded) for o in campaign.outcomes] == [
+        ("fps", False), ("fps", True), ("lpfps", False), ("lpfps", True),
+    ]
+
+
+def test_abort_containment_counted():
+    campaign = run_campaign(
+        example_taskset(), "wcet-overrun", 1.0, miss_policy="abort", **_FAST
+    )
+    guarded = campaign.outcome("lpfps", guarded=True)
+    if guarded.misses:  # at this dose the example set does miss
+        assert guarded.aborts == guarded.misses
+    unguarded = campaign.outcome("lpfps", guarded=False)
+    assert unguarded.aborts == 0  # unguarded cells run misses to completion
+
+
+def test_render_mentions_configuration():
+    campaign = run_campaign(example_taskset(), "release-jitter", 0.3, **_FAST)
+    text = campaign.render()
+    assert "release-jitter" in text
+    assert "intensity=0.30" in text
+    assert "lpfps" in text
+
+
+def test_invalid_arguments_rejected():
+    with pytest.raises(ConfigurationError):
+        run_campaign(example_taskset(), "wcet-overrun", -0.5)
+    with pytest.raises(ConfigurationError):
+        run_campaign(example_taskset(), "wcet-overrun", 0.5, seeds=())
+    with pytest.raises(ConfigurationError):
+        run_campaign(example_taskset(), "not-a-fault", 0.5)

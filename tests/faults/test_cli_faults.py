@@ -1,0 +1,40 @@
+"""CLI wiring for the ``lpfps faults`` subcommand."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.faults.campaign import DEFAULT_POLICIES
+
+pytestmark = pytest.mark.faults
+
+
+def test_parser_accepts_the_documented_invocation():
+    args = build_parser().parse_args(
+        ["faults", "--workload", "ins", "--injector", "wcet-overrun",
+         "--intensity", "0.2", "--seed", "7"]
+    )
+    assert args.command == "faults"
+    assert args.workload == "ins"
+    assert args.injector == "wcet-overrun"
+    assert args.intensity == 0.2
+    assert args.seed == [7]
+    assert args.miss_policy == "run-to-completion"
+    assert tuple(args.policies) == DEFAULT_POLICIES
+
+
+def test_parser_rejects_unknown_injector():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["faults", "--workload", "ins", "--injector", "cosmic-ray"]
+        )
+
+
+def test_main_runs_a_small_campaign(capsys):
+    code = main(
+        ["faults", "--workload", "example", "--injector", "wcet-overrun",
+         "--intensity", "0.3", "--seed", "7", "--policies", "fps", "lpfps"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Fault campaign" in out
+    assert "lpfps" in out

@@ -1,0 +1,60 @@
+"""Structured DeadlineMissError: fields, formatting, pickling."""
+
+import pickle
+
+import pytest
+
+from repro.errors import DeadlineMissError, SchedulingError
+from repro.tasks.job import Job
+from repro.tasks.task import Task
+
+pytestmark = pytest.mark.faults
+
+
+def _job():
+    task = Task(name="tau1", wcet=10.0, period=50.0)
+    return Job(task=task, index=2, release_time=100.0, execution_time=10.0)
+
+
+class TestStructuredFields:
+    def test_fields_and_derived_margin(self):
+        job = _job()
+        err = DeadlineMissError(job=job, completion=155.0)
+        assert err.job is job
+        assert err.deadline == 150.0          # pulled from the job
+        assert err.completion == 155.0
+        assert err.miss_margin == pytest.approx(5.0)
+
+    def test_message_formatting(self):
+        err = DeadlineMissError(job=_job(), completion=155.0)
+        text = str(err)
+        assert "tau1#2" in text
+        assert "150.000" in text
+        assert "5.000us late" in text
+
+    def test_still_running_formatting(self):
+        err = DeadlineMissError(job=_job())
+        assert "still running" in str(err)
+        assert err.completion is None and err.miss_margin is None
+
+    def test_plain_message_still_works(self):
+        err = DeadlineMissError("tau9 blew its deadline")
+        assert str(err) == "tau9 blew its deadline"
+        assert err.job is None
+
+    def test_is_a_scheduling_error(self):
+        assert issubclass(DeadlineMissError, SchedulingError)
+
+
+class TestPickling:
+    def test_round_trip_preserves_structure(self):
+        err = DeadlineMissError(
+            job="tau1#2", deadline=150.0, completion=155.0
+        )
+        clone = pickle.loads(pickle.dumps(err))
+        assert type(clone) is DeadlineMissError
+        assert clone.job == "tau1#2"
+        assert clone.deadline == 150.0
+        assert clone.completion == 155.0
+        assert clone.miss_margin == pytest.approx(5.0)
+        assert str(clone) == str(err)

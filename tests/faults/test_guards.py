@@ -1,0 +1,150 @@
+"""Guard configuration and guard behaviour in the engine."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    MISS_POLICIES,
+    FaultLayer,
+    GuardConfig,
+    ScriptedOverrun,
+    WakeTimerErrorInjector,
+)
+from repro.schedulers.registry import make_scheduler
+from repro.sim.engine import simulate
+from repro.tasks.priority import rate_monotonic
+from repro.tasks.task import Task, TaskSet
+from repro.workloads.example_dac99 import example_taskset
+
+pytestmark = pytest.mark.faults
+
+
+class TestGuardConfig:
+    def test_defaults_inactive(self):
+        assert not GuardConfig().any_active
+        assert not GuardConfig.none().any_active
+
+    def test_all_activates_everything(self):
+        config = GuardConfig.all()
+        assert config.overrun_watchdog and config.sleep_guard
+        assert config.any_active
+
+    def test_miss_policy_validated(self):
+        with pytest.raises(ConfigurationError):
+            GuardConfig(miss_policy="panic")
+        for policy in MISS_POLICIES:
+            assert GuardConfig(miss_policy=policy).miss_policy == policy
+
+
+class TestOverrunWatchdog:
+    """Satellite check: a single overrun on the paper's worked example.
+
+    Table 1 / Example 2: tau2's request at t = 160 is the lone pending job
+    and is slowed to r = 0.5 over its private window [160, 200).  We script
+    a 50 % overrun on exactly that job (tau2#2) and assert the watchdog
+    fires inside the window, snaps the processor back to full speed, and
+    that no *other* task pays for tau2's overrun with a deadline miss.
+    """
+
+    def _run(self, guarded: bool):
+        guards = (
+            GuardConfig(overrun_watchdog=True) if guarded else GuardConfig.none()
+        )
+        layer = FaultLayer([ScriptedOverrun({"tau2#2": 0.5})], guards=guards)
+        return simulate(
+            example_taskset(),
+            make_scheduler("lpfps"),
+            duration=400.0,
+            on_miss="record",
+            record_trace=True,
+            faults=layer,
+        )
+
+    def test_watchdog_fires_inside_the_slowed_window(self):
+        result = self._run(guarded=True)
+        watchdog = [a for a in result.guard_activations if a.guard == "watchdog"]
+        assert len(watchdog) == 1
+        assert 160.0 < watchdog[0].time < 200.0
+        assert watchdog[0].job == "tau2#2"
+
+    def test_watchdog_snaps_to_full_speed(self):
+        result = self._run(guarded=True)
+        snap_time = result.guard_activations[0].time
+        # The snap requests a full-speed ramp at the firing instant...
+        speed_events = result.trace.events_of_kind("speed")
+        assert any(
+            abs(e.time - snap_time) < 1e-6 and e.detail == "1.0000"
+            for e in speed_events
+        )
+        # ... and once the up-ramp lands, the overrun tail runs at full speed.
+        tail = [
+            s
+            for s in result.trace.segments
+            if s.state == "run" and s.job == "tau2#2" and s.start > snap_time + 1e-6
+        ]
+        assert tail
+        assert all(s.speed_end > s.speed_start - 1e-12 for s in tail)  # rising
+        assert tail[-1].speed_start >= 1.0 - 1e-9
+        assert tail[-1].speed_end >= 1.0 - 1e-9
+
+    @pytest.mark.parametrize("guarded", [False, True])
+    def test_no_other_task_misses(self, guarded):
+        result = self._run(guarded=guarded)
+        assert [m for m in result.deadline_misses if m.task_name != "tau2"] == []
+
+    def test_fault_event_recorded(self):
+        result = self._run(guarded=True)
+        assert len(result.fault_events) == 1
+        event = result.fault_events[0]
+        assert event.detail == "tau2#2"
+        assert event.magnitude == pytest.approx(10.0)  # 0.5 * C_2
+
+
+class TestSleepGuard:
+    """A sparse set with a tight deadline: the processor sleeps ~990 of
+    every 1000 µs, so wake-timer errors are large in absolute terms and a
+    late fire alone blows the 30 µs deadline.  The guard re-arms early
+    timers and falls back to the release interrupt for late ones."""
+
+    def _run(self, guarded: bool):
+        sparse = rate_monotonic(
+            TaskSet(
+                name="sparse",
+                tasks=[Task("a", wcet=10.0, period=1000.0, deadline=30.0)],
+            )
+        )
+        guards = GuardConfig.all() if guarded else GuardConfig.none()
+        layer = FaultLayer([WakeTimerErrorInjector(0.9)], guards=guards, seed=2)
+        return simulate(
+            sparse,
+            make_scheduler("fps-pd"),
+            duration=50_000.0,
+            on_miss="record",
+            faults=layer,
+        )
+
+    def test_guard_eliminates_timer_induced_misses(self):
+        unguarded = self._run(guarded=False)
+        guarded = self._run(guarded=True)
+        assert len(unguarded.deadline_misses) > 0
+        assert guarded.deadline_misses == []
+
+    def test_both_guard_reactions_exercised(self):
+        details = [
+            a.detail
+            for a in self._run(guarded=True).guard_activations
+            if a.guard == "sleep-guard"
+        ]
+        assert any("re-armed" in d for d in details)
+        assert any("release interrupt" in d for d in details)
+
+    def test_inert_without_faults(self):
+        layer = FaultLayer([], guards=GuardConfig.all(), seed=2)
+        result = simulate(
+            example_taskset(),
+            make_scheduler("lpfps"),
+            duration=4_000.0,
+            on_miss="record",
+            faults=layer,
+        )
+        assert result.guard_activations == []

@@ -1,0 +1,140 @@
+"""Unit tests for the fault injectors."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FaultLayer,
+    OverheadSpikeInjector,
+    ReleaseJitterInjector,
+    ScriptedOverrun,
+    SpeedTransitionFaultInjector,
+    WakeTimerErrorInjector,
+    WcetOverrunInjector,
+    available_injectors,
+    make_injector,
+)
+from repro.tasks.task import Task
+
+pytestmark = pytest.mark.faults
+
+TASK = Task(name="tau", wcet=20.0, period=100.0)
+
+
+class _ExplodingRng(random.Random):
+    """RNG that fails the test on any draw (zero-intensity discipline)."""
+
+    def random(self):
+        raise AssertionError("injector drew from the RNG at zero intensity")
+
+    def uniform(self, a, b):
+        raise AssertionError("injector drew from the RNG at zero intensity")
+
+
+class TestZeroIntensity:
+    """Zero intensity is a strict no-op that never touches the RNG."""
+
+    @pytest.mark.parametrize("name", available_injectors())
+    def test_no_rng_draw(self, name):
+        injector = make_injector(name, 0.0)
+        rng = _ExplodingRng()
+        assert not injector.active
+        assert injector.perturb_demand(TASK, 20.0, rng) == 20.0
+        assert injector.perturb_release(TASK, 100.0, rng) == 100.0
+        assert injector.perturb_wake_timer(0.0, 50.0, rng) == 50.0
+        assert injector.perturb_speed_request(0.5, 1.0, rng) == 1.0
+        assert injector.transition_duration_factor(rng) == 1.0
+        assert injector.overhead_spike(rng) == 0.0
+
+    def test_layer_injects_false(self):
+        layer = FaultLayer([make_injector(n, 0.0) for n in available_injectors()])
+        assert not layer.injects
+
+
+class TestWcetOverrun:
+    def test_full_intensity_always_overruns(self):
+        injector = WcetOverrunInjector(1.0)
+        rng = random.Random(3)
+        for _ in range(20):
+            demand = injector.perturb_demand(TASK, 15.0, rng)
+            assert demand > TASK.wcet
+
+    def test_magnitude_scales_with_intensity(self):
+        rng = random.Random(3)
+        demand = WcetOverrunInjector(1.0).perturb_demand(TASK, 15.0, rng)
+        # f ~ U(0.25, 1.0) * intensity, applied to the WCET.
+        assert TASK.wcet * 1.25 <= demand <= TASK.wcet * 2.0
+
+    def test_targeting_skips_other_tasks_without_rng_draw(self):
+        injector = WcetOverrunInjector(1.0, tasks=["other"])
+        assert injector.perturb_demand(TASK, 15.0, _ExplodingRng()) == 15.0
+
+    def test_targeting_hits_named_task(self):
+        injector = WcetOverrunInjector(1.0, tasks=[TASK.name])
+        assert injector.perturb_demand(TASK, 15.0, random.Random(3)) > TASK.wcet
+
+
+class TestOtherInjectors:
+    def test_jitter_delays_never_advances(self):
+        injector = ReleaseJitterInjector(1.0)
+        rng = random.Random(5)
+        for _ in range(20):
+            assert injector.perturb_release(TASK, 300.0, rng) >= 300.0
+
+    def test_wake_timer_never_fires_in_the_past(self):
+        injector = WakeTimerErrorInjector(1.0)
+        rng = random.Random(5)
+        for _ in range(50):
+            assert injector.perturb_wake_timer(10.0, 11.0, rng) >= 10.0
+
+    def test_speed_fault_drops_and_clamps(self):
+        injector = SpeedTransitionFaultInjector(1.0)
+        rng = random.Random(5)
+        outcomes = {injector.perturb_speed_request(0.5, 1.0, rng) for _ in range(50)}
+        assert None in outcomes          # dropped requests
+        assert 0.75 in outcomes          # clamped to the midpoint
+        factor = injector.transition_duration_factor(rng)
+        assert 1.0 <= factor <= 2.0
+
+    def test_overhead_spike_bounded(self):
+        injector = OverheadSpikeInjector(1.0)
+        rng = random.Random(5)
+        spikes = [injector.overhead_spike(rng) for _ in range(50)]
+        assert any(s > 0 for s in spikes)
+        assert all(0.0 <= s <= 5.0 for s in spikes)
+
+
+class TestScriptedOverrun:
+    def test_hits_exactly_the_named_job(self):
+        injector = ScriptedOverrun({"tau#1": 0.5})
+        rng = _ExplodingRng()  # deterministic: must never draw
+        assert injector.perturb_demand(TASK, 20.0, rng) == 20.0       # tau#0
+        assert injector.perturb_demand(TASK, 20.0, rng) == 30.0       # tau#1
+        assert injector.perturb_demand(TASK, 20.0, rng) == 20.0       # tau#2
+
+    def test_reset_rewinds_job_counter(self):
+        injector = ScriptedOverrun({"tau#0": 1.0})
+        rng = _ExplodingRng()
+        assert injector.perturb_demand(TASK, 20.0, rng) == 40.0
+        injector.reset()
+        assert injector.perturb_demand(TASK, 20.0, rng) == 40.0
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ConfigurationError):
+            ScriptedOverrun({"tau#0": 0.0})
+
+
+class TestRegistry:
+    def test_unknown_injector(self):
+        with pytest.raises(ConfigurationError):
+            make_injector("bitflip", 0.5)
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_injector("wcet-overrun", -0.1)
+
+    def test_all_names_instantiate(self):
+        for name in available_injectors():
+            assert make_injector(name, 0.5).name == name

@@ -1,0 +1,113 @@
+"""Fault-aware trace validation: suppression and abort bookkeeping."""
+
+import pytest
+
+from repro.faults import FaultLayer, GuardConfig
+from repro.schedulers.registry import make_scheduler
+from repro.sim.engine import simulate
+from repro.sim.trace import Segment, TraceRecorder
+from repro.sim.validate import validate_trace
+from repro.tasks.priority import rate_monotonic
+from repro.tasks.task import Task, TaskSet
+
+pytestmark = pytest.mark.faults
+
+
+def _slowdown_violation_trace(with_fault: bool) -> TraceRecorder:
+    """A trace where a#0 runs slowed while b#0 is pending (L16 breach)."""
+    trace = TraceRecorder()
+    trace.record_event(0.0, "release", "a#0")
+    trace.record_event(5.0, "release", "b#0")
+    if with_fault:
+        # e.g. the full-speed restore at b#0's arrival was dropped.
+        trace.record_event(5.0, "fault", "speed-fault:dvs-dropped")
+    trace.record_segment(
+        Segment(0.0, 20.0, "run", job="a#0", task="a",
+                speed_start=0.5, speed_end=0.5)
+    )
+    trace.record_event(20.0, "completion", "a#0")
+    trace.record_segment(
+        Segment(20.0, 30.0, "run", job="b#0", task="b")
+    )
+    trace.record_event(30.0, "completion", "b#0")
+    return trace
+
+
+class TestFaultSuppression:
+    def test_violation_without_fault_is_reported(self):
+        violations = validate_trace(_slowdown_violation_trace(with_fault=False))
+        assert any(v.invariant == "slowdown-exclusive" for v in violations)
+
+    def test_same_violation_with_fault_is_suppressed(self):
+        assert validate_trace(_slowdown_violation_trace(with_fault=True)) == []
+
+    def test_fault_aware_false_restores_raw_behaviour(self):
+        violations = validate_trace(
+            _slowdown_violation_trace(with_fault=True), fault_aware=False
+        )
+        assert any(v.invariant == "slowdown-exclusive" for v in violations)
+
+    def test_structural_violations_survive_faults(self):
+        trace = _slowdown_violation_trace(with_fault=True)
+        # A job running before its release is a kernel bug, fault or not.
+        trace.record_segment(
+            Segment(30.0, 35.0, "run", job="ghost#0", task="ghost")
+        )
+        violations = validate_trace(trace)
+        assert any(v.invariant == "causality" for v in violations)
+
+    def test_violation_before_first_fault_is_kept(self):
+        trace = TraceRecorder()
+        trace.record_event(0.0, "release", "a#0")
+        trace.record_event(0.0, "release", "b#0")
+        trace.record_segment(
+            Segment(0.0, 10.0, "run", job="a#0", task="a",
+                    speed_start=0.5, speed_end=0.5)
+        )
+        trace.record_event(10.0, "completion", "a#0")
+        trace.record_event(50.0, "fault", "wcet-overrun:b#1")  # later fault
+        violations = validate_trace(trace)
+        assert any(v.invariant == "slowdown-exclusive" for v in violations)
+
+
+class TestAbortBookkeeping:
+    def test_aborted_jobs_stop_being_pending(self):
+        """Containment aborts close the pending interval — no fault events
+        are involved, so nothing here relies on suppression."""
+        overloaded = rate_monotonic(
+            TaskSet(
+                name="over",
+                tasks=[
+                    Task("a", wcet=700.0, period=1000.0),
+                    Task("b", wcet=700.0, period=1500.0),
+                ],
+            )
+        )
+        layer = FaultLayer([], guards=GuardConfig(miss_policy="abort"))
+        result = simulate(
+            overloaded,
+            make_scheduler("fps"),
+            duration=50_000.0,
+            on_miss="record",
+            record_trace=True,
+            faults=layer,
+        )
+        aborts = [m for m in result.deadline_misses if m.containment == "abort"]
+        assert aborts and len(aborts) == len(result.deadline_misses)
+        assert result.fault_events == []
+        assert result.trace.events_of_kind("abort")
+        violations = validate_trace(
+            result.trace, overloaded, check_slowdown_exclusive=False
+        )
+        assert violations == []
+
+    def test_completion_after_abort_flagged(self):
+        trace = TraceRecorder()
+        trace.record_event(0.0, "release", "a#0")
+        trace.record_event(10.0, "abort", "a#0")
+        trace.record_event(20.0, "completion", "a#0")
+        violations = validate_trace(trace)
+        assert any(
+            v.invariant == "single-completion" and "aborted" in v.detail
+            for v in violations
+        )

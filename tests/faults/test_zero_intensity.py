@@ -1,0 +1,48 @@
+"""Property: a zero-intensity fault layer is invisible.
+
+For every scheduler in the registry, attaching a fault layer whose
+injectors all sit at zero intensity (and whose guards are off) must yield
+a trace — segments *and* point events — bit-identical to a run with no
+fault layer at all, plus an identical energy breakdown.  This is the
+contract that lets the campaign runner use intensity 0 as a true control
+cell, and it pins the engine's fast path: the fault hooks must not perturb
+floating-point evaluation order when they have nothing to do.
+"""
+
+import pytest
+
+from repro.faults import FaultLayer, available_injectors, make_injector
+from repro.schedulers.registry import available_schedulers, make_scheduler
+from repro.sim.engine import simulate
+from repro.tasks.generation import GaussianModel
+from repro.workloads.example_dac99 import example_taskset
+
+pytestmark = pytest.mark.faults
+
+
+def _run(policy, faults):
+    return simulate(
+        example_taskset(),
+        make_scheduler(policy),
+        execution_model=GaussianModel(),
+        duration=2_000.0,
+        seed=9,
+        on_miss="record",
+        record_trace=True,
+        faults=faults,
+    )
+
+
+@pytest.mark.parametrize("policy", available_schedulers())
+def test_zero_intensity_is_trace_identical(policy):
+    layer = FaultLayer(
+        [make_injector(name, 0.0) for name in available_injectors()], seed=9
+    )
+    bare = _run(policy, faults=None)
+    layered = _run(policy, faults=layer)
+
+    assert layered.trace.segments == bare.trace.segments
+    assert layered.trace.events == bare.trace.events
+    assert layered.energy.as_dict() == bare.energy.as_dict()
+    assert layered.fault_events == []
+    assert layered.guard_activations == []
