@@ -1,0 +1,9 @@
+"""Golden-trace fixtures pinning the kernel's exact behaviour.
+
+The fixtures in ``golden_traces.json`` were captured from the pre-refactor
+monolithic engine (PR 1 state) and assert that every registry scheduler
+still produces bit-identical traces and energy totals on the DAC'99
+example, INS, and CNC workloads.  Regenerate deliberately with::
+
+    PYTHONPATH=src:. python -m tests.golden.capture --write
+"""

@@ -1,0 +1,157 @@
+"""Capture and digest golden simulation traces.
+
+A *golden case* is one (scheduler, workload) cell simulated with a fixed
+seed, BCET ratio, and horizon, with full trace recording.  The digest
+pins down everything observable about the run:
+
+* a SHA-256 over the canonical rendering of every trace segment and
+  point event (``repr`` floats — shortest round-trip, so bit-exact);
+* every energy bucket, as ``repr`` strings (bit-exact float totals);
+* the scalar counters (jobs, misses, preemptions, context switches,
+  speed changes, sleep entries).
+
+The fixture file is written once from the pre-refactor engine; the test
+in :mod:`tests.golden.test_golden_traces` re-simulates each case and
+compares digests, so any refactor that changes a single float or event
+ordering fails loudly.
+
+Regenerate (only when a behaviour change is intended and understood)::
+
+    PYTHONPATH=src:. python -m tests.golden.capture --write
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Dict, List, Tuple
+
+from repro.schedulers.registry import available_schedulers, make_scheduler
+from repro.sim.engine import simulate
+from repro.sim.metrics import SimulationResult
+from repro.tasks.generation import GaussianModel
+from repro.workloads.registry import get_workload
+
+FIXTURE_PATH = pathlib.Path(__file__).parent / "golden_traces.json"
+
+#: (workload, duration µs) cells; durations are whole small multiples of
+#: activity that exercise dispatch, DVS slow-downs, sleep, and wake-ups
+#: while keeping the whole matrix fast enough for tier-1.
+GOLDEN_WORKLOADS: Tuple[Tuple[str, float], ...] = (
+    ("example", 400.0),
+    ("ins", 25_000.0),
+    ("cnc", 25_000.0),
+)
+
+#: Execution-time configuration shared by every case.
+GOLDEN_SEED = 1
+GOLDEN_BCET_RATIO = 0.5
+
+
+def golden_cases() -> List[Tuple[str, str, float]]:
+    """Every (scheduler, workload, duration) cell of the golden matrix."""
+    return [
+        (scheduler, workload, duration)
+        for scheduler in available_schedulers()
+        for workload, duration in GOLDEN_WORKLOADS
+    ]
+
+
+def case_id(scheduler: str, workload: str) -> str:
+    """Stable fixture key for one cell."""
+    return f"{scheduler}@{workload}"
+
+
+def run_case(scheduler: str, workload: str, duration: float) -> SimulationResult:
+    """Simulate one golden cell with full trace recording."""
+    taskset = get_workload(workload).prioritized().with_bcet_ratio(GOLDEN_BCET_RATIO)
+    return simulate(
+        taskset,
+        make_scheduler(scheduler),
+        execution_model=GaussianModel(),
+        duration=duration,
+        seed=GOLDEN_SEED,
+        on_miss="record",
+        record_trace=True,
+    )
+
+
+def digest_result(result: SimulationResult) -> Dict[str, object]:
+    """Canonical, bit-exact digest of one simulation result."""
+    trace = result.trace
+    lines: List[str] = []
+    for seg in trace.segments:
+        lines.append(
+            "S|%s|%s|%s|%s|%s|%s|%s"
+            % (
+                repr(seg.start),
+                repr(seg.end),
+                seg.state,
+                seg.job,
+                seg.task,
+                repr(seg.speed_start),
+                repr(seg.speed_end),
+            )
+        )
+    for event in trace.events:
+        lines.append("E|%s|%s|%s" % (repr(event.time), event.kind, event.detail))
+    sha = hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+    return {
+        "trace_sha256": sha,
+        "segments": len(trace.segments),
+        "events": len(trace.events),
+        "energy": {k: repr(v) for k, v in result.energy.as_dict().items()},
+        "energy_total": repr(result.energy.total),
+        "jobs_completed": result.jobs_completed,
+        "deadline_misses": len(result.deadline_misses),
+        "context_switches": result.context_switches,
+        "preemptions": result.preemptions,
+        "speed_changes": result.speed_changes,
+        "sleep_entries": result.sleep_entries,
+    }
+
+
+def digest_case(scheduler: str, workload: str, duration: float) -> Dict[str, object]:
+    """Digest one cell; configuration/analysis refusals are golden too.
+
+    The YDS oracle (for one) refuses workloads whose hyperperiod implies
+    an impractical offline search — that refusal is pinned behaviour, so
+    it is recorded as an ``error`` digest rather than skipped.
+    """
+    from repro.errors import ReproError
+
+    try:
+        return digest_result(run_case(scheduler, workload, duration))
+    except ReproError as exc:
+        return {"error": f"{type(exc).__name__}: {exc}"}
+
+
+def capture_all() -> Dict[str, Dict[str, object]]:
+    """Run the whole golden matrix and digest every cell."""
+    fixtures: Dict[str, Dict[str, object]] = {}
+    for scheduler, workload, duration in golden_cases():
+        fixtures[case_id(scheduler, workload)] = digest_case(
+            scheduler, workload, duration
+        )
+    return fixtures
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write", action="store_true", help="regenerate the fixture file"
+    )
+    args = parser.parse_args()
+    fixtures = capture_all()
+    if args.write:
+        FIXTURE_PATH.write_text(json.dumps(fixtures, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {len(fixtures)} golden cases to {FIXTURE_PATH}")
+    else:
+        print(json.dumps(fixtures, indent=1, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

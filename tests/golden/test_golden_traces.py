@@ -1,0 +1,51 @@
+"""Trace-equivalence guard: the kernel must match its golden fixtures.
+
+Every registry scheduler, on the DAC'99 example, INS, and CNC workloads,
+must produce bit-identical traces and energy totals to the fixtures
+captured from the pre-refactor engine.  A digest mismatch means the
+kernel's observable behaviour changed — either fix the regression or,
+for an *intended* change, regenerate with
+``PYTHONPATH=src:. python -m tests.golden.capture --write`` and justify
+the new fixtures in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from .capture import FIXTURE_PATH, case_id, digest_case, golden_cases
+
+
+def _fixtures():
+    return json.loads(FIXTURE_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def fixtures():
+    return _fixtures()
+
+
+def test_fixture_file_covers_full_matrix():
+    """Every registry scheduler x golden workload has a stored fixture."""
+    stored = set(_fixtures())
+    expected = {case_id(s, w) for s, w, _ in golden_cases()}
+    assert stored == expected
+
+
+@pytest.mark.parametrize(
+    "scheduler,workload,duration",
+    golden_cases(),
+    ids=[case_id(s, w) for s, w, _ in golden_cases()],
+)
+def test_golden_trace(fixtures, scheduler, workload, duration):
+    """One cell's trace digest and energy totals are bit-identical."""
+    expected = fixtures[case_id(scheduler, workload)]
+    actual = digest_case(scheduler, workload, duration)
+    if "energy" in expected:
+        assert actual.get("energy") == expected["energy"], (
+            f"energy totals drifted for {scheduler} on {workload}: "
+            f"{actual.get('energy')} != {expected['energy']}"
+        )
+    assert actual == expected
