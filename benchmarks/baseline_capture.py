@@ -33,6 +33,31 @@ SINGLE_DURATION = 2_000_000.0
 OUT_PATH = pathlib.Path(__file__).parent / "out" / "kernel_baseline.json"
 
 
+def calibrate(reps: int = 5) -> float:
+    """Interpreter ops-per-second probe for clock drift correction.
+
+    The container's CPU clock oscillates by tens of percent on a
+    minutes timescale, so raw wall-time comparisons against a stored
+    baseline swing with it.  Both the capture and ``bench_kernel.py``
+    run this identical pure-Python loop (bytecode + float + dict work,
+    like the kernel hot path) in the same window as their measurements;
+    the ratio of the two rates rescales the stored wall times to the
+    current clock.  Median of *reps* runs rejects scheduler noise.
+    """
+    n = 200_000
+    rates = []
+    for _ in range(reps):
+        acc = 0.0
+        d = {}
+        t0 = time.perf_counter()
+        for i in range(n):
+            acc += i * 1e-6
+            d[i & 63] = acc
+        rates.append(n / (time.perf_counter() - t0))
+    rates.sort()
+    return rates[len(rates) // 2]
+
+
 def campaign_cells() -> List[Tuple[str, str, int]]:
     """The 32 (policy, workload, seed) cells, in fixed order."""
     return [
@@ -119,6 +144,7 @@ def main() -> None:
     args = parser.parse_args()
     baseline = {
         "label": args.label,
+        "calibration_ops_per_s": calibrate(),
         "single_cell_untraced": time_single_cell(record_trace=False),
         "single_cell_traced": time_single_cell(record_trace=True),
         "campaign_serial_untraced": time_campaign_serial(record_trace=False),

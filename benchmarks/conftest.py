@@ -4,15 +4,56 @@ Every benchmark regenerates one of the paper's tables or figures.  The
 rendered artefact is printed to stdout (run with ``-s`` to see it live) and
 also written to ``benchmarks/out/<name>.txt`` so the reproduced outputs
 survive the run.
+
+Alongside the human-readable text, every benchmark module also emits a
+machine-readable ``benchmarks/out/<module>.json`` recording each test's
+metrics (name, value, units) and wall time, so the perf and accuracy
+trajectory is trackable across PRs.  Metrics arrive through two channels:
+
+* ``benchmark.extra_info`` entries are captured automatically for tests
+  using the pytest-benchmark fixture;
+* the :func:`metrics_out` fixture lets tests (with or without the
+  ``benchmark`` fixture) record metrics explicitly.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
+from typing import Dict
 
 import pytest
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: module stem -> test name -> {"wall_time_s": float, "metrics": [...]}
+_METRICS: Dict[str, Dict[str, dict]] = {}
+
+#: Suffix conventions used by the ``extra_info`` metric names.
+_UNIT_SUFFIXES = (
+    ("_pct", "%"),
+    ("_us", "µs"),
+    ("_per_wall_s", "simulated µs per wall-clock s"),
+    ("_power", "normalized power"),
+    ("_ratio", "ratio"),
+    ("_missrate", "fraction"),
+    ("_wall_s", "s"),
+    ("_speedup", "x"),
+)
+
+
+def _units_for(name: str) -> str:
+    for suffix, units in _UNIT_SUFFIXES:
+        if name.endswith(suffix):
+            return units
+    return ""
+
+
+def _record(module: str, test: str) -> dict:
+    return _METRICS.setdefault(module, {}).setdefault(
+        test, {"wall_time_s": None, "metrics": []}
+    )
 
 
 @pytest.fixture
@@ -26,3 +67,64 @@ def artifact():
         print(f"\n{text}\n[saved to {path}]")
 
     return _save
+
+
+@pytest.fixture
+def metrics_out(request):
+    """Record machine-readable metrics for ``out/<module>.json``.
+
+    Yields ``add(name, value, units="")``; the surrounding test's wall
+    time is measured by the fixture itself.
+    """
+    module = pathlib.Path(str(request.node.fspath)).stem
+    test = request.node.name
+    record = _record(module, test)
+
+    def _add(name: str, value, units: str = "") -> None:
+        record["metrics"].append(
+            {"name": name, "value": value, "units": units or _units_for(name)}
+        )
+
+    start = time.perf_counter()
+    yield _add
+    record["wall_time_s"] = round(time.perf_counter() - start, 6)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Auto-capture ``benchmark.extra_info`` metrics and test wall time."""
+    yield
+    if call.when != "call":
+        return
+    module = pathlib.Path(str(item.fspath)).stem
+    if not module.startswith("bench_"):
+        return
+    fixture = getattr(item, "funcargs", {}).get("benchmark")
+    extra = getattr(fixture, "extra_info", None)
+    if not extra and module not in _METRICS:
+        return
+    record = _record(module, item.name)
+    if record["wall_time_s"] is None:
+        record["wall_time_s"] = round(call.duration, 6)
+    if extra:
+        seen = {m["name"] for m in record["metrics"]}
+        for name, value in extra.items():
+            if name not in seen:
+                record["metrics"].append(
+                    {"name": name, "value": value, "units": _units_for(name)}
+                )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush one JSON per benchmark module that ran."""
+    if not _METRICS:
+        return
+    OUT_DIR.mkdir(exist_ok=True)
+    for module, tests in _METRICS.items():
+        payload = {
+            "benchmark": module,
+            "schema": "bench-metrics/v1",
+            "tests": tests,
+        }
+        path = OUT_DIR / f"{module}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -69,6 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="application panel to run (default: all four)",
     )
     f8.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    f8.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the run grid (results identical to serial)",
+    )
 
     ab = sub.add_parser("ablation", help="design-choice ablation studies")
     ab.add_argument(
@@ -115,6 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--policies", nargs="+", choices=available_schedulers(),
         default=list(DEFAULT_POLICIES),
     )
+    flt.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the run grid (results identical to serial)",
+    )
 
     val = sub.add_parser(
         "validate", help="run one traced simulation and check kernel invariants"
@@ -154,11 +162,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(run_figure7().render())
     elif args.command == "figure8":
         if args.app == "all":
-            for name, result in run_figure8_all(seeds=args.seeds).items():
+            for name, result in run_figure8_all(
+                seeds=args.seeds, jobs=args.jobs
+            ).items():
                 print(result.render())
                 print()
         else:
-            print(run_figure8(args.app, seeds=args.seeds).render())
+            print(
+                run_figure8(args.app, seeds=args.seeds, jobs=args.jobs).render()
+            )
     elif args.command == "ablation":
         runs = {
             "policy": lambda: run_policy_ablation(
@@ -199,6 +211,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             policies=args.policies,
             seeds=tuple(args.seed),
             miss_policy=args.miss_policy,
+            jobs=args.jobs,
         )
         print(campaign.render())
     elif args.command == "validate":

@@ -104,8 +104,14 @@ def run_figure8(
     seeds: Sequence[int] = (1, 2, 3),
     spec: Optional[ProcessorSpec] = None,
     duration: Optional[float] = None,
+    jobs: Optional[int] = None,
 ) -> Figure8Result:
-    """Run the Figure 8 sweep for one application by registry name."""
+    """Run the Figure 8 sweep for one application by registry name.
+
+    *jobs* > 1 runs each ratio's (scheduler, seed) grid on worker
+    processes via :func:`~repro.experiments.runner.run_many`; the sweep's
+    numbers are identical to a serial run.
+    """
     workload = get_workload(application)
     base = workload.prioritized()
     spec = spec if spec is not None else ProcessorSpec.arm8()
@@ -120,6 +126,7 @@ def run_figure8(
             execution_model=GaussianModel(),
             seeds=seeds,
             duration=horizon,
+            jobs=jobs,
         )
         fps, lpfps = comparison["FPS"], comparison["LPFPS"]
         points.append(
@@ -143,9 +150,10 @@ def run_figure8_all(
     ratios: Sequence[float] = DEFAULT_RATIOS,
     seeds: Sequence[int] = (1, 2, 3),
     spec: Optional[ProcessorSpec] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Figure8Result]:
     """Run all four panels (a)–(d) of Figure 8."""
     return {
-        name: run_figure8(name, ratios=ratios, seeds=seeds, spec=spec)
+        name: run_figure8(name, ratios=ratios, seeds=seeds, spec=spec, jobs=jobs)
         for name in ("avionics", "ins", "flight_control", "cnc")
     }

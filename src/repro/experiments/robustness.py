@@ -30,19 +30,18 @@ fixed run order, fixed-width rendering): repeating one is bit-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..faults.campaign import CampaignResult, run_campaign
 from ..faults.guards import GuardConfig
 from ..faults.injectors import WcetOverrunInjector
 from ..faults.layer import FaultLayer
-from ..schedulers.registry import make_scheduler
-from ..sim.engine import simulate
 from ..tasks.priority import rate_monotonic
 from ..tasks.task import Task, TaskSet
 from ..viz.tables import render_table
 from ..workloads.registry import get_workload
+from .runner import RunSpec, run_many
 
 #: Intensities where the stress set's miss-flip mechanism is informative:
 #: below 0.2 the overrun tails are too short to flip any successor job,
@@ -174,6 +173,7 @@ def run_robustness_sweep(
     intensities: Sequence[float] = STRESS_INTENSITIES,
     seeds: Sequence[int] = (1, 2, 3),
     duration: float = STRESS_DURATION,
+    jobs_workers: Optional[int] = None,
 ) -> RobustnessResult:
     """Guarded vs unguarded LPFPS under targeted WCET overruns.
 
@@ -183,31 +183,40 @@ def run_robustness_sweep(
     targeted at ``heavy`` only, which keeps the injected fault sequence
     identical across the two configurations regardless of how their
     schedules diverge.
+
+    *jobs_workers* > 1 executes the (intensity, guards, seed) grid on
+    worker processes via :func:`~repro.experiments.runner.run_many`; the
+    sweep is a pure function of its arguments either way.
     """
     if any(i < 0 for i in intensities):
         raise ConfigurationError("intensities must be >= 0")
     taskset = stress_taskset()
+    specs = [
+        RunSpec(
+            taskset=taskset,
+            scheduler="lpfps",
+            seed=seed,
+            duration=duration,
+            on_miss="record",
+            faults=FaultLayer(
+                injectors=[WcetOverrunInjector(intensity, tasks=["heavy"])],
+                guards=GuardConfig.all() if guarded else GuardConfig.none(),
+                seed=seed,
+            ),
+        )
+        for intensity in intensities
+        for guarded in (False, True)
+        for seed in seeds
+    ]
+    results = iter(run_many(specs, jobs=jobs_workers))
     points = []
     for intensity in intensities:
         cells = {}
         for guarded in (False, True):
-            guards = GuardConfig.all() if guarded else GuardConfig.none()
             jobs = misses = acts = 0
             power = 0.0
-            for seed in seeds:
-                layer = FaultLayer(
-                    injectors=[WcetOverrunInjector(intensity, tasks=["heavy"])],
-                    guards=guards,
-                    seed=seed,
-                )
-                result = simulate(
-                    taskset,
-                    make_scheduler("lpfps"),
-                    duration=duration,
-                    seed=seed,
-                    on_miss="record",
-                    faults=layer,
-                )
+            for _seed in seeds:
+                result = next(results)
                 jobs += sum(s.jobs_released for s in result.task_stats.values())
                 misses += len(result.deadline_misses)
                 acts += len(result.guard_activations)
@@ -243,6 +252,7 @@ def run_robustness_campaign(
     bcet_ratio: float = 0.5,
     seeds: Sequence[int] = (1, 2, 3),
     miss_policy: str = "run-to-completion",
+    jobs: Optional[int] = None,
 ) -> Tuple[CampaignResult, ...]:
     """Policy dose-response: one full campaign per intensity.
 
@@ -257,6 +267,7 @@ def run_robustness_campaign(
             intensity=intensity,
             seeds=seeds,
             miss_policy=miss_policy,
+            jobs=jobs,
         )
         for intensity in intensities
     )

@@ -1,16 +1,28 @@
-"""Shared experiment machinery: durations, seeded sweeps, averaging.
+"""Shared experiment machinery: durations, seeded sweeps, the executor.
 
 The power experiments compare schedulers on identical job streams: every
 (scheduler, seed) pair draws execution times from the same seeded generator,
 so power differences are attributable to the policy alone.
+
+Campaigns are expressed as lists of :class:`RunSpec` cells — one
+self-contained, picklable simulation each — executed by :func:`run_many`.
+Because every cell carries its own seed and builds its own scheduler and
+fault layer, the result list is a pure function of the spec list: running
+with ``jobs=4`` worker processes returns exactly what the serial path
+returns, in the same order.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from ..faults.layer import FaultLayer
 from ..power.processor import ProcessorSpec
 from ..sim.engine import simulate
 from ..sim.metrics import SimulationResult
@@ -44,6 +56,99 @@ def measurement_duration(
 
 
 @dataclass(frozen=True)
+class RunSpec:
+    """One self-contained simulation cell of a campaign.
+
+    *scheduler* is either a registry name (preferred — always picklable)
+    or a zero-argument factory; a fresh policy object is built inside the
+    executing process, so per-run scheduler state never leaks between
+    cells.  *faults*, when present, is likewise either a ready
+    :class:`~repro.faults.layer.FaultLayer` or a zero-argument factory
+    for one.
+    """
+
+    taskset: TaskSet
+    scheduler: Union[str, Callable[[], Any]]
+    seed: int = 0
+    spec: Optional[ProcessorSpec] = None
+    execution_model: Optional[ExecutionTimeModel] = None
+    duration: Optional[float] = None
+    on_miss: str = "record"
+    scheduler_overhead: float = 0.0
+    faults: Union[None, FaultLayer, Callable[[], FaultLayer]] = None
+    record_trace: bool = False
+    extra: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def build_scheduler(self) -> Any:
+        """Instantiate this cell's scheduler."""
+        if isinstance(self.scheduler, str):
+            # Imported lazily: the registry pulls in every policy module.
+            from ..schedulers.registry import make_scheduler
+
+            return make_scheduler(self.scheduler)
+        return self.scheduler()
+
+    def run(self) -> SimulationResult:
+        """Execute this cell and return its result."""
+        faults = self.faults
+        if faults is not None and not isinstance(faults, FaultLayer):
+            faults = faults()
+        return simulate(
+            self.taskset,
+            self.build_scheduler(),
+            spec=self.spec,
+            execution_model=self.execution_model,
+            duration=self.duration,
+            seed=self.seed,
+            on_miss=self.on_miss,
+            scheduler_overhead=self.scheduler_overhead,
+            faults=faults,
+            record_trace=self.record_trace,
+        )
+
+
+def _run_spec(spec: RunSpec) -> SimulationResult:
+    """Module-level trampoline so worker processes can unpickle the call."""
+    return spec.run()
+
+
+def run_many(
+    specs: Sequence[RunSpec],
+    jobs: Optional[int] = None,
+) -> List[SimulationResult]:
+    """Execute a campaign of :class:`RunSpec` cells, optionally in parallel.
+
+    Results come back in spec order.  With ``jobs`` ≤ 1 (the default) the
+    cells run serially in this process; with ``jobs`` > 1 they are mapped
+    over a process pool.  Each cell is seeded and self-contained, so the
+    returned results are identical either way — parallelism changes wall
+    time, never output.
+
+    The serial path is also the fallback: spec lists that cannot be
+    pickled (e.g. closure-based scheduler factories) and environments
+    where worker processes cannot start both degrade to in-process
+    execution rather than failing.  The worker count is clamped to the
+    machine's CPU count — on a single core a process pool is pure
+    overhead, so the campaign runs in-process instead.
+    """
+    spec_list = list(specs)
+    workers = 1 if jobs is None else int(jobs)
+    workers = min(workers, os.cpu_count() or 1)
+    if workers <= 1 or len(spec_list) <= 1:
+        return [spec.run() for spec in spec_list]
+    try:
+        pickle.dumps(spec_list)
+    except Exception:
+        return [spec.run() for spec in spec_list]
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(spec_list))) as pool:
+            return list(pool.map(_run_spec, spec_list))
+    except (BrokenProcessPool, OSError, PermissionError, NotImplementedError):
+        # Sandboxes without working process spawning fall back to serial.
+        return [spec.run() for spec in spec_list]
+
+
+@dataclass(frozen=True)
 class ComparisonPoint:
     """Averaged result of one scheduler at one sweep point."""
 
@@ -69,31 +174,43 @@ def compare_schedulers(
     seeds: Sequence[int] = (1, 2, 3),
     duration: Optional[float] = None,
     on_miss: str = "record",
+    jobs: Optional[int] = None,
 ) -> Dict[str, ComparisonPoint]:
     """Run every scheduler over every seed and average the powers.
 
-    *schedulers* maps display names to factory callables (a fresh policy
-    object per run keeps per-run state clean).
+    *schedulers* maps display names to factory callables — registry names
+    or zero-argument factories (a fresh policy object per run keeps
+    per-run state clean).  *jobs* > 1 fans the (scheduler, seed) grid out
+    over :func:`run_many` worker processes; the averaged numbers are
+    identical to the serial ones.
     """
     spec = spec if spec is not None else ProcessorSpec.arm8()
     model = execution_model if execution_model is not None else GaussianModel()
     horizon = duration if duration is not None else measurement_duration(taskset)
+    names = list(schedulers)
+    cells = [
+        RunSpec(
+            taskset=taskset,
+            scheduler=schedulers[name],
+            seed=seed,
+            spec=spec,
+            execution_model=model,
+            duration=horizon,
+            on_miss=on_miss,
+        )
+        for name in names
+        for seed in seeds
+    ]
+    results = run_many(cells, jobs=jobs)
     points: Dict[str, ComparisonPoint] = {}
-    for name, factory in schedulers.items():
+    n_seeds = len(seeds)
+    for i, name in enumerate(names):
+        block = results[i * n_seeds : (i + 1) * n_seeds]
         powers: List[float] = []
         misses = 0
         sleeps = 0.0
         speed_changes = 0.0
-        for seed in seeds:
-            result: SimulationResult = simulate(
-                taskset,
-                factory(),
-                spec=spec,
-                execution_model=model,
-                duration=horizon,
-                seed=seed,
-                on_miss=on_miss,
-            )
+        for result in block:
             powers.append(result.average_power)
             misses += len(result.deadline_misses)
             sleeps += result.sleep_entries
@@ -102,8 +219,8 @@ def compare_schedulers(
             scheduler=name,
             average_power=sum(powers) / len(powers),
             deadline_misses=misses,
-            sleep_entries=sleeps / len(seeds),
-            speed_changes=speed_changes / len(seeds),
-            runs=len(seeds),
+            sleep_entries=sleeps / n_seeds,
+            speed_changes=speed_changes / n_seeds,
+            runs=n_seeds,
         )
     return points

@@ -129,6 +129,7 @@ def run_campaign(
     execution_model=None,
     duration: Optional[float] = None,
     scheduler_overhead: float = 0.0,
+    jobs: Optional[int] = None,
 ) -> CampaignResult:
     """Run one seeded fault-injection campaign.
 
@@ -149,11 +150,14 @@ def run_campaign(
     miss_policy:
         Containment for the guarded cells (``"run-to-completion"`` or
         ``"abort"``); unguarded cells always run misses to completion.
+    jobs:
+        Worker processes for the run grid (> 1 fans out over
+        :func:`~repro.experiments.runner.run_many`); results are
+        identical to the serial default.
     """
     # Imported lazily: the engine imports ``repro.faults`` at module level,
-    # so importing it back here at module level would be circular.
-    from ..schedulers.registry import make_scheduler
-    from ..sim.engine import simulate
+    # so importing these back here at module level would be circular.
+    from ..experiments.runner import RunSpec, run_many
     from ..tasks.generation import GaussianModel
 
     if intensity < 0:
@@ -169,37 +173,43 @@ def run_campaign(
         seeds=tuple(seeds),
         miss_policy=miss_policy,
     )
+
+    def _guards_for(guarded: bool) -> GuardConfig:
+        return (
+            GuardConfig.all(miss_policy=miss_policy)
+            if guarded
+            else GuardConfig.none()
+        )
+
+    specs = [
+        RunSpec(
+            taskset=taskset,
+            scheduler=policy,
+            seed=seed,
+            spec=spec,
+            execution_model=model,
+            duration=duration,
+            on_miss="record",
+            scheduler_overhead=scheduler_overhead,
+            faults=FaultLayer(
+                injectors=[make_injector(injector, intensity)]
+                if with_faults
+                else [],
+                guards=_guards_for(guarded),
+                seed=seed,
+            ),
+        )
+        for policy in policies
+        for guarded in (False, True)
+        for with_faults in (False, True)
+        for seed in seeds
+    ]
+    run_iter = iter(run_many(specs, jobs=jobs))
     for policy in policies:
         for guarded in (False, True):
-            guards = (
-                GuardConfig.all(miss_policy=miss_policy)
-                if guarded
-                else GuardConfig.none()
-            )
-
-            def _run(seed: int, with_faults: bool):
-                layer = FaultLayer(
-                    injectors=[make_injector(injector, intensity)]
-                    if with_faults
-                    else [],
-                    guards=guards,
-                    seed=seed,
-                )
-                return simulate(
-                    taskset,
-                    make_scheduler(policy),
-                    spec=spec,
-                    execution_model=model,
-                    duration=duration,
-                    seed=seed,
-                    on_miss="record",
-                    scheduler_overhead=scheduler_overhead,
-                    faults=layer,
-                )
-
-            baseline_runs = [_run(seed, with_faults=False) for seed in seeds]
-            faulted_runs = [_run(seed, with_faults=True) for seed in seeds]
-            jobs, misses, aborts, guard_acts, faults, power = _aggregate(
+            baseline_runs = [next(run_iter) for _ in seeds]
+            faulted_runs = [next(run_iter) for _ in seeds]
+            jobs_released, misses, aborts, guard_acts, faults, power = _aggregate(
                 faulted_runs
             )
             _, _, _, _, _, base_power = _aggregate(baseline_runs)
@@ -208,7 +218,7 @@ def run_campaign(
                     policy=policy,
                     guarded=guarded,
                     seeds=len(seeds),
-                    jobs_released=jobs,
+                    jobs_released=jobs_released,
                     misses=misses,
                     aborts=aborts,
                     guard_activations=guard_acts,

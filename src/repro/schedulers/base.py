@@ -3,6 +3,22 @@
 The interface and the shared dispatch helpers live in
 :mod:`repro.sim.dispatch` (they are part of the kernel contract); this
 module re-exports them under the historical ``schedulers.base`` name.
+
+The contract is closed — the kernel reads exactly these members, with no
+``getattr``/``hasattr`` fallbacks, so every policy must provide:
+
+* ``name: str`` — report label;
+* ``run_queue_key`` — ready-queue ordering (default: priority order);
+* ``requires_priorities: bool`` — demand a prioritised task set
+  (default ``True``);
+* ``tick_interval: Optional[float]`` — periodic TICK events, ``None``
+  to disable (default);
+* ``setup(kernel)`` — pre-run hook (default: no-op);
+* ``schedule(kernel, event) -> Decision`` — the policy itself.
+
+Deriving from :class:`Scheduler` supplies every default; the registry
+conformance test (``tests/schedulers/test_protocol.py``) enforces the
+contract for all registered policies.
 """
 
 from ..sim.dispatch import (

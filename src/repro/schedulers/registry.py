@@ -44,6 +44,7 @@ def make_scheduler(name: str) -> Scheduler:
         factory = _FACTORIES[name.lower()]
     except KeyError:
         raise ConfigurationError(
-            f"unknown scheduler {name!r}; available: {', '.join(available_schedulers())}"
+            f"unknown scheduler {name!r}; "
+            f"available: {', '.join(available_schedulers())}"
         ) from None
     return factory()

@@ -94,12 +94,16 @@ def recompute_energy(trace: TraceRecorder, spec: ProcessorSpec) -> EnergyBreakdo
         ramping = abs(seg.speed_end - seg.speed_start) > 1e-12
         if seg.state == "run":
             if ramping:
-                energy.add("ramp", power.ramp_energy(seg.speed_start, seg.speed_end, dt))
+                energy.add(
+                    "ramp", power.ramp_energy(seg.speed_start, seg.speed_end, dt)
+                )
             else:
                 energy.add("active", power.active_energy(seg.speed_start, dt))
         elif seg.state == "idle":
             if ramping:
-                energy.add("ramp", power.ramp_energy(seg.speed_start, seg.speed_end, dt))
+                energy.add(
+                    "ramp", power.ramp_energy(seg.speed_start, seg.speed_end, dt)
+                )
             else:
                 energy.add("idle", power.idle_energy(dt, seg.speed_start))
         elif seg.state == "sleep":

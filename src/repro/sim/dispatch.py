@@ -14,16 +14,27 @@ import abc
 from typing import Optional
 
 from .events import Decision, SchedEvent
-from .queues import RunQueueKey, deadline_key, priority_key
+from .queues import RunQueueKey, priority_key
 from ..tasks.job import Job
 
 
 class Scheduler(abc.ABC):
-    """Base class for all scheduling policies.
+    """Base class for all scheduling policies — *the* scheduler contract.
 
-    Subclasses set :attr:`name` (used in results/reports), optionally
-    :attr:`run_queue_key` (run-queue ordering) and
-    :attr:`requires_priorities`, and implement :meth:`schedule`.
+    The kernel talks to a policy through exactly this surface; there is no
+    duck typing.  Every attribute below is read directly (no ``getattr``
+    fallbacks), so policies that need a non-default value must set it as a
+    class attribute:
+
+    * :attr:`name` — identifies the policy in results and reports;
+    * :attr:`run_queue_key` — total order of the ready queue;
+    * :attr:`requires_priorities` — whether the task set must carry
+      fixed priorities (``False`` lets the kernel synthesise stable
+      tie-breaking keys);
+    * :attr:`tick_interval` — optional periodic ``TICK`` scheduling
+      points, for interval/polling policies;
+    * :meth:`setup` — one-time pre-run hook (default: no-op);
+    * :meth:`schedule` — the scheduling-point handler (mandatory).
     """
 
     #: Human-readable policy name for reports.
@@ -32,6 +43,8 @@ class Scheduler(abc.ABC):
     run_queue_key: RunQueueKey = staticmethod(priority_key)
     #: Whether the task set must carry fixed priorities.
     requires_priorities: bool = True
+    #: Period (µs) of engine-generated ``TICK`` events; ``None`` = no ticks.
+    tick_interval: Optional[float] = None
 
     def setup(self, kernel) -> None:
         """Called once before the simulation starts (optional hook)."""
@@ -52,9 +65,11 @@ def fixed_priority_dispatch(kernel) -> Optional[Job]:
     active job back), and fills an empty processor from the queue head.
     Returns the job that should be active (or ``None``).
     """
-    kernel.move_due_releases()
+    if kernel._push_epoch != kernel._moved_epoch or kernel.now != kernel._moved_at:
+        kernel.move_due_releases()
     active = kernel.active_job
-    head = kernel.run_queue.peek()
+    heap = kernel.run_queue._heap
+    head = heap[0][2] if heap else None
     if active is not None and head is not None and head.priority < active.priority:
         active.preemptions += 1
         kernel.count_preemption()
@@ -71,9 +86,11 @@ def earliest_deadline_dispatch(kernel) -> Optional[Job]:
     Identical queue mechanics with the comparison on absolute deadlines;
     requires the run queue to be ordered by :func:`deadline_key`.
     """
-    kernel.move_due_releases()
+    if kernel._push_epoch != kernel._moved_epoch or kernel.now != kernel._moved_at:
+        kernel.move_due_releases()
     active = kernel.active_job
-    head = kernel.run_queue.peek()
+    heap = kernel.run_queue._heap
+    head = heap[0][2] if heap else None
     if (
         active is not None
         and head is not None

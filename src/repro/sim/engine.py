@@ -1,34 +1,41 @@
-"""Discrete-event simulation engine.
+"""The simulation kernel: a thin, exact event loop over components.
 
-The engine executes a :class:`~repro.tasks.task.TaskSet` on a
-:class:`~repro.power.processor.ProcessorSpec` under a pluggable scheduler
-(:mod:`repro.schedulers`).  It is *exact*: between scheduling points the
-speed profile is piecewise linear, so job completions and energy are solved
-in closed form (:mod:`repro.sim.profile`) rather than ticked.
+The :class:`Simulator` binds one task set, one scheduler, and one
+processor spec, and advances time exactly from scheduling boundary to
+scheduling boundary — the speed profile is piecewise linear between
+boundaries, so completions and energy are solved in closed form
+(:mod:`repro.sim.profile`) rather than ticked.
 
-Kernel model (paper §3.1): released jobs wait in a priority-ordered run
-queue; the active job is held outside the queue; completed tasks wait in a
-release-time-ordered delay queue.  The scheduler is invoked at releases,
-completions, speed-ramp ends, and power-down wake-ups, and replies with a
-:class:`~repro.sim.events.Decision`.
+Since the kernel decomposition, the engine itself only owns the event
+loop, the queue/job lifecycle (paper §3.1: priority-ordered run queue,
+release-time-ordered delay queue, the active job held outside both), and
+decision application.  Everything else lives in explicit collaborator
+components:
+
+* :class:`~repro.sim.speed_control.SpeedController` — DVS ramp state
+  machine, timed restores, the fault-aware speed write;
+* :class:`~repro.sim.sleep_control.SleepController` — wake-timer
+  programming, wake latency, deferred sleeps, PR 1's sleep guard;
+* :class:`~repro.sim.power_accounting.PowerAccountant` — per-state
+  energy integration and speed residency, feeding the audit;
+* :class:`~repro.sim.recording.Recorder` — segment/event capture, with
+  a null implementation for cheap campaign sweeps.
 
 The engine object doubles as the *kernel view* handed to schedulers: its
-public attributes (``now``, ``run_queue``, ``delay_queue``, ``active_job``,
-``speed``, ``spec``) and :meth:`move_due_releases` are the sanctioned
-scheduler-facing API.
+public attributes (``now``, ``run_queue``, ``delay_queue``,
+``active_job``, ``speed``, ``ramp_target``, ``spec``) and
+:meth:`move_due_releases` are the sanctioned scheduler-facing API.
 """
 
 from __future__ import annotations
 
 import enum
-import math
 import random
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import (
     ConfigurationError,
     DeadlineMissError,
-    InvalidTaskSetError,
     SimulationError,
 )
 from ..faults.guards import GuardActivation, GuardConfig
@@ -37,25 +44,25 @@ from ..faults.layer import FaultLayer
 from ..power.processor import ProcessorSpec
 from ..tasks.generation import ExecutionTimeModel, WcetModel
 from ..tasks.job import Job
-from ..tasks.task import TaskSet
-from .events import Decision, SchedEvent
+from ..tasks.task import Task, TaskSet
+from .events import NO_CHANGE, Decision, SchedEvent
 from .metrics import (
     DeadlineMiss,
-    EnergyBreakdown,
     SimulationResult,
     TaskStats,
-    merge_speed_residency,
 )
-from .profile import Ramp, constant_time_to_complete
+from .power_accounting import PowerAccountant
+from .profile import TIME_EPS as _TIME_EPS
+from .profile import WORK_EPS as _WORK_EPS
 from .queues import DelayQueue, RunQueue
-from .trace import Segment, TraceRecorder
+from .recording import NULL_RECORDER, Recorder, TraceBackedRecorder
+from .sleep_control import SleepController, WAKE
+from .speed_control import SpeedController
 
-#: Absolute tolerance (µs) for event simultaneity.
-_TIME_EPS = 1e-9
-#: Remaining-work threshold (full-speed µs) below which a job is complete.
-_WORK_EPS = 1e-6
 #: Zero-time scheduler re-invocations tolerated before declaring livelock.
 _MAX_STALL = 10_000
+
+_INF = float("inf")
 
 
 class _Mode(enum.Enum):
@@ -104,6 +111,10 @@ class Simulator:
         injectors with graceful-degradation guards.  ``None`` (default) is
         the paper's idealised platform.  A layer whose injectors all sit at
         zero intensity leaves the simulation bit-identical to ``None``.
+    recorder:
+        Explicit :class:`~repro.sim.recording.Recorder` to install,
+        overriding *record_trace*.  Campaign sweeps pass the shared
+        null recorder implicitly by leaving both at their defaults.
     """
 
     def __init__(
@@ -118,13 +129,19 @@ class Simulator:
         record_trace: bool = False,
         scheduler_overhead: float = 0.0,
         faults: Optional[FaultLayer] = None,
+        recorder: Optional[Recorder] = None,
     ):
         if on_miss not in ("raise", "record"):
-            raise ConfigurationError(f"on_miss must be 'raise' or 'record', got {on_miss!r}")
+            raise ConfigurationError(
+                f"on_miss must be 'raise' or 'record', got {on_miss!r}"
+            )
         self.taskset = taskset
         self.scheduler = scheduler
+        self._schedule_fn = scheduler.schedule
         self.spec = spec if spec is not None else ProcessorSpec.arm8()
-        self._exec_model = execution_model if execution_model is not None else WcetModel()
+        self._exec_model = (
+            execution_model if execution_model is not None else WcetModel()
+        )
         self.horizon = float(duration) if duration is not None else taskset.hyperperiod
         if self.horizon <= 0:
             raise ConfigurationError(f"duration must be > 0, got {self.horizon}")
@@ -135,13 +152,13 @@ class Simulator:
                 f"scheduler_overhead must be >= 0, got {scheduler_overhead}"
             )
         self._overhead = scheduler_overhead
-        tick = getattr(scheduler, "tick_interval", None)
+        tick = scheduler.tick_interval
         if tick is not None and tick <= 0:
             raise ConfigurationError(f"tick_interval must be > 0, got {tick}")
         self._tick_interval: Optional[float] = tick
         self._next_tick: Optional[float] = tick
 
-        if getattr(scheduler, "requires_priorities", True):
+        if scheduler.requires_priorities:
             taskset.assert_priorities()
         elif not taskset.has_priorities:
             # Deterministic tie-breaking still needs per-task ordering keys.
@@ -152,15 +169,27 @@ class Simulator:
 
         # -- kernel state (public: schedulers read these) --------------------
         self.now: float = 0.0
-        self.run_queue = RunQueue(key=getattr(scheduler, "run_queue_key"))
+        self.run_queue = RunQueue(key=scheduler.run_queue_key)
         self.delay_queue = DelayQueue()
         self.active_job: Optional[Job] = None
-        self.speed: float = 1.0
+
+        # -- components --------------------------------------------------------
+        if recorder is None:
+            recorder = TraceBackedRecorder() if record_trace else NULL_RECORDER
+        self._recorder = recorder
+        # Hoisted off the hot paths; a recorder's enabled flag is fixed.
+        self._rec_on = recorder.enabled
+        self._speed_ctrl = SpeedController(self.spec, faults, recorder)
+        self._sleep_ctrl = SleepController(faults, recorder)
+        self._acct = PowerAccountant(self.spec.power)
 
         # -- fault layer and guards -------------------------------------------
         self._faults = faults
         self._guards = faults.guards if faults is not None else GuardConfig.none()
         self._injecting = faults is not None and faults.injects
+        # Guard flags hoisted off the per-boundary paths (fixed per run).
+        self._watchdog_on = self._guards.overrun_watchdog
+        self._abort_mode = self._guards.miss_policy == "abort"
         self._guard_activations: List[GuardActivation] = []
         if faults is not None:
             faults.reset()
@@ -168,36 +197,39 @@ class Simulator:
 
         # -- engine-private state ---------------------------------------------
         self._mode = _Mode.IDLE
-        self._ramp: Optional[Ramp] = None
-        self._sleep_timer: Optional[float] = None
-        self._sleep_intended: Optional[float] = None
-        self._pending_sleep_at: Optional[float] = None
-        self._pending_sleep_until: Optional[float] = None
-        self._pending_restore_at: Optional[float] = None
-        self._pending_restore_target: float = 1.0
-        self._wake_end: Optional[float] = None
+        # move_due_releases memo: the call is idempotent within one
+        # scheduling point, so repeat calls at the same instant with no
+        # intervening delay-queue pushes can return immediately.
+        self._push_epoch = 0
+        self._moved_at = -1.0
+        self._moved_epoch = -1
 
         # -- accounting -------------------------------------------------------
-        self.energy = EnergyBreakdown()
         self._task_stats: Dict[str, TaskStats] = {
             t.name: TaskStats(t.name) for t in self.taskset
         }
         self._misses: List[DeadlineMiss] = []
         self._context_switches = 0
         self._preemptions = 0
-        self._speed_changes = 0
-        self._sleep_entries = 0
         self._jobs_completed = 0
-        self._speed_residency: Dict[float, float] = {}
-        self._trace = TraceRecorder() if record_trace else None
 
     # ------------------------------------------------------------------ #
     # Kernel API used by schedulers                                       #
     # ------------------------------------------------------------------ #
     @property
+    def speed(self) -> float:
+        """Current speed ratio (start speed while a ramp is in flight)."""
+        return self._speed_ctrl.speed
+
+    @property
     def ramp_target(self) -> Optional[float]:
         """Target speed of the ramp in progress, or ``None``."""
-        return self._ramp.to_speed if self._ramp is not None else None
+        return self._speed_ctrl.ramp_target
+
+    @property
+    def energy(self):
+        """The run's per-state :class:`~repro.sim.metrics.EnergyBreakdown`."""
+        return self._acct.energy
 
     def move_due_releases(self) -> List[Job]:
         """Move every due task from the delay queue to the run queue.
@@ -206,21 +238,34 @@ class Simulator:
         :class:`Job` per due release (drawing its actual demand) and pushes
         it into the run queue.  Idempotent within a scheduling point.
         """
+        now = self.now
+        if now == self._moved_at and self._push_epoch == self._moved_epoch:
+            return []
+        self._moved_at = now
+        self._moved_epoch = self._push_epoch
+        heap = self.delay_queue._heap
+        if not heap or heap[0][0] > now + _TIME_EPS:
+            return []
         released = []
-        for task, release_time, job_index in self.delay_queue.pop_due(self.now, _TIME_EPS):
-            demand = self._exec_model.sample(task, self._rng)
+        sample = self._exec_model.sample
+        rng = self._rng
+        push = self.run_queue.push
+        stats = self._task_stats
+        injecting = self._injecting
+        for task, release_time, job_index in self.delay_queue.pop_due(now, _TIME_EPS):
+            demand = sample(task, rng)
             faulted = False
-            if self._injecting:
-                self._faults.advance_clock(self.now)
+            if injecting:
+                self._faults.advance_clock(now)
                 demand = self._faults.perturb_demand(
                     task, demand, f"{task.name}#{job_index}"
                 )
                 faulted = demand > task.wcet + _WORK_EPS
             job = Job(task, job_index, release_time, demand, faulted=faulted)
-            self.run_queue.push(job)
-            self._task_stats[task.name].jobs_released += 1
-            if self._trace is not None:
-                self._trace.record_event(self.now, "release", job.name)
+            push(job)
+            stats[task.name].jobs_released += 1
+            if self._rec_on:
+                self._recorder.event(now, "release", job.name)
             released.append(job)
         return released
 
@@ -228,26 +273,27 @@ class Simulator:
         """Schedulers call this when they push the active job back."""
         self._preemptions += 1
 
-    def _push_release(self, task, nominal: float, job_index: int) -> None:
+    def _push_release(self, task: Task, nominal: float, job_index: int) -> None:
         """Queue a future release, letting the fault layer jitter its fire time."""
         fire = nominal
         if self._injecting:
             self._faults.advance_clock(self.now)
             fire = self._faults.perturb_release(task, nominal)
+        self._push_epoch += 1
         self.delay_queue.push(task, fire, job_index, nominal=nominal)
 
     def _on_fault_event(self, event: FaultEvent) -> None:
-        if self._trace is not None:
-            self._trace.record_event(
+        if self._rec_on:
+            self._recorder.event(
                 event.time, "fault", f"{event.injector}:{event.detail}"
             )
 
     def _record_guard(self, guard: str, detail: str, job: Optional[str]) -> None:
         activation = GuardActivation(time=self.now, guard=guard, detail=detail, job=job)
         self._guard_activations.append(activation)
-        if self._trace is not None:
+        if self._rec_on:
             label = f"{guard}:{job}" if job else guard
-            self._trace.record_event(self.now, "guard", f"{label}:{detail}")
+            self._recorder.event(self.now, "guard", f"{label}:{detail}")
 
     # ------------------------------------------------------------------ #
     # Main loop                                                            #
@@ -256,99 +302,116 @@ class Simulator:
         """Execute the simulation and return its result."""
         for task in self.taskset:
             self._push_release(task, task.phase, 0)
-        if hasattr(self.scheduler, "setup"):
-            self.scheduler.setup(self)
+        self.scheduler.setup(self)
         self._invoke_scheduler(SchedEvent.INIT)
 
         stall = 0
-        while self.now < self.horizon - _TIME_EPS:
-            t_next, reason = self._next_boundary()
-            t_next = min(t_next, self.horizon)
-            if t_next < self.now - _TIME_EPS:
+        horizon = self.horizon
+        cutoff = horizon - _TIME_EPS
+        next_boundary = self._next_boundary
+        integrate = self._integrate
+        speed_ctrl = self._speed_ctrl
+        handle_boundary = self._handle_boundary
+        while self.now < cutoff:
+            t_next, reason = next_boundary()
+            if t_next > horizon:
+                t_next = horizon
+            now = self.now
+            if t_next < now - _TIME_EPS:
                 raise SimulationError(
-                    f"time would run backwards: {self.now} -> {t_next} ({reason})"
+                    f"time would run backwards: {now} -> {t_next} ({reason})"
                 )
-            if t_next > self.now + _TIME_EPS:
-                self._advance(t_next)
+            if t_next > now + _TIME_EPS:
+                # Advance: integrate work/energy over [now, t_next], split
+                # at the ramp end so each span has one linear speed law.
+                ramp = speed_ctrl.ramp
+                if ramp is not None:
+                    t0 = now
+                    if t0 < ramp.end_time < t_next - _TIME_EPS:
+                        integrate(t0, ramp.end_time)
+                        t0 = ramp.end_time
+                    integrate(t0, t_next)
+                    speed_ctrl.finish_ramp_if_past(t_next)
+                else:
+                    integrate(now, t_next)
                 stall = 0
             else:
                 stall += 1
                 if stall > _MAX_STALL:
                     raise SimulationError(
-                        f"livelock at t={self.now} (reason={reason}, "
+                        f"livelock at t={now} (reason={reason}, "
                         f"mode={self._mode}, active={self.active_job})"
                     )
             self.now = t_next
-            if self.now >= self.horizon - _TIME_EPS:
+            if t_next >= cutoff:
                 break
-            self._handle_boundary()
+            handle_boundary()
         return self._finalize()
 
     # ------------------------------------------------------------------ #
     # Boundary computation                                                 #
     # ------------------------------------------------------------------ #
-    def _next_boundary(self) -> tuple:
-        candidates = [(self.horizon, "horizon")]
-        if self._mode is _Mode.SLEEP:
-            if self._sleep_timer is not None:
-                candidates.append((self._sleep_timer, "timer"))
-                if self._guards.sleep_guard:
-                    # Sleep guard: the release interrupt can pre-empt a
-                    # timer that would fire late.  In the fault-free case
-                    # the timer leads the release, so this candidate never
-                    # wins and behaviour is unchanged.
-                    release = self.delay_queue.next_release_time()
-                    if release is not None:
-                        candidates.append((release, "sleep_interrupt"))
-            else:
-                release = self.delay_queue.next_release_time()
-                if release is not None:
-                    candidates.append((release, "interrupt"))
-        elif self._mode is _Mode.WAKING:
-            candidates.append((self._wake_end, "wake"))
+    def _next_boundary(self) -> Tuple[float, str]:
+        """Earliest upcoming boundary and why it stops the clock.
+
+        Candidates are considered in a fixed order with strict ``<``
+        comparisons, so exact ties resolve to the earliest-considered
+        reason — the same tie-break the original candidate-list ``min``
+        produced.
+        """
+        best_t, best_r = self.horizon, "horizon"
+        mode = self._mode
+        if mode is _Mode.SLEEP:
+            for t, reason in self._sleep_ctrl.wake_candidates(
+                self.delay_queue, self._guards
+            ):
+                if t < best_t:
+                    best_t, best_r = t, reason
+        elif mode is _Mode.WAKING:
+            wake_end = self._sleep_ctrl.wake_end
+            if wake_end < best_t:
+                best_t, best_r = wake_end, "wake"
         else:
-            release = self.delay_queue.next_release_time()
-            if release is not None:
-                candidates.append((release, "release"))
-            if self._ramp is not None:
-                candidates.append((self._ramp.end_time, "ramp"))
-            if self._pending_sleep_at is not None:
-                candidates.append((self._pending_sleep_at, "pending_sleep"))
-            if self._pending_restore_at is not None:
-                candidates.append((self._pending_restore_at, "restore"))
-            if self._next_tick is not None:
-                candidates.append((self._next_tick, "tick"))
-            if self.active_job is not None:
-                candidates.append((self._completion_time(), "completion"))
-                watchdog = self._watchdog_time()
-                if watchdog is not None:
-                    candidates.append((watchdog, "watchdog"))
-                if (
-                    self._guards.miss_policy == "abort"
-                    and self.active_job.remaining > _WORK_EPS
-                ):
-                    candidates.append(
-                        (
-                            max(self.now, self.active_job.absolute_deadline),
-                            "containment",
-                        )
-                    )
-        return min(candidates, key=lambda c: c[0])
-
-    def _completion_time(self) -> float:
-        return self._time_for_work(self.active_job.remaining)
-
-    def _time_for_work(self, work: float) -> float:
-        """Time at which *work* full-speed µs will have been executed."""
-        if work <= _WORK_EPS:
-            return self.now
-        if self._ramp is not None:
-            if self.spec.transition.executes_during_change:
-                return self._ramp.time_to_complete(self.now, work)
-            return constant_time_to_complete(
-                self._ramp.end_time, work, self._ramp.to_speed
-            )
-        return constant_time_to_complete(self.now, work, self.speed)
+            heap = self.delay_queue._heap
+            if heap and heap[0][0] < best_t:
+                best_t, best_r = heap[0][0], "release"
+            speed_ctrl = self._speed_ctrl
+            ramp = speed_ctrl.ramp
+            if ramp is not None and ramp.end_time < best_t:
+                best_t, best_r = ramp.end_time, "ramp"
+            sleep_ctrl = self._sleep_ctrl
+            if sleep_ctrl.pending_at is not None and sleep_ctrl.pending_at < best_t:
+                best_t, best_r = sleep_ctrl.pending_at, "pending_sleep"
+            if speed_ctrl.restore_at is not None and speed_ctrl.restore_at < best_t:
+                best_t, best_r = speed_ctrl.restore_at, "restore"
+            if self._next_tick is not None and self._next_tick < best_t:
+                best_t, best_r = self._next_tick, "tick"
+            job = self.active_job
+            if job is not None:
+                remaining = job.execution_time - job.executed
+                if remaining < 0.0:
+                    remaining = 0.0
+                if ramp is None:
+                    # time_for_work's steady-clock closed form, inlined.
+                    if remaining <= _WORK_EPS:
+                        completion = self.now
+                    elif speed_ctrl.speed <= 0.0:
+                        completion = _INF
+                    else:
+                        completion = self.now + remaining / speed_ctrl.speed
+                else:
+                    completion = speed_ctrl.time_for_work(self.now, remaining)
+                if completion < best_t:
+                    best_t, best_r = completion, "completion"
+                if self._watchdog_on and job.faulted:
+                    watchdog = self._watchdog_time()
+                    if watchdog is not None and watchdog < best_t:
+                        best_t, best_r = watchdog, "watchdog"
+                if self._abort_mode and remaining > _WORK_EPS:
+                    containment = max(self.now, job.absolute_deadline)
+                    if containment < best_t:
+                        best_t, best_r = containment, "containment"
+        return best_t, best_r
 
     def _watchdog_time(self) -> Optional[float]:
         """When the overrun watchdog would fire, or ``None``.
@@ -365,156 +428,110 @@ class Simulator:
         job = self.active_job
         if job is None or not job.faulted:
             return None
-        target = self._ramp.to_speed if self._ramp is not None else self.speed
-        if target >= 1.0 - 1e-9:
+        if self._speed_ctrl.current_target() >= 1.0 - 1e-9:
             return None
-        return self._time_for_work(job.remaining_wcet)
+        return self._speed_ctrl.time_for_work(self.now, job.remaining_wcet)
 
     # ------------------------------------------------------------------ #
     # Time advance: integrate work and energy over [self.now, t1]         #
     # ------------------------------------------------------------------ #
-    def _advance(self, t1: float) -> None:
-        t0 = self.now
-        if self._ramp is not None and t0 < self._ramp.end_time < t1 - _TIME_EPS:
-            self._integrate(t0, self._ramp.end_time)
-            t0 = self._ramp.end_time
-        self._integrate(t0, t1)
-        if self._ramp is not None and t1 >= self._ramp.end_time - _TIME_EPS:
-            self.speed = self._ramp.to_speed
-            self._ramp = None
-
     def _integrate(self, t0: float, t1: float) -> None:
         dt = t1 - t0
         if dt <= 0:
             return
-        power = self.spec.power
-        ramping = self._ramp is not None and t0 < self._ramp.end_time - _TIME_EPS
+        acct = self._acct
+        speed_ctrl = self._speed_ctrl
+        ramp = speed_ctrl.ramp
+        ramping = ramp is not None and t0 < ramp.end_time - _TIME_EPS
         if ramping:
-            s0 = self._ramp.speed_at(t0)
-            s1 = self._ramp.speed_at(t1)
+            s0 = ramp.speed_at(t0)
+            s1 = ramp.speed_at(t1)
         else:
-            s0 = s1 = self.speed
+            s0 = s1 = speed_ctrl.speed
 
-        if self._mode is _Mode.RUNNING:
+        mode = self._mode
+        if mode is _Mode.RUNNING:
+            job = self.active_job
             if ramping:
                 if self.spec.transition.executes_during_change:
-                    work = self._ramp.work_between(t0, t1)
+                    work = ramp.work_between(t0, t1)
                 else:
                     work = 0.0
-                self.energy.add("ramp", power.ramp_energy(s0, s1, dt))
-                state = "run"
+                acct.run_ramp(s0, s1, dt)
+                acct.residency((s0 + s1) / 2.0, dt)
             else:
-                work = self.speed * dt
-                self.energy.add("active", power.active_energy(self.speed, dt))
-                state = "run"
-            job = self.active_job
-            job.advance(work)
-            if job.remaining <= _WORK_EPS:
+                work = s0 * dt
+                # Fused energy + residency; a steady span's mean speed
+                # (s0 + s1) / 2 is exactly s0.
+                acct.run_steady(s0, dt)
+            job.executed += work
+            if job.execution_time - job.executed <= _WORK_EPS:
                 job.executed = job.execution_time
-            merge_speed_residency(self._speed_residency, (s0 + s1) / 2.0, dt)
-            self._record_segment(t0, t1, state, s0, s1, job)
-        elif self._mode is _Mode.IDLE:
+            if self._rec_on:
+                self._recorder.segment(t0, t1, "run", job.name, job.task.name, s0, s1)
+        elif mode is _Mode.IDLE:
             if ramping:
-                self.energy.add("ramp", power.ramp_energy(s0, s1, dt))
+                acct.run_ramp(s0, s1, dt)
             else:
-                self.energy.add("idle", power.idle_energy(dt, self.speed))
-            self._record_segment(t0, t1, "idle", s0, s1, None)
-        elif self._mode is _Mode.SLEEP:
-            self.energy.add("sleep", power.sleep_energy(dt))
-            self._record_segment(t0, t1, "sleep", s0, s1, None)
-        elif self._mode is _Mode.WAKING:
+                acct.idle(speed_ctrl.speed, dt)
+            if self._rec_on:
+                self._recorder.segment(t0, t1, "idle", None, None, s0, s1)
+        elif mode is _Mode.SLEEP:
+            acct.sleep(dt)
+            if self._rec_on:
+                self._recorder.segment(t0, t1, "sleep", None, None, s0, s1)
+        elif mode is _Mode.WAKING:
             # Charge full active power while the core relocks (conservative).
-            self.energy.add("wakeup", power.active_energy(1.0, dt))
-            self._record_segment(t0, t1, "wakeup", s0, s1, None)
-
-    def _record_segment(self, t0, t1, state, s0, s1, job: Optional[Job]) -> None:
-        if self._trace is None:
-            return
-        self._trace.record_segment(
-            Segment(
-                start=t0,
-                end=t1,
-                state=state,
-                job=job.name if job is not None else None,
-                task=job.task.name if job is not None else None,
-                speed_start=s0,
-                speed_end=s1,
-            )
-        )
+            acct.wakeup(dt)
+            if self._rec_on:
+                self._recorder.segment(t0, t1, "wakeup", None, None, s0, s1)
 
     # ------------------------------------------------------------------ #
     # Boundary handling                                                    #
     # ------------------------------------------------------------------ #
     def _handle_boundary(self) -> None:
-        if self._mode is _Mode.SLEEP:
-            timer_fired = (
-                self._sleep_timer is not None
-                and self.now >= self._sleep_timer - _TIME_EPS
+        now = self.now
+        mode = self._mode
+        sleep_ctrl = self._sleep_ctrl
+        if mode is _Mode.SLEEP:
+            action, guard = sleep_ctrl.resolve_boundary(
+                now, self.delay_queue, self._guards
             )
-            release = self.delay_queue.next_release_time()
-            release_due = release is not None and self.now >= release - _TIME_EPS
-            interrupted = self._sleep_timer is None and release_due
-            if (
-                timer_fired
-                and self._guards.sleep_guard
-                and self._sleep_intended is not None
-                and self.now < self._sleep_intended - _TIME_EPS
-            ):
-                # Sleep guard, early half: the timer fired before the wake
-                # time LPFPS programmed.  Re-validate t_a and re-arm instead
-                # of waking into an empty ready queue (and thrashing the
-                # sleep loop through another wake-up).
-                self._record_guard(
-                    "sleep-guard",
-                    f"timer fired {self._sleep_intended - self.now:.3f}us early; re-armed",
-                    None,
-                )
-                self._sleep_timer = self._sleep_intended
-                return
-            guard_interrupt = (
-                self._guards.sleep_guard
-                and self._sleep_timer is not None
-                and release_due
-                and not timer_fired
-            )
-            if guard_interrupt:
-                # Sleep guard, late half: a release is due but the broken
-                # timer has not fired — wake on the release interrupt
-                # instead of sleeping through the arrival.
-                self._record_guard(
-                    "sleep-guard", "timer late; waking on release interrupt", None
-                )
-            if timer_fired or interrupted or guard_interrupt:
+            if guard is not None:
+                self._record_guard(guard[0], guard[1], None)
+            if action is WAKE:
                 self._begin_wake()
             return
-        if self._mode is _Mode.WAKING:
-            if self.now >= self._wake_end - _TIME_EPS:
+        if mode is _Mode.WAKING:
+            if now >= sleep_ctrl.wake_end - _TIME_EPS:
                 self._mode = _Mode.IDLE
-                self._wake_end = None
+                sleep_ctrl.wake_end = None
                 self._invoke_scheduler(SchedEvent.WAKE)
             return
         if (
-            self._pending_sleep_at is not None
-            and self._mode is _Mode.IDLE
-            and self.now >= self._pending_sleep_at - _TIME_EPS
+            sleep_ctrl.pending_at is not None
+            and mode is _Mode.IDLE
+            and now >= sleep_ctrl.pending_at - _TIME_EPS
         ):
-            self._enter_sleep(self._pending_sleep_until)
-            self._pending_sleep_at = None
-            self._pending_sleep_until = None
+            self._enter_sleep(sleep_ctrl.pending_until)
+            sleep_ctrl.clear_pending()
             return
 
         job = self.active_job
-        if job is not None and job.remaining <= _WORK_EPS:
-            self._complete_active()
-            self._invoke_scheduler(SchedEvent.COMPLETION)
-            return
+        if job is not None:
+            remaining = job.execution_time - job.executed
+            if remaining < 0.0:
+                remaining = 0.0
+            if remaining <= _WORK_EPS:
+                self._complete_active()
+                self._invoke_scheduler(SchedEvent.COMPLETION)
+                return
         if (
             job is not None
             and job.faulted
-            and self._guards.overrun_watchdog
+            and self._watchdog_on
             and job.remaining_wcet <= _WORK_EPS
-            and ((self._ramp.to_speed if self._ramp is not None else self.speed)
-                 < 1.0 - 1e-9)
+            and self._speed_ctrl.current_target() < 1.0 - 1e-9
         ):
             # Overrun watchdog: the C_i - E_i budget the slow-down was
             # provisioned for is spent and the job is still running — its
@@ -525,73 +542,58 @@ class Simulator:
             self._record_guard(
                 "watchdog", "WCET budget exhausted; snapped to full speed", job.name
             )
-            self._pending_restore_at = None
-            self._pending_restore_target = 1.0
-            self._set_speed_target(1.0, faultable=False)
+            self._speed_ctrl.cancel_restore()
+            self._speed_ctrl.set_target(self.now, 1.0, faultable=False)
             return
         if (
             job is not None
-            and self._guards.miss_policy == "abort"
-            and job.remaining > _WORK_EPS
-            and self.now >= job.absolute_deadline - _TIME_EPS
+            and self._abort_mode
+            and remaining > _WORK_EPS
+            and now >= job.absolute_deadline - _TIME_EPS
         ):
             self._abort_active()
             self._invoke_scheduler(SchedEvent.ABORT)
             return
-        if (
-            self._pending_restore_at is not None
-            and self.now >= self._pending_restore_at - _TIME_EPS
-        ):
-            # Pre-arranged speed change (optimal profile's up-ramp, or a
-            # dual-level quantisation switch): no scheduler pass needed.
-            target = self._pending_restore_target
-            self._pending_restore_at = None
-            self._pending_restore_target = 1.0
-            self._set_speed_target(target)
-            return
-        release = self.delay_queue.next_release_time()
-        if release is not None and self.now >= release - _TIME_EPS:
+        speed_ctrl = self._speed_ctrl
+        if speed_ctrl.restore_at is not None:
+            restore_target = speed_ctrl.take_due_restore(now)
+            if restore_target is not None:
+                # Pre-arranged speed change (optimal profile's up-ramp, or
+                # a dual-level quantisation switch): no scheduler pass
+                # needed.
+                speed_ctrl.set_target(now, restore_target)
+                return
+        heap = self.delay_queue._heap
+        if heap and now >= heap[0][0] - _TIME_EPS:
             self._invoke_scheduler(SchedEvent.RELEASE)
             return
-        if self._next_tick is not None and self.now >= self._next_tick - _TIME_EPS:
-            while self._next_tick <= self.now + _TIME_EPS:
+        if self._next_tick is not None and now >= self._next_tick - _TIME_EPS:
+            while self._next_tick <= now + _TIME_EPS:
                 self._next_tick += self._tick_interval
             self._invoke_scheduler(SchedEvent.TICK)
             return
-        if self._ramp is None and self.speed >= 0.0:
+        if speed_ctrl.ramp is None:
             # A ramp that just finished in _advance cleared itself; if no
             # other boundary explains the stop, report RAMP_DONE.
             self._invoke_scheduler(SchedEvent.RAMP_DONE)
 
     def _begin_wake(self) -> None:
-        self._sleep_timer = None
-        self._sleep_intended = None
+        self._sleep_ctrl.clear_timer()
         delay = self.spec.wakeup_delay
         if delay <= 0:
             self._mode = _Mode.IDLE
             self._invoke_scheduler(SchedEvent.WAKE)
             return
         self._mode = _Mode.WAKING
-        self._wake_end = self.now + delay
+        self._sleep_ctrl.wake_end = self.now + delay
 
     def _enter_sleep(self, until: Optional[float]) -> None:
         if self.active_job is not None:
             raise SimulationError("cannot power down with an active job")
         # A sleeping core is not ramping; freeze the speed where it stands.
-        if self._ramp is not None:
-            self.speed = self._ramp.speed_at(self.now)
-            self._ramp = None
+        self._speed_ctrl.freeze(self.now)
         self._mode = _Mode.SLEEP
-        timer = until
-        if until is not None and self._injecting:
-            self._faults.advance_clock(self.now)
-            timer = self._faults.perturb_wake_timer(self.now, until)
-        self._sleep_timer = timer
-        self._sleep_intended = until
-        self._sleep_entries += 1
-        if self._trace is not None:
-            target = "interrupt" if until is None else f"{until:.3f}"
-            self._trace.record_event(self.now, "sleep", target)
+        self._sleep_ctrl.arm(self.now, until)
 
     def _complete_active(self) -> None:
         job = self.active_job
@@ -604,8 +606,8 @@ class Simulator:
         if job.completion_time > job.absolute_deadline + _TIME_EPS:
             self._record_miss(job, job.completion_time)
         self._push_release(job.task, job.next_release, job.index + 1)
-        if self._trace is not None:
-            self._trace.record_event(self.now, "completion", job.name)
+        if self._rec_on:
+            self._recorder.event(self.now, "completion", job.name)
 
     def _abort_active(self) -> None:
         """Deadline-miss containment: kill the active job at its deadline.
@@ -624,11 +626,14 @@ class Simulator:
         )
         self._record_miss(job, None, containment="abort")
         self._push_release(job.task, job.next_release, job.index + 1)
-        if self._trace is not None:
-            self._trace.record_event(self.now, "abort", job.name)
+        if self._rec_on:
+            self._recorder.event(self.now, "abort", job.name)
 
     def _record_miss(
-        self, job: Job, completion: Optional[float], containment: str = "run-to-completion"
+        self,
+        job: Job,
+        completion: Optional[float],
+        containment: str = "run-to-completion",
     ) -> None:
         miss = DeadlineMiss(
             job_name=job.name,
@@ -640,8 +645,8 @@ class Simulator:
         )
         self._misses.append(miss)
         self._task_stats[job.task.name].deadline_misses += 1
-        if self._trace is not None:
-            self._trace.record_event(
+        if self._rec_on:
+            self._recorder.event(
                 self.now, "miss", f"{job.name}:{containment}"
             )
         if self._on_miss == "raise":
@@ -661,9 +666,9 @@ class Simulator:
             overhead += self._faults.overhead_spike()
         if overhead > 0.0:
             self._consume_overhead(overhead)
-        decision = self.scheduler.schedule(self, event)
+        decision = self._schedule_fn(self, event)
         if decision is None:
-            decision = Decision()
+            decision = NO_CHANGE
         self._apply(decision)
 
     def _consume_overhead(self, overhead: float) -> None:
@@ -676,73 +681,55 @@ class Simulator:
         dt = end - self.now
         if dt <= 0:
             return
-        power = self.spec.power
-        if self._ramp is not None and self.now < self._ramp.end_time - _TIME_EPS:
-            s0 = self._ramp.speed_at(self.now)
-            s1 = self._ramp.speed_at(end)
-            ramp_end = min(end, self._ramp.end_time)
-            self.energy.add(
-                "scheduler", power.ramp_energy(s0, s1, ramp_end - self.now)
-            )
+        speed_ctrl = self._speed_ctrl
+        ramp = speed_ctrl.ramp
+        if ramp is not None and self.now < ramp.end_time - _TIME_EPS:
+            s0 = ramp.speed_at(self.now)
+            s1 = ramp.speed_at(end)
+            ramp_end = min(end, ramp.end_time)
+            self._acct.scheduler_ramp(s0, s1, ramp_end - self.now)
             if end > ramp_end:
-                self.energy.add(
-                    "scheduler", power.active_energy(s1, end - ramp_end)
-                )
-            if end >= self._ramp.end_time - _TIME_EPS:
-                self.speed = self._ramp.to_speed
-                self._ramp = None
+                self._acct.scheduler_constant(s1, end - ramp_end)
+            speed_ctrl.finish_ramp_if_past(end)
         else:
-            s0 = s1 = self.speed
-            self.energy.add("scheduler", power.active_energy(self.speed, dt))
-        if self._trace is not None:
-            self._trace.record_segment(
-                Segment(
-                    start=self.now,
-                    end=end,
-                    state="sched",
-                    job=None,
-                    task=None,
-                    speed_start=s0,
-                    speed_end=s1,
-                )
-            )
+            s0 = s1 = speed_ctrl.speed
+            self._acct.scheduler_constant(speed_ctrl.speed, dt)
+        if self._rec_on:
+            self._recorder.segment(self.now, end, "sched", None, None, s0, s1)
         self.now = end
 
     def _apply(self, decision: Decision) -> None:
         # Pending-restore bookkeeping: a new restore replaces the old one; a
         # decision that actually changes the schedule (dispatch, speed, or
         # sleep) cancels it; a pure no-change decision preserves it.
+        speed_ctrl = self._speed_ctrl
+        sleep = decision.sleep
+        target = decision.speed_target
+        keeps_active = decision.keeps_active
         if decision.restore_at is not None:
-            self._pending_restore_at = decision.restore_at
-            self._pending_restore_target = decision.restore_target
-        elif (
-            decision.sleep is not None
-            or decision.speed_target is not None
-            or not decision.keeps_active
+            speed_ctrl.arm_restore(decision.restore_at, decision.restore_target)
+        elif speed_ctrl.restore_at is not None and (
+            sleep is not None or target is not None or not keeps_active
         ):
-            self._pending_restore_at = None
-            self._pending_restore_target = 1.0
+            speed_ctrl.cancel_restore()
 
-        if decision.sleep is not None:
+        if sleep is not None:
             if self.active_job is not None:
                 raise SimulationError(
                     "scheduler requested power-down with an active job"
                 )
-            if (
-                decision.sleep.start_at is not None
-                and decision.sleep.start_at > self.now + _TIME_EPS
-            ):
+            if sleep.start_at is not None and sleep.start_at > self.now + _TIME_EPS:
                 self._mode = _Mode.IDLE
-                self._pending_sleep_at = decision.sleep.start_at
-                self._pending_sleep_until = decision.sleep.until
+                self._sleep_ctrl.defer(sleep.start_at, sleep.until)
             else:
-                self._enter_sleep(decision.sleep.until)
+                self._enter_sleep(sleep.until)
             return
 
-        self._pending_sleep_at = None
-        self._pending_sleep_until = None
+        sleep_ctrl = self._sleep_ctrl
+        if sleep_ctrl.pending_at is not None:
+            sleep_ctrl.clear_pending()
 
-        if not decision.keeps_active:
+        if not keeps_active:
             new_job = decision.run
             if new_job is not self.active_job:
                 old = self.active_job
@@ -762,56 +749,13 @@ class Simulator:
                     if new_job.start_time is None:
                         new_job.start_time = self.now
                     self._context_switches += 1
-                    if self._trace is not None:
-                        self._trace.record_event(self.now, "dispatch", new_job.name)
+                    if self._rec_on:
+                        self._recorder.event(self.now, "dispatch", new_job.name)
                 self.active_job = new_job
         self._mode = _Mode.RUNNING if self.active_job is not None else _Mode.IDLE
 
-        target = decision.speed_target
         if target is not None:
-            self._set_speed_target(target)
-
-    def _set_speed_target(self, target: float, faultable: bool = True) -> None:
-        current_target = self._ramp.to_speed if self._ramp is not None else self.speed
-        if abs(target - current_target) <= 1e-12:
-            return
-        start_speed = (
-            self._ramp.speed_at(self.now) if self._ramp is not None else self.speed
-        )
-        if faultable and self._injecting:
-            # DVS hardware faults: the regulator may drop or clamp the
-            # request.  The watchdog's fail-safe snap bypasses this path
-            # (``faultable=False``) — it models a direct full-speed
-            # fallback, the one DVS write a safety kernel must trust.
-            self._faults.advance_clock(self.now)
-            effective = self._faults.perturb_speed_request(start_speed, target)
-            if effective is None:
-                return
-            target = effective
-            if abs(target - current_target) <= 1e-12:
-                return
-        self._speed_changes += 1
-        if self._trace is not None:
-            self._trace.record_event(self.now, "speed", f"{target:.4f}")
-        transition = self.spec.transition
-        if transition.instantaneous:
-            self.speed = target
-            self._ramp = None
-            return
-        duration = transition.duration(start_speed, target)
-        if faultable and self._injecting:
-            duration *= self._faults.transition_duration_factor()
-        if duration <= _TIME_EPS:
-            self.speed = target
-            self._ramp = None
-            return
-        self.speed = start_speed
-        self._ramp = Ramp(
-            start_time=self.now,
-            end_time=self.now + duration,
-            from_speed=start_speed,
-            to_speed=target,
-        )
+            speed_ctrl.set_target(self.now, target)
 
     # ------------------------------------------------------------------ #
     # Wrap-up                                                              #
@@ -826,22 +770,26 @@ class Simulator:
             if job.absolute_deadline < self.horizon - _TIME_EPS:
                 self._record_miss(job, None)
         return SimulationResult(
-            scheduler=getattr(self.scheduler, "name", type(self.scheduler).__name__),
+            scheduler=self.scheduler.name,
             taskset=self.taskset.name,
             duration=self.horizon,
-            energy=self.energy,
+            energy=self._acct.energy,
             task_stats=self._task_stats,
             deadline_misses=self._misses,
             context_switches=self._context_switches,
             preemptions=self._preemptions,
-            speed_changes=self._speed_changes,
-            sleep_entries=self._sleep_entries,
+            speed_changes=self._speed_ctrl.changes,
+            sleep_entries=self._sleep_ctrl.entries,
             jobs_completed=self._jobs_completed,
-            speed_residency=self._speed_residency,
-            trace=self._trace,
+            speed_residency=self._acct.speed_residency,
+            trace=self._recorder.trace,
             fault_events=list(self._faults.events) if self._faults is not None else [],
             guard_activations=list(self._guard_activations),
         )
+
+
+# Imported late so the module docstring's component list reads top-down.
+from .queues import DelayQueue, RunQueue  # noqa: E402
 
 
 def simulate(

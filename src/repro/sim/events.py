@@ -76,9 +76,12 @@ class SleepRequest:
     start_at: Optional[float] = None
 
 
-@dataclass(frozen=True)
 class Decision:
     """A scheduler's answer at a scheduling point.
+
+    Immutable (attribute assignment raises) with ``__slots__`` storage; the
+    hand-written constructor keeps the kernel's hottest allocation — one
+    ``Decision`` per scheduler invocation — off the dataclass machinery.
 
     Attributes
     ----------
@@ -106,25 +109,65 @@ class Decision:
         restore).
     """
 
-    run: Union["Job", None, _KeepActive] = KEEP
-    speed_target: Optional[float] = None
-    sleep: Optional[SleepRequest] = None
-    restore_at: Optional[float] = None
-    restore_target: float = 1.0
+    __slots__ = ("run", "speed_target", "sleep", "restore_at", "restore_target")
 
-    def __post_init__(self) -> None:
-        if self.sleep is not None and self.run is not None and not isinstance(self.run, _KeepActive):
+    run: Union["Job", None, _KeepActive]
+    speed_target: Optional[float]
+    sleep: Optional[SleepRequest]
+    restore_at: Optional[float]
+    restore_target: float
+
+    def __init__(
+        self,
+        run: Union["Job", None, _KeepActive] = KEEP,
+        speed_target: Optional[float] = None,
+        sleep: Optional[SleepRequest] = None,
+        restore_at: Optional[float] = None,
+        restore_target: float = 1.0,
+    ) -> None:
+        if sleep is not None and run is not None and not isinstance(run, _KeepActive):
             raise ValueError("cannot run a job and power down simultaneously")
-        if self.speed_target is not None and not 0 < self.speed_target <= 1 + 1e-12:
+        if speed_target is not None and not 0 < speed_target <= 1 + 1e-12:
             raise ValueError(
-                f"speed_target must be in (0, 1], got {self.speed_target}"
+                f"speed_target must be in (0, 1], got {speed_target}"
             )
-        if self.restore_at is not None and self.sleep is not None:
+        if restore_at is not None and sleep is not None:
             raise ValueError("cannot arm a speed restore while powering down")
-        if not 0 < self.restore_target <= 1 + 1e-12:
+        if not 0 < restore_target <= 1 + 1e-12:
             raise ValueError(
-                f"restore_target must be in (0, 1], got {self.restore_target}"
+                f"restore_target must be in (0, 1], got {restore_target}"
             )
+        object.__setattr__(self, "run", run)
+        object.__setattr__(self, "speed_target", speed_target)
+        object.__setattr__(self, "sleep", sleep)
+        object.__setattr__(self, "restore_at", restore_at)
+        object.__setattr__(self, "restore_target", restore_target)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Decision is immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("Decision is immutable")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Decision(run={self.run!r}, speed_target={self.speed_target!r}, "
+            f"sleep={self.sleep!r}, restore_at={self.restore_at!r}, "
+            f"restore_target={self.restore_target!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Decision):
+            return NotImplemented
+        return (
+            self.run == other.run
+            and self.speed_target == other.speed_target
+            and self.sleep == other.sleep
+            and self.restore_at == other.restore_at
+            and self.restore_target == other.restore_target
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable-equality semantics
 
     @property
     def keeps_active(self) -> bool:

@@ -7,9 +7,8 @@ drew — the quantity plotted on the y-axes of the paper's Figure 8.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..tasks.job import Job
 

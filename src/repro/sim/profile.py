@@ -13,10 +13,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+
+#: Absolute tolerance (µs) for event simultaneity — two boundaries closer
+#: than this are the same scheduling point.  Shared by the kernel and its
+#: components so "simultaneous" means one thing everywhere.
+TIME_EPS = 1e-9
+#: Remaining-work threshold (full-speed µs) below which a job is complete.
+WORK_EPS = 1e-6
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Ramp:
     """A linear speed ramp between two scheduling targets.
 

@@ -139,7 +139,9 @@ class DelayQueue:
         """Due time of the head entry — the paper's ``t_a`` (or ``None``)."""
         return self._heap[0][0] if self._heap else None
 
-    def pop_due(self, now: float, tolerance: float = 1e-9) -> List[Tuple[Task, float, int]]:
+    def pop_due(
+        self, now: float, tolerance: float = 1e-9
+    ) -> List[Tuple[Task, float, int]]:
         """Remove every entry due at or before *now*.
 
         Returns ``(task, release_time, job_index)`` tuples in due order —

@@ -1,0 +1,107 @@
+"""Recording component: trace capture behind a swappable recorder.
+
+The kernel reports everything observable about a run — contiguous
+processor-state segments and zero-duration point events — to a
+*recorder*.  Two implementations cover the two regimes the simulator
+runs in:
+
+* :class:`TraceBackedRecorder` materialises a full
+  :class:`~repro.sim.trace.TraceRecorder` (segments + events), feeding
+  the Gantt charts, :func:`~repro.sim.validate.validate_trace`, and the
+  energy audit.  This is what ``record_trace=True`` installs.
+* :class:`NullRecorder` drops everything at near-zero cost — the right
+  choice for large campaign sweeps where only the
+  :class:`~repro.sim.metrics.SimulationResult` aggregates matter.
+
+The kernel checks :attr:`Recorder.enabled` before formatting event
+details, so a disabled recorder costs one attribute read per potential
+record — no f-strings, no :class:`~repro.sim.trace.Segment` allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .trace import Segment, TraceRecorder
+
+
+class Recorder:
+    """Recorder protocol; the base class is the no-op implementation.
+
+    Attributes
+    ----------
+    enabled:
+        False when recording is a no-op.  Hot paths consult this before
+        building record arguments; implementations must keep it in sync
+        with their behaviour.
+    trace:
+        The underlying :class:`~repro.sim.trace.TraceRecorder`, or
+        ``None`` when the recorder keeps no trace.  This is what lands
+        in :attr:`~repro.sim.metrics.SimulationResult.trace`.
+    """
+
+    enabled: bool = False
+    trace: Optional[TraceRecorder] = None
+
+    def segment(
+        self,
+        start: float,
+        end: float,
+        state: str,
+        job: Optional[str],
+        task: Optional[str],
+        speed_start: float,
+        speed_end: float,
+    ) -> None:
+        """Record one span of processor activity."""
+
+    def event(self, time: float, kind: str, detail: str) -> None:
+        """Record one zero-duration point event."""
+
+
+class NullRecorder(Recorder):
+    """Drop all records — the cheap recorder for campaign sweeps."""
+
+    __slots__ = ()
+
+
+class TraceBackedRecorder(Recorder):
+    """Materialise the full segment/event trace."""
+
+    __slots__ = ("trace",)
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.trace = TraceRecorder()
+
+    def segment(
+        self,
+        start: float,
+        end: float,
+        state: str,
+        job: Optional[str],
+        task: Optional[str],
+        speed_start: float,
+        speed_end: float,
+    ) -> None:
+        """Append a :class:`~repro.sim.trace.Segment` to the trace."""
+        self.trace.record_segment(
+            Segment(
+                start=start,
+                end=end,
+                state=state,
+                job=job,
+                task=task,
+                speed_start=speed_start,
+                speed_end=speed_end,
+            )
+        )
+
+    def event(self, time: float, kind: str, detail: str) -> None:
+        """Append a point event to the trace."""
+        self.trace.record_event(time, kind, detail)
+
+
+#: Shared stateless no-op recorder instance.
+NULL_RECORDER = NullRecorder()

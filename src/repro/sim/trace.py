@@ -26,7 +26,7 @@ off these kinds; use :meth:`TraceRecorder.fault_events` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 

@@ -116,7 +116,9 @@ def _suppress_fault_explained(
     ]
 
 
-def assert_valid(trace: TraceRecorder, taskset: Optional[TaskSet] = None, **kwargs) -> None:
+def assert_valid(
+    trace: TraceRecorder, taskset: Optional[TaskSet] = None, **kwargs
+) -> None:
     """Raise ``AssertionError`` listing every violation (test helper)."""
     violations = validate_trace(trace, taskset, **kwargs)
     if violations:

@@ -16,7 +16,7 @@ from ..errors import InvalidTaskError
 from .task import Task
 
 
-@dataclass
+@dataclass(slots=True)
 class Job:
     """One instance of a periodic task.
 

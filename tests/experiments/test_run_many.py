@@ -1,0 +1,173 @@
+"""Parallel campaign executor: run_many(jobs=N) must equal serial exactly.
+
+Every :class:`~repro.experiments.runner.RunSpec` cell carries its own seed
+and builds its own scheduler and fault layer, so fanning the grid out over
+worker processes may change wall time but never output.  These tests pin
+that equivalence — including the figure8 sweep from the acceptance
+criteria — plus the executor's fallback behaviour.
+"""
+
+import pytest
+
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.runner import RunSpec, run_many
+from repro.faults.guards import GuardConfig
+from repro.faults.injectors import WcetOverrunInjector
+from repro.faults.layer import FaultLayer
+from repro.schedulers.fps import FpsScheduler
+from repro.tasks.generation import GaussianModel
+from repro.workloads.registry import get_workload
+
+
+def _grid_specs():
+    """A small (scheduler, workload, seed) grid exercising real policies."""
+    specs = []
+    for policy in ("fps", "lpfps"):
+        for app in ("ins", "cnc"):
+            taskset = get_workload(app).prioritized().with_bcet_ratio(0.5)
+            for seed in (1, 2):
+                specs.append(
+                    RunSpec(
+                        taskset=taskset,
+                        scheduler=policy,
+                        seed=seed,
+                        execution_model=GaussianModel(),
+                        duration=50_000.0,
+                        on_miss="record",
+                    )
+                )
+    return specs
+
+
+def _fingerprint(result):
+    """Everything observable about a result, repr-exact for floats."""
+    return (
+        result.scheduler,
+        repr(result.energy.active),
+        repr(result.energy.idle),
+        repr(result.energy.sleep),
+        repr(result.energy.ramp),
+        repr(result.energy.wakeup),
+        result.jobs_completed,
+        result.context_switches,
+        result.preemptions,
+        result.speed_changes,
+        result.sleep_entries,
+        len(result.deadline_misses),
+        sorted((repr(k), repr(v)) for k, v in result.speed_residency.items()),
+    )
+
+
+class TestSerialParallelEquivalence:
+    def test_grid_identical_under_jobs_4(self):
+        specs = _grid_specs()
+        serial = run_many(specs, jobs=1)
+        parallel = run_many(specs, jobs=4)
+        assert len(serial) == len(parallel) == len(specs)
+        for s, p in zip(serial, parallel):
+            assert _fingerprint(s) == _fingerprint(p)
+
+    def test_figure8_sweep_identical_under_jobs_4(self):
+        kwargs = dict(ratios=(0.3, 0.8), seeds=(1, 2), duration=200_000.0)
+        serial = run_figure8("cnc", **kwargs)
+        parallel = run_figure8("cnc", jobs=4, **kwargs)
+        assert len(serial.points) == len(parallel.points)
+        for s, p in zip(serial.points, parallel.points):
+            assert repr(s.fps_power) == repr(p.fps_power)
+            assert repr(s.lpfps_power) == repr(p.lpfps_power)
+            assert repr(s.reduction) == repr(p.reduction)
+            assert s.fps_misses == p.fps_misses
+            assert s.lpfps_misses == p.lpfps_misses
+
+    def test_faulted_cells_identical_under_jobs_4(self):
+        taskset = get_workload("cnc").prioritized()
+        specs = [
+            RunSpec(
+                taskset=taskset,
+                scheduler="lpfps",
+                seed=seed,
+                duration=48_000.0,
+                on_miss="record",
+                faults=FaultLayer(
+                    injectors=[WcetOverrunInjector(0.3)],
+                    guards=GuardConfig.all(),
+                    seed=seed,
+                ),
+            )
+            for seed in (1, 2, 3)
+        ]
+        serial = run_many(specs, jobs=1)
+        parallel = run_many(specs, jobs=3)
+        for s, p in zip(serial, parallel):
+            assert _fingerprint(s) == _fingerprint(p)
+            assert len(s.fault_events) == len(p.fault_events)
+            assert len(s.guard_activations) == len(p.guard_activations)
+
+
+class TestExecutorMechanics:
+    def test_results_in_spec_order(self):
+        specs = _grid_specs()
+        results = run_many(specs, jobs=4)
+        for spec, result in zip(specs, results):
+            assert result.taskset == spec.taskset.name
+
+    def test_factory_scheduler_supported(self):
+        taskset = get_workload("cnc").prioritized()
+        spec = RunSpec(taskset=taskset, scheduler=FpsScheduler, duration=9_600.0)
+        (result,) = run_many([spec], jobs=2)
+        assert result.scheduler == "FPS"
+
+    def test_unpicklable_specs_fall_back_to_serial(self):
+        taskset = get_workload("cnc").prioritized()
+        local = FpsScheduler  # closure makes the factory unpicklable
+        spec = RunSpec(
+            taskset=taskset, scheduler=lambda: local(), duration=9_600.0
+        )
+        (result,) = run_many([spec], jobs=2)
+        assert result.scheduler == "FPS"
+
+    def test_jobs_none_is_serial(self):
+        taskset = get_workload("cnc").prioritized()
+        spec = RunSpec(taskset=taskset, scheduler="fps", duration=9_600.0)
+        (result,) = run_many([spec])
+        assert result.jobs_completed > 0
+
+    def test_record_trace_round_trips(self):
+        taskset = get_workload("cnc").prioritized()
+        specs = [
+            RunSpec(
+                taskset=taskset,
+                scheduler="lpfps",
+                duration=9_600.0,
+                record_trace=True,
+            )
+            for _ in range(2)
+        ]
+        for result in run_many(specs, jobs=2):
+            assert result.trace is not None
+            assert len(result.trace.segments) > 0
+
+    def test_on_miss_raise_propagates(self):
+        from repro.errors import DeadlineMissError
+        from repro.tasks.priority import rate_monotonic
+        from repro.tasks.task import Task, TaskSet
+
+        overloaded = rate_monotonic(
+            TaskSet(
+                name="overload",
+                tasks=[
+                    Task("a", wcet=800.0, period=1000.0),
+                    Task("b", wcet=800.0, period=1000.0),
+                ],
+            )
+        )
+        specs = [
+            RunSpec(
+                taskset=overloaded,
+                scheduler="fps",
+                duration=5_000.0,
+                on_miss="raise",
+            )
+        ]
+        with pytest.raises(DeadlineMissError):
+            run_many(specs, jobs=2)

@@ -17,6 +17,8 @@ import pytest
 
 from .capture import FIXTURE_PATH, case_id, digest_case, golden_cases
 
+pytestmark = pytest.mark.golden
+
 
 def _fixtures():
     return json.loads(FIXTURE_PATH.read_text())

@@ -56,6 +56,26 @@ class TestRunQueue:
         q.push(_job("a", priority=1))
         assert [j.task.name for j in q.jobs()] == ["a", "b"]
 
+    def test_tie_break_deterministic_across_refills(self):
+        """Equal keys drain in insertion order on every fill of the queue."""
+        q = RunQueue()
+        for _ in range(3):
+            jobs = [_job(f"t{i}", priority=4, index=i) for i in range(5)]
+            for job in jobs:
+                q.push(job)
+            assert [q.pop() for _ in range(5)] == jobs
+            assert q.empty
+
+    def test_deadline_tie_breaks_fifo(self):
+        """EDF ties (identical absolute deadlines) stay insertion-ordered."""
+        q = RunQueue(key=deadline_key)
+        first = _job("a", priority=7, release=0.0, period=100.0)
+        second = _job("b", priority=2, release=0.0, period=100.0)
+        q.push(first)
+        q.push(second)
+        assert q.pop() is first
+        assert q.pop() is second
+
 
 class TestDelayQueue:
     def _task(self, name, priority, period=100.0):
@@ -101,3 +121,69 @@ class TestDelayQueue:
         q = DelayQueue()
         q.push(Task(name="x", wcet=1.0, period=10.0), 5.0, 0)
         assert q.next_release_time() == 5.0
+
+    def test_simultaneous_equal_priority_insertion_order(self):
+        """Same instant, same priority: the insertion counter decides."""
+        q = DelayQueue()
+        for name in ("first", "second", "third"):
+            q.push(self._task(name, priority=2), 40.0, 0)
+        names = [t.name for t, _, _ in q.pop_due(40.0)]
+        assert names == ["first", "second", "third"]
+
+    def test_simultaneous_unprioritised_insertion_order(self):
+        """Unprioritised tasks tie-break by insertion order, deterministically."""
+        q = DelayQueue()
+        for name in ("u1", "u2", "u3"):
+            q.push(Task(name=name, wcet=1.0, period=10.0), 7.0, 0)
+        names = [t.name for t, _, _ in q.pop_due(7.0)]
+        assert names == ["u1", "u2", "u3"]
+
+    def test_jitter_entry_keeps_nominal_release(self):
+        """A jittered entry fires at the perturbed time but reports the
+        nominal release (the deadline anchor)."""
+        q = DelayQueue()
+        q.push(self._task("a", 1), 52.0, 3, nominal=50.0)
+        assert q.pop_due(51.0) == []
+        ((task, release, index),) = q.pop_due(52.0)
+        assert (task.name, release, index) == ("a", 50.0, 3)
+
+
+class TestDelayQueueRearming:
+    """Ordering survives the wake-timer pop/re-push cycle (PR 1 guards)."""
+
+    def _task(self, name, priority, period=100.0):
+        return Task(name=name, wcet=10.0, period=period, priority=priority)
+
+    def test_rearm_after_pop_restores_order(self):
+        """Popping a due release and re-arming its next period keeps the
+        remaining entries in due order."""
+        q = DelayQueue()
+        a = self._task("a", 1)
+        b = self._task("b", 2)
+        q.push(a, 50.0, 0)
+        q.push(b, 80.0, 0)
+        ((task, _, _),) = q.pop_due(50.0)
+        assert task is a
+        q.push(a, 150.0, 1)  # re-arm next period
+        assert q.entries() == [(80.0, "b"), (150.0, "a")]
+
+    def test_rearm_earlier_than_existing_entries(self):
+        """A re-armed timer earlier than queued entries becomes the head
+        (a guard shortening a wake timer must not fire late)."""
+        q = DelayQueue()
+        q.push(self._task("a", 1), 100.0, 0)
+        q.push(self._task("b", 2), 120.0, 0)
+        q.pop_due(100.0)
+        q.push(self._task("a", 1), 110.0, 1)  # earlier than b's entry
+        assert q.next_release_time() == 110.0
+        names = [t.name for t, _, _ in q.pop_due(120.0)]
+        assert names == ["a", "b"]
+
+    def test_rearm_collides_with_release_priority_decides(self):
+        """A wake re-armed onto an existing release instant drains in
+        priority order regardless of push order."""
+        q = DelayQueue()
+        q.push(self._task("lo", 5), 200.0, 0)
+        q.push(self._task("hi", 1), 200.0, 0)
+        names = [t.name for t, _, _ in q.pop_due(200.0)]
+        assert names == ["hi", "lo"]
