@@ -9,6 +9,8 @@ Examples
     lpfps figure8 --app ins --seeds 1 2 3
     lpfps ablation --which mechanisms --app ins
     lpfps simulate --app cnc --scheduler lpfps --bcet-ratio 0.5
+    lpfps serve --port 8080 --cache-dir /tmp/lpfps-cache
+    lpfps query --kind energy --app ins --scheduler lpfps --bcet-ratio 0.5
     python -m repro figure1
 """
 
@@ -71,7 +73,8 @@ def build_parser() -> argparse.ArgumentParser:
     f8.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
     f8.add_argument(
         "--jobs", type=int, default=1,
-        help="worker processes for the run grid (results identical to serial)",
+        help="worker processes for the run grid; 0 = one per CPU "
+        "(results identical to serial)",
     )
 
     ab = sub.add_parser("ablation", help="design-choice ablation studies")
@@ -121,7 +124,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     flt.add_argument(
         "--jobs", type=int, default=1,
-        help="worker processes for the run grid (results identical to serial)",
+        help="worker processes for the run grid; 0 = one per CPU "
+        "(results identical to serial)",
     )
 
     val = sub.add_parser(
@@ -141,6 +145,68 @@ def build_parser() -> argparse.ArgumentParser:
     simp.add_argument("--bcet-ratio", type=float, default=1.0)
     simp.add_argument("--seed", type=int, default=1)
     simp.add_argument("--duration", type=float, default=None, help="horizon in us")
+
+    srv = sub.add_parser(
+        "serve", help="serve scheduling/energy queries over HTTP"
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port; 0 binds a free one (printed on startup)",
+    )
+    srv.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the on-disk result-cache tier (default: memory only)",
+    )
+    srv.add_argument(
+        "--memory-items", type=int, default=1024,
+        help="capacity of the in-memory LRU cache tier",
+    )
+    srv.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes per micro-batch; 0 = one per CPU",
+    )
+    srv.add_argument(
+        "--max-pending", type=int, default=256,
+        help="admission-control bound on unique in-flight simulations",
+    )
+    srv.add_argument(
+        "--timeout-s", type=float, default=60.0,
+        help="default per-request wait deadline",
+    )
+    srv.add_argument(
+        "--batch-window-ms", type=float, default=5.0,
+        help="micro-batch gather window for cache misses",
+    )
+
+    qry = sub.add_parser(
+        "query", help="ask the service one question (in-process or --url)"
+    )
+    qry.add_argument(
+        "--kind", choices=["schedulability", "rta", "energy"], default="energy"
+    )
+    qry.add_argument("--app", choices=available_workloads(), required=True)
+    qry.add_argument(
+        "--scheduler", choices=available_schedulers(), default="lpfps"
+    )
+    qry.add_argument("--seed", type=int, default=1)
+    qry.add_argument("--bcet-ratio", type=float, default=None)
+    qry.add_argument("--duration", type=float, default=None, help="horizon in us")
+    qry.add_argument(
+        "--execution", choices=["gaussian", "wcet"], default="gaussian"
+    )
+    qry.add_argument(
+        "--url", default=None,
+        help="base URL of a running `lpfps serve`; omit to answer in-process",
+    )
+    qry.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk cache tier for in-process queries (shared with serve)",
+    )
+    qry.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes for in-process queries; 0 = one per CPU",
+    )
 
     return parser
 
@@ -277,7 +343,92 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(result.summary())
         if result.missed:
             return 1
+    elif args.command == "serve":
+        return _run_serve(args)
+    elif args.command == "query":
+        return _run_query(args)
     return 0
+
+
+def _run_serve(args) -> int:
+    """Serve until SIGTERM/SIGINT, then drain and exit cleanly."""
+    import signal
+    import threading
+
+    from .service.broker import ServiceGuards
+    from .service.server import ScheduleService, make_server
+
+    guards = ServiceGuards(
+        max_pending=args.max_pending,
+        request_timeout_s=args.timeout_s,
+        batch_window_s=args.batch_window_ms / 1_000.0,
+    )
+    service = ScheduleService(
+        cache_dir=args.cache_dir,
+        memory_items=args.memory_items,
+        guards=guards,
+        jobs=args.jobs,
+    )
+    server = make_server(service, args.host, args.port)
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):  # noqa: ARG001 - signal contract
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    thread = threading.Thread(
+        target=server.serve_forever, name="lpfps-serve", daemon=True
+    )
+    thread.start()
+    print(f"serving on {server.url}", flush=True)
+    try:
+        stop.wait()
+    finally:
+        # Orderly teardown: stop accepting, join the serve loop, then
+        # close the broker so no pool worker outlives the process.
+        server.shutdown()
+        thread.join(timeout=10.0)
+        server.server_close()
+        service.close()
+    print("shutdown complete", flush=True)
+    return 0
+
+
+def _run_query(args) -> int:
+    """Answer one query — against a remote server or in-process."""
+    import json
+
+    request = {
+        "kind": args.kind,
+        "app": args.app,
+        "scheduler": args.scheduler,
+        "seed": args.seed,
+        "execution": args.execution,
+    }
+    if args.bcet_ratio is not None:
+        request["bcet_ratio"] = args.bcet_ratio
+    if args.duration is not None:
+        request["duration"] = args.duration
+    if args.url is not None:
+        from .service.client import ServiceClient
+
+        status, payload = ServiceClient(args.url).query(request)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if status == 200 and payload.get("ok", False) else 1
+    from .errors import ServiceError
+    from .service.server import ScheduleService
+
+    service = ScheduleService(cache_dir=args.cache_dir, jobs=args.jobs)
+    try:
+        payload = service.query_dict(request)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        service.close()
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0 if payload.get("ok", False) else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

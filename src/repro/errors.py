@@ -104,5 +104,17 @@ class SimulationError(ReproError):
     """The discrete-event engine reached an inconsistent state."""
 
 
+class ServiceError(ReproError):
+    """Base class for scheduling-service failures (:mod:`repro.service`).
+
+    Subclasses distinguish the three ways a query can fail without the
+    simulation itself being wrong: malformed requests
+    (:class:`~repro.service.query.QueryError`), load shedding
+    (:class:`~repro.service.broker.AdmissionError`), and per-request
+    deadline expiry (:class:`~repro.service.broker.RequestTimeout`) —
+    the HTTP front end maps them to 400/503/504 respectively.
+    """
+
+
 class AnalysisError(ReproError):
     """A schedulability analysis could not be performed (e.g. divergent RTA)."""

@@ -104,7 +104,7 @@ def run_figure8(
     seeds: Sequence[int] = (1, 2, 3),
     spec: Optional[ProcessorSpec] = None,
     duration: Optional[float] = None,
-    jobs: Optional[int] = None,
+    jobs: Optional[int] = 1,
 ) -> Figure8Result:
     """Run the Figure 8 sweep for one application by registry name.
 
@@ -150,7 +150,7 @@ def run_figure8_all(
     ratios: Sequence[float] = DEFAULT_RATIOS,
     seeds: Sequence[int] = (1, 2, 3),
     spec: Optional[ProcessorSpec] = None,
-    jobs: Optional[int] = None,
+    jobs: Optional[int] = 1,
 ) -> Dict[str, Figure8Result]:
     """Run all four panels (a)–(d) of Figure 8."""
     return {

@@ -252,7 +252,7 @@ def run_robustness_campaign(
     bcet_ratio: float = 0.5,
     seeds: Sequence[int] = (1, 2, 3),
     miss_policy: str = "run-to-completion",
-    jobs: Optional[int] = None,
+    jobs: Optional[int] = 1,
 ) -> Tuple[CampaignResult, ...]:
     """Policy dose-response: one full campaign per intensity.
 

@@ -22,6 +22,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from ..errors import ConfigurationError
 from ..faults.layer import FaultLayer
 from ..power.processor import ProcessorSpec
 from ..sim.engine import simulate
@@ -112,17 +113,41 @@ def _run_spec(spec: RunSpec) -> SimulationResult:
     return spec.run()
 
 
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Resolve a *jobs* knob to a concrete worker count.
+
+    One convention shared by :func:`run_many`, the service broker, and
+    the CLI ``--jobs`` flags: ``None`` and ``0`` both mean *auto* — one
+    worker per CPU — while any positive integer is taken literally
+    (still clamped to the CPU count by :func:`run_many`, where a wider
+    pool is pure overhead).  Anything else — negative counts, floats,
+    bools — is a configuration error, not a silent serial fallback.
+    """
+    if jobs is None:
+        return os.cpu_count() or 1
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ConfigurationError(
+            f"jobs must be an integer >= 0 or None, got {jobs!r}"
+        )
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0 (0 = auto), got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
 def run_many(
     specs: Sequence[RunSpec],
-    jobs: Optional[int] = None,
+    jobs: Optional[int] = 1,
 ) -> List[SimulationResult]:
     """Execute a campaign of :class:`RunSpec` cells, optionally in parallel.
 
-    Results come back in spec order.  With ``jobs`` ≤ 1 (the default) the
+    Results come back in spec order.  With ``jobs=1`` (the default) the
     cells run serially in this process; with ``jobs`` > 1 they are mapped
-    over a process pool.  Each cell is seeded and self-contained, so the
-    returned results are identical either way — parallelism changes wall
-    time, never output.
+    over a process pool; ``jobs=None`` and ``jobs=0`` both mean *auto* —
+    one worker per CPU (:func:`resolve_jobs`).  Each cell is seeded and
+    self-contained, so the returned results are identical either way —
+    parallelism changes wall time, never output.
 
     The serial path is also the fallback: spec lists that cannot be
     pickled (e.g. closure-based scheduler factories) and environments
@@ -132,8 +157,7 @@ def run_many(
     overhead, so the campaign runs in-process instead.
     """
     spec_list = list(specs)
-    workers = 1 if jobs is None else int(jobs)
-    workers = min(workers, os.cpu_count() or 1)
+    workers = min(resolve_jobs(jobs), os.cpu_count() or 1)
     if workers <= 1 or len(spec_list) <= 1:
         return [spec.run() for spec in spec_list]
     try:
@@ -174,7 +198,7 @@ def compare_schedulers(
     seeds: Sequence[int] = (1, 2, 3),
     duration: Optional[float] = None,
     on_miss: str = "record",
-    jobs: Optional[int] = None,
+    jobs: Optional[int] = 1,
 ) -> Dict[str, ComparisonPoint]:
     """Run every scheduler over every seed and average the powers.
 

@@ -129,7 +129,7 @@ def run_campaign(
     execution_model=None,
     duration: Optional[float] = None,
     scheduler_overhead: float = 0.0,
-    jobs: Optional[int] = None,
+    jobs: Optional[int] = 1,
 ) -> CampaignResult:
     """Run one seeded fault-injection campaign.
 

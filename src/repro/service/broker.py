@@ -1,0 +1,309 @@
+"""The async request broker: admission, dedupe, micro-batching, timeouts.
+
+Requests flow through four gates:
+
+1. **Cache** — a fingerprint already answered (by this process or a
+   previous one, via the disk tier) returns immediately.
+2. **In-flight dedupe** — a fingerprint currently being computed attaches
+   the caller to the existing future instead of queueing a second
+   identical simulation.  Dedupe hits bypass admission control: they add
+   no work, so shedding them would only waste an answer we are already
+   paying for.
+3. **Admission control** — new *unique* work is bounded by
+   ``guards.max_pending``; beyond it the broker sheds the request with
+   :class:`AdmissionError` (HTTP 503) rather than growing an unbounded
+   queue.  Load shedding at admission is the service analogue of the
+   fault layer's graceful-degradation guards: bound the damage, keep
+   serving.
+4. **Micro-batching** — admitted misses are collected for a short window
+   (``guards.batch_window_s``, or until ``guards.max_batch``) and
+   dispatched as *one* :func:`repro.experiments.runner.run_many`
+   campaign, which amortises dispatch overhead and fans out over worker
+   processes under the shared ``jobs`` convention (``0`` = auto).
+
+Failure containment mirrors ``faults/guards``: a batch whose campaign
+raises is retried serially cell-by-cell (``guards.serial_fallback``), so
+one poisoned query cannot take down its batch neighbours; deterministic
+refusals become cacheable error payloads; per-request timeouts
+(:class:`RequestTimeout`, HTTP 504) abandon the *wait*, never the
+computation — the late answer still lands in the cache for the retry.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future, TimeoutError as FutureTimeout
+from dataclasses import dataclass
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from ..errors import ConfigurationError, ReproError, ServiceError
+from ..experiments.runner import resolve_jobs, run_many
+from .cache import ResultCache
+from .fingerprint import fingerprint
+from .query import Query
+from .results import encode_result, error_payload, execute_analytic
+from .stats import ServiceStats
+
+
+class AdmissionError(ServiceError):
+    """The broker shed this request to protect itself (HTTP 503)."""
+
+
+class RequestTimeout(ServiceError):
+    """The per-request deadline expired while waiting (HTTP 504)."""
+
+
+class BrokerClosed(ServiceError):
+    """The broker was shut down before this request completed."""
+
+
+@dataclass(frozen=True)
+class ServiceGuards:
+    """Admission-control and degradation knobs, in the GuardConfig idiom.
+
+    Attributes
+    ----------
+    max_pending:
+        Upper bound on unique in-flight simulation requests; further
+        unique work is shed with :class:`AdmissionError`.
+    request_timeout_s:
+        Default wait deadline enforced by :meth:`Broker.query`.
+    batch_window_s:
+        How long the dispatcher holds the first miss of a batch while
+        more arrive.  Zero dispatches every miss immediately.
+    max_batch:
+        Hard cap on cells per dispatched campaign.
+    serial_fallback:
+        Retry a failed batch cell-by-cell so one poisoned query cannot
+        fail its neighbours.
+    """
+
+    max_pending: int = 256
+    request_timeout_s: float = 60.0
+    batch_window_s: float = 0.005
+    max_batch: int = 32
+    serial_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ConfigurationError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        if self.request_timeout_s <= 0:
+            raise ConfigurationError(
+                f"request_timeout_s must be > 0, got {self.request_timeout_s}"
+            )
+        if self.batch_window_s < 0:
+            raise ConfigurationError(
+                f"batch_window_s must be >= 0, got {self.batch_window_s}"
+            )
+        if self.max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {self.max_batch}")
+
+    @staticmethod
+    def none() -> "ServiceGuards":
+        """Effectively unguarded: huge queue, no batching delay."""
+        return ServiceGuards(
+            max_pending=1_000_000,
+            request_timeout_s=3_600.0,
+            batch_window_s=0.0,
+            serial_fallback=False,
+        )
+
+
+class Submission(NamedTuple):
+    """What :meth:`Broker.submit` hands back for one admitted request."""
+
+    future: "Future[dict]"
+    path: str  #: "hit" | "analytic" | "dedup" | "miss"
+    fingerprint: str
+
+
+class Broker:
+    """Admit, dedupe, batch, and answer queries over one result cache."""
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        guards: Optional[ServiceGuards] = None,
+        jobs: Optional[int] = 0,
+        stats: Optional[ServiceStats] = None,
+    ):
+        self.cache = cache if cache is not None else ResultCache()
+        self.guards = guards if guards is not None else ServiceGuards()
+        self.jobs = resolve_jobs(jobs)
+        self.stats = stats if stats is not None else ServiceStats()
+        self._queue: "queue.Queue[Tuple[str, Query]]" = queue.Queue()
+        self._inflight: Dict[str, "Future[dict]"] = {}
+        self._lock = threading.Lock()
+        self._closed = threading.Event()
+        self._dispatcher = threading.Thread(
+            target=self._drain, name="lpfps-broker", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- client surface ------------------------------------------------------
+    def submit(self, query: Query) -> Submission:
+        """Admit one query; returns a future resolving to its payload."""
+        if self._closed.is_set():
+            raise BrokerClosed("broker is closed")
+        self.stats.count("requests")
+        key = fingerprint(query)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.stats.count("cache_hits")
+            done: "Future[dict]" = Future()
+            done.set_result(cached)
+            return Submission(done, "hit", key)
+        if query.kind != "energy":
+            # Analytic kinds cost microseconds: answer on the caller's
+            # thread, but still cache so repeats take the fast path.
+            payload = execute_analytic(query)
+            self.cache.put(key, payload)
+            future: "Future[dict]" = Future()
+            future.set_result(payload)
+            return Submission(future, "analytic", key)
+        with self._lock:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self.stats.count("dedup_hits")
+                return Submission(existing, "dedup", key)
+            if len(self._inflight) >= self.guards.max_pending:
+                self.stats.count("shed")
+                raise AdmissionError(
+                    f"{len(self._inflight)} requests in flight "
+                    f"(max_pending={self.guards.max_pending}); retry later"
+                )
+            future = Future()
+            self._inflight[key] = future
+        self.stats.count("dispatched")
+        self._queue.put((key, query))
+        return Submission(future, "miss", key)
+
+    def query(self, query: Query, timeout: Optional[float] = None) -> dict:
+        """Submit and wait; raises :class:`RequestTimeout` on expiry.
+
+        A timed-out computation is *not* cancelled — its answer still
+        lands in the cache, so the client's retry is a cheap hit.
+        """
+        import time
+
+        start = time.perf_counter()
+        submission = self.submit(query)
+        deadline = timeout if timeout is not None else self.guards.request_timeout_s
+        try:
+            payload = submission.future.result(timeout=deadline)
+        except FutureTimeout:
+            self.stats.count("timeouts")
+            raise RequestTimeout(
+                f"no answer within {deadline:g}s (query {submission.fingerprint[:12]}); "
+                "the result will be cached when it completes — retry"
+            ) from None
+        path = "hit" if submission.path in ("hit", "dedup") else (
+            "analytic" if submission.path == "analytic" else "miss"
+        )
+        self.stats.record_latency(path, time.perf_counter() - start)
+        return payload
+
+    def pending(self) -> int:
+        """Unique simulation requests currently in flight."""
+        with self._lock:
+            return len(self._inflight)
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop the dispatcher and fail whatever never ran."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._dispatcher.join(timeout=timeout)
+        leftovers: List["Future[dict]"] = []
+        with self._lock:
+            leftovers.extend(self._inflight.values())
+            self._inflight.clear()
+        for future in leftovers:
+            if not future.done():
+                future.set_exception(BrokerClosed("broker closed before dispatch"))
+
+    def __enter__(self) -> "Broker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- dispatcher ----------------------------------------------------------
+    def _drain(self) -> None:
+        """Dispatcher loop: gather one micro-batch, run it, repeat."""
+        import time
+
+        while not self._closed.is_set():
+            try:
+                first = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            batch = [first]
+            cutoff = time.monotonic() + self.guards.batch_window_s
+            while len(batch) < self.guards.max_batch:
+                remaining = cutoff - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(self._queue.get(timeout=remaining))
+                except queue.Empty:
+                    break
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: List[Tuple[str, Query]]) -> None:
+        """Run one micro-batch as a single campaign; contain failures."""
+        self.stats.count("batches")
+        self.stats.count("batched_cells", len(batch))
+        payloads: Dict[str, dict] = {}
+        failures: Dict[str, BaseException] = {}
+        try:
+            results = run_many(
+                [query.to_runspec() for _, query in batch], jobs=self.jobs
+            )
+            for (key, query), result in zip(batch, results):
+                payloads[key] = encode_result(query, result)
+        except BaseException as exc:  # noqa: BLE001 - contained below
+            if not self.guards.serial_fallback:
+                for key, query in batch:
+                    if isinstance(exc, ReproError):
+                        payloads[key] = error_payload(query, exc)
+                    else:
+                        failures[key] = exc
+            else:
+                # One bad cell must not fail its batch neighbours: rerun
+                # serially with per-cell containment (the guard idiom).
+                self.stats.count("fallbacks")
+                for key, query in batch:
+                    try:
+                        payloads[key] = encode_result(
+                            query, query.to_runspec().run()
+                        )
+                    except ReproError as cell_exc:
+                        payloads[key] = error_payload(query, cell_exc)
+                    except BaseException as cell_exc:  # noqa: BLE001
+                        failures[key] = cell_exc
+        self._complete(payloads, failures)
+
+    def _complete(
+        self, payloads: Dict[str, dict], failures: Dict[str, BaseException]
+    ) -> None:
+        """Cache answers, then release waiters."""
+        for key, payload in payloads.items():
+            self.cache.put(key, payload)
+            if not payload.get("ok", True):
+                self.stats.count("errors")
+        futures: Dict[str, "Future[dict]"] = {}
+        with self._lock:
+            for key in list(payloads) + list(failures):
+                future = self._inflight.pop(key, None)
+                if future is not None:
+                    futures[key] = future
+        for key, future in futures.items():
+            if key in payloads:
+                future.set_result(payloads[key])
+            else:
+                self.stats.count("errors")
+                future.set_exception(failures[key])

@@ -1,0 +1,159 @@
+"""Content-addressed result cache: an in-memory LRU tier over a disk tier.
+
+Keys are query fingerprints (:mod:`repro.service.fingerprint`); values
+are the JSON-ready response payloads of :mod:`repro.service.results`.
+Because the key is a content hash of everything that determines the
+answer, a hit *is* the answer — no validation or expiry is needed, and
+the tiers may be shared between processes and across service restarts.
+
+* The **memory tier** is a bounded LRU (an ``OrderedDict`` moved-to-end
+  on access); eviction only forgets the fast copy, never the answer.
+* The **disk tier** stores one JSON file per fingerprint, sharded by the
+  first two hex digits, written atomically (temp file + ``os.replace``)
+  so a crashed or concurrent writer can never leave a torn entry.  A
+  disk hit is promoted back into the memory tier.  Unreadable entries
+  are treated as misses and removed — the cache degrades to recomputing,
+  never to failing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+
+class ResultCache:
+    """Two-tier content-addressed store for response payloads."""
+
+    def __init__(
+        self,
+        memory_items: int = 1024,
+        disk_dir: Union[None, str, Path] = None,
+    ):
+        if memory_items < 0:
+            raise ValueError(f"memory_items must be >= 0, got {memory_items}")
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._memory_items = memory_items
+        self._disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self._lock = threading.Lock()
+        self.hits_memory = 0
+        self.hits_disk = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+
+    # -- lookup --------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the payload for *key*, or ``None`` on a full miss."""
+        payload, _ = self.get_with_tier(key)
+        return payload
+
+    def get_with_tier(self, key: str) -> Tuple[Optional[Dict[str, Any]], str]:
+        """Like :meth:`get` but also reports which tier answered.
+
+        Returns ``(payload, "memory"|"disk")`` on a hit and
+        ``(None, "miss")`` otherwise.  Callers must treat payloads as
+        immutable — tiers hand out the stored object, not a copy.
+        """
+        with self._lock:
+            payload = self._memory.get(key)
+            if payload is not None:
+                self._memory.move_to_end(key)
+                self.hits_memory += 1
+                return payload, "memory"
+        payload = self._disk_read(key)
+        if payload is not None:
+            with self._lock:
+                self.hits_disk += 1
+                self._memory_put(key, payload)
+            return payload, "disk"
+        with self._lock:
+            self.misses += 1
+        return None, "miss"
+
+    # -- store ---------------------------------------------------------------
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store *payload* under *key* in both tiers."""
+        with self._lock:
+            self.puts += 1
+            self._memory_put(key, payload)
+        self._disk_write(key, payload)
+
+    def _memory_put(self, key: str, payload: Dict[str, Any]) -> None:
+        if self._memory_items == 0:
+            return
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self._memory_items:
+            self._memory.popitem(last=False)
+            self.evictions += 1
+
+    # -- disk tier -----------------------------------------------------------
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self._disk_dir is None:
+            return None
+        return self._disk_dir / key[:2] / f"{key}.json"
+
+    def _disk_read(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._disk_path(key)
+        if path is None:
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            # Torn or corrupt entry: drop it and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _disk_write(self, key: str, payload: Dict[str, Any]) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=f".{key[:8]}.", suffix=".tmp", dir=str(path.parent)
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, sort_keys=True)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full disk demotes the cache to memory-only.
+            pass
+
+    # -- introspection -------------------------------------------------------
+    def __len__(self) -> int:
+        """Entries currently resident in the memory tier."""
+        with self._lock:
+            return len(self._memory)
+
+    def counters(self) -> Dict[str, int]:
+        """Counter snapshot for the metrics endpoint."""
+        with self._lock:
+            return {
+                "cache_hits_memory": self.hits_memory,
+                "cache_hits_disk": self.hits_disk,
+                "cache_misses": self.misses,
+                "cache_puts": self.puts,
+                "cache_evictions": self.evictions,
+                "cache_memory_entries": len(self._memory),
+            }

@@ -1,0 +1,234 @@
+"""HTTP client and load generators for the scheduling service.
+
+The client speaks the ``/v1`` JSON protocol over ``urllib`` (no
+third-party deps).  The load generators drive *any* transport — they
+take a ``send(request) -> (status, payload)`` callable — so the same
+harness measures the HTTP stack end-to-end or the broker in-process:
+
+* **closed loop** — ``concurrency`` virtual users issue requests
+  back-to-back; throughput is limited by service latency (measures
+  capacity).
+* **open loop** — requests arrive on a fixed schedule at ``rate_rps``
+  regardless of completions (measures behaviour under offered load, the
+  regime where admission control matters; a closed loop can never
+  overload the service, an open loop can).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from .stats import percentile
+
+#: A transport: JSON request dict in, (HTTP-like status, payload) out.
+SendFn = Callable[[Dict[str, Any]], Tuple[int, Dict[str, Any]]]
+
+
+class ServiceClient:
+    """Minimal JSON client for one service base URL."""
+
+    def __init__(self, url: str, timeout_s: float = 120.0):
+        self.url = url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _get(self, path: str) -> Tuple[int, Dict[str, Any]]:
+        try:
+            with urllib.request.urlopen(
+                self.url + path, timeout=self.timeout_s
+            ) as response:
+                return response.status, json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            return exc.code, _body_of(exc)
+
+    def query(self, request: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """POST one query; returns ``(status, payload)``, raising only on
+        transport (socket-level) failures."""
+        body = json.dumps(request).encode("utf-8")
+        http_request = urllib.request.Request(
+            self.url + "/v1/query",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(
+                http_request, timeout=self.timeout_s
+            ) as response:
+                return response.status, json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            return exc.code, _body_of(exc)
+
+    def health(self) -> Tuple[int, Dict[str, Any]]:
+        return self._get("/v1/health")
+
+    def metrics(self) -> Tuple[int, Dict[str, Any]]:
+        return self._get("/v1/metrics")
+
+
+def _body_of(exc: urllib.error.HTTPError) -> Dict[str, Any]:
+    try:
+        return json.loads(exc.read().decode("utf-8"))
+    except (ValueError, UnicodeDecodeError, OSError):
+        return {"ok": False, "error": str(exc)}
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    requests: int = 0
+    ok: int = 0
+    shed: int = 0          #: 503 — dropped by admission control
+    timeouts: int = 0      #: 504 — per-request deadline expired
+    failures: int = 0      #: anything else non-200
+    wall_s: float = 0.0
+    #: Worst lateness of an open-loop arrival vs its schedule, seconds
+    #: (0 for closed loops); large slip means the generator, not the
+    #: service, was the bottleneck and the run under-offered.
+    max_slip_s: float = 0.0
+    latencies_s: List[float] = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per wall-clock second."""
+        if self.wall_s <= 0:
+            return 0.0
+        return self.requests / self.wall_s
+
+    @property
+    def dropped(self) -> int:
+        """Requests that got no answer: shed + timed out + failed."""
+        return self.shed + self.timeouts + self.failures
+
+    def latency_percentiles(
+        self, quantiles: Sequence[float] = (0.5, 0.95, 0.99)
+    ) -> Dict[str, float]:
+        return {
+            f"p{int(q * 100)}": percentile(self.latencies_s, q) for q in quantiles
+        }
+
+    def _count(self, status: int, latency_s: float, lock: threading.Lock) -> None:
+        with lock:
+            self.requests += 1
+            self.latencies_s.append(latency_s)
+            if status == 200:
+                self.ok += 1
+            elif status == 503:
+                self.shed += 1
+            elif status == 504:
+                self.timeouts += 1
+            else:
+                self.failures += 1
+
+
+def run_closed_loop(
+    send: SendFn,
+    requests: Sequence[Dict[str, Any]],
+    concurrency: int = 4,
+) -> LoadReport:
+    """Drive *requests* with ``concurrency`` back-to-back virtual users."""
+    report = LoadReport()
+    lock = threading.Lock()
+    cursor = {"next": 0}
+
+    def worker() -> None:
+        while True:
+            with lock:
+                index = cursor["next"]
+                if index >= len(requests):
+                    return
+                cursor["next"] = index + 1
+            start = time.perf_counter()
+            status, _ = send(requests[index])
+            report._count(status, time.perf_counter() - start, lock)
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=worker, daemon=True)
+        for _ in range(max(1, concurrency))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.wall_s = time.perf_counter() - started
+    return report
+
+
+def run_open_loop(
+    send: SendFn,
+    requests: Sequence[Dict[str, Any]],
+    rate_rps: float,
+    workers: int = 32,
+) -> LoadReport:
+    """Offer *requests* at a fixed arrival rate, regardless of completions.
+
+    Arrival *i* is scheduled at ``i / rate_rps`` seconds; a worker pool
+    wide enough to cover the expected outstanding count executes them.
+    ``max_slip_s`` reports how far the generator fell behind its own
+    schedule — sanity-check it stays small, or the run measured the
+    generator.
+    """
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+    report = LoadReport()
+    lock = threading.Lock()
+    epoch = time.perf_counter()
+    cursor = {"next": 0}
+
+    def worker() -> None:
+        while True:
+            with lock:
+                index = cursor["next"]
+                if index >= len(requests):
+                    return
+                cursor["next"] = index + 1
+            scheduled = epoch + index / rate_rps
+            delay = scheduled - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            else:
+                with lock:
+                    report.max_slip_s = max(report.max_slip_s, -delay)
+            start = time.perf_counter()
+            status, _ = send(requests[index])
+            report._count(status, time.perf_counter() - start, lock)
+
+    threads = [
+        threading.Thread(target=worker, daemon=True)
+        for _ in range(max(1, workers))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.wall_s = time.perf_counter() - epoch
+    return report
+
+
+def broker_send(service) -> SendFn:
+    """An in-process transport over a :class:`ScheduleService`.
+
+    Maps service exceptions to the same status codes the HTTP layer
+    uses, so load reports are comparable across transports.
+    """
+    from .broker import AdmissionError, RequestTimeout
+    from .query import QueryError
+
+    def send(request: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        try:
+            return 200, service.query_dict(request)
+        except QueryError as exc:
+            return 400, {"ok": False, "error": str(exc)}
+        except AdmissionError as exc:
+            return 503, {"ok": False, "error": str(exc)}
+        except RequestTimeout as exc:
+            return 504, {"ok": False, "error": str(exc)}
+
+    return send

@@ -1,0 +1,101 @@
+"""Query execution and bit-exact result encoding.
+
+Responses are plain JSON-ready dicts.  All floats are carried verbatim:
+``json`` serialises Python floats in their shortest round-trip form, so
+a payload that travels disk cache → HTTP → client compares equal, bit
+for bit, to one computed fresh — the property the golden-equivalence
+suite pins.
+
+Failures that are *deterministic properties of the query* — a scheduler
+refusing a workload (the YDS oracle on huge hyperperiods), an analysis
+that cannot run — are encoded as ``{"ok": false, "error": ...}``
+payloads in the same ``TypeName: message`` format the golden fixtures
+pin, and are cached like any other answer: asking an impossible question
+twice should not cost two refusals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..analysis.rta import analyze
+from ..errors import ReproError
+from ..sim.metrics import SimulationResult
+from ..sim.recording import digest_result
+from .query import Query
+
+
+def encode_result(query: Query, result: SimulationResult) -> Dict[str, Any]:
+    """Encode one simulation result as a JSON-ready response payload."""
+    payload: Dict[str, Any] = {
+        "ok": True,
+        "kind": "energy",
+        "scheduler": query.scheduler,
+        "scheduler_name": result.scheduler,
+        "taskset": result.taskset,
+        "seed": query.seed,
+        "duration": result.duration,
+        "average_power": result.average_power,
+        "energy": result.energy.as_dict(),
+        "energy_total": result.energy.total,
+        "counters": {
+            "jobs_completed": result.jobs_completed,
+            "context_switches": result.context_switches,
+            "preemptions": result.preemptions,
+            "speed_changes": result.speed_changes,
+            "sleep_entries": result.sleep_entries,
+        },
+        "deadline_misses": len(result.deadline_misses),
+        "missed": result.missed,
+    }
+    if result.trace is not None:
+        payload["digest"] = digest_result(result)
+    return payload
+
+
+def error_payload(query: Query, exc: BaseException) -> Dict[str, Any]:
+    """Encode a deterministic refusal in the golden ``error`` format."""
+    return {
+        "ok": False,
+        "kind": query.kind,
+        "error": f"{type(exc).__name__}: {exc}",
+    }
+
+
+def execute_analytic(query: Query) -> Dict[str, Any]:
+    """Answer a ``schedulability`` or ``rta`` query via exact RTA."""
+    try:
+        rta = analyze(query.taskset)
+    except ReproError as exc:
+        return error_payload(query, exc)
+    if query.kind == "schedulability":
+        return {
+            "ok": True,
+            "kind": "schedulability",
+            "schedulable": rta.schedulable,
+            "utilization": query.taskset.utilization,
+            "n_tasks": len(query.taskset),
+        }
+    return {
+        "ok": True,
+        "kind": "rta",
+        "schedulable": rta.schedulable,
+        "response_times": dict(rta.response_times),
+        "slack": dict(rta.slack),
+        "worst_slack": rta.worst_slack(),
+    }
+
+
+def execute_query(query: Query) -> Dict[str, Any]:
+    """Execute one query in-process, bypassing cache and broker.
+
+    This is the reference path: the broker's batched answers must be
+    bit-identical to it, and the benchmark's *sequential per-request
+    dispatch* baseline is exactly this call in a loop.
+    """
+    if query.kind != "energy":
+        return execute_analytic(query)
+    try:
+        return encode_result(query, query.to_runspec().run())
+    except ReproError as exc:
+        return error_payload(query, exc)

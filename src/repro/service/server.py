@@ -1,0 +1,233 @@
+"""The stdlib HTTP front end and the service facade.
+
+:class:`ScheduleService` wires one cache, one broker, and one stats
+sink together; it is the object both the HTTP server and in-process
+callers (the CLI's ``lpfps query`` without ``--url``, the benchmarks)
+talk to.
+
+The HTTP layer is deliberately thin — ``http.server`` from the standard
+library, threads per connection, JSON in/out — because the interesting
+machinery (admission, dedupe, batching, caching) all lives below the
+transport in the broker.  Endpoints:
+
+* ``POST /v1/query`` — body is a JSON request
+  (:func:`repro.service.query.parse_query`), plus an optional
+  ``timeout_s`` transport field; answers 200 with the payload,
+  400 on malformed queries, 503 when shed by admission control
+  (with ``Retry-After``), 504 on per-request timeout.
+* ``GET /v1/health`` — liveness.
+* ``GET /v1/metrics`` — counters + latency percentiles in the
+  bench-metrics/v1 schema.
+* ``GET /v1/schedulers`` / ``GET /v1/workloads`` — registry listings.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple, Union
+
+from ..errors import ServiceError
+from .broker import AdmissionError, Broker, RequestTimeout, ServiceGuards
+from .cache import ResultCache
+from .query import Query, QueryError, parse_query
+from .stats import ServiceStats
+
+#: Largest accepted request body, bytes — queries are small; anything
+#: bigger is a mistake or abuse.
+MAX_BODY_BYTES = 1_000_000
+
+
+class ScheduleService:
+    """One serving stack: stats + two-tier cache + micro-batching broker."""
+
+    def __init__(
+        self,
+        cache_dir: Union[None, str, Path] = None,
+        memory_items: int = 1024,
+        guards: Optional[ServiceGuards] = None,
+        jobs: Optional[int] = 0,
+    ):
+        self.stats = ServiceStats()
+        self.cache = ResultCache(memory_items=memory_items, disk_dir=cache_dir)
+        self.broker = Broker(
+            cache=self.cache, guards=guards, jobs=jobs, stats=self.stats
+        )
+
+    def query(self, query: Query, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Answer one parsed :class:`Query`."""
+        return self.broker.query(query, timeout=timeout)
+
+    def query_dict(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        """Answer one JSON request body (the HTTP entry point).
+
+        ``timeout_s`` is a transport-level field — it bounds the wait,
+        not the answer — so it is stripped before parsing and never
+        reaches the fingerprint.
+        """
+        request = dict(request)
+        timeout = request.pop("timeout_s", None)
+        if timeout is not None:
+            try:
+                timeout = float(timeout)
+            except (TypeError, ValueError):
+                raise QueryError(
+                    f"timeout_s must be a number, got {timeout!r}"
+                ) from None
+            if timeout <= 0:
+                raise QueryError(f"timeout_s must be > 0, got {timeout}")
+        return self.query(parse_query(request), timeout=timeout)
+
+    def metrics(self) -> Dict[str, Any]:
+        """bench-metrics/v1 snapshot of the whole stack."""
+        return self.stats.to_bench_metrics(self.cache.counters())
+
+    def close(self) -> None:
+        """Shut the broker down; idempotent."""
+        self.broker.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to the server's :class:`ScheduleService`."""
+
+    server: "ServiceHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Quiet by default; the service keeps its own counters."""
+
+    def _reply(
+        self, status: int, payload: Dict[str, Any], headers: Tuple[Tuple[str, str], ...] = ()
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str, **extra: Any) -> None:
+        self._reply(status, {"ok": False, "error": message, **extra})
+
+    # -- routes --------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
+        service = self.server.service
+        if self.path in ("/v1/health", "/health"):
+            self._reply(200, {"ok": True, "status": "serving"})
+        elif self.path in ("/v1/metrics", "/metrics"):
+            self._reply(200, service.metrics())
+        elif self.path == "/v1/schedulers":
+            from ..schedulers.registry import available_schedulers
+
+            self._reply(200, {"ok": True, "schedulers": available_schedulers()})
+        elif self.path == "/v1/workloads":
+            from ..workloads.registry import available_workloads
+
+            self._reply(200, {"ok": True, "workloads": available_workloads()})
+        else:
+            self._error(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
+        if self.path not in ("/v1/query", "/query"):
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "bad Content-Length")
+            return
+        if not 0 < length <= MAX_BODY_BYTES:
+            self._error(400, f"body must be 1..{MAX_BODY_BYTES} bytes")
+            return
+        try:
+            request = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            self._error(400, "body must be valid JSON")
+            return
+        try:
+            payload = self.server.service.query_dict(request)
+        except QueryError as exc:
+            self._error(400, str(exc))
+        except AdmissionError as exc:
+            self._reply(
+                503,
+                {"ok": False, "error": str(exc)},
+                headers=(("Retry-After", "1"),),
+            )
+        except RequestTimeout as exc:
+            self._error(504, str(exc))
+        except ServiceError as exc:
+            self._error(500, str(exc))
+        else:
+            self._reply(200, payload)
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server carrying its :class:`ScheduleService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: ScheduleService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def make_server(
+    service: ScheduleService, host: str = "127.0.0.1", port: int = 0
+) -> ServiceHTTPServer:
+    """Bind (but do not start) the HTTP front end; port 0 picks a free one."""
+    return ServiceHTTPServer((host, port), service)
+
+
+@contextlib.contextmanager
+def running_server(
+    service: ScheduleService, host: str = "127.0.0.1", port: int = 0
+) -> Iterator[ServiceHTTPServer]:
+    """Serve on a background thread for the duration of the block."""
+    server = make_server(service, host, port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="lpfps-http", daemon=True
+    )
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        thread.join(timeout=10.0)
+        server.server_close()
+
+
+def serve_forever(
+    service: ScheduleService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready: Optional["threading.Event"] = None,
+    announce=None,
+) -> ServiceHTTPServer:
+    """Blocking serve loop for the CLI; returns after :meth:`shutdown`.
+
+    *announce*, when given, is called with the bound URL before serving
+    — the CLI prints it so callers binding port 0 learn the real port.
+    """
+    server = make_server(service, host, port)
+    if announce is not None:
+        announce(server.url)
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+    return server

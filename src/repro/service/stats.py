@@ -1,0 +1,137 @@
+"""Service counters and latency statistics.
+
+One :class:`ServiceStats` instance is shared by the broker, the cache,
+and the HTTP front end.  Besides plain counters it keeps bounded
+per-path latency samples (``hit`` / ``miss`` / ``analytic``) so the
+``/v1/metrics`` endpoint and :mod:`benchmarks.bench_service` can report
+percentiles without external dependencies.
+
+The export format is the repo-wide **bench-metrics/v1** schema
+(`benchmarks/conftest.py`): a mapping with ``benchmark``, ``schema``,
+and per-test ``metrics`` lists of ``{name, value, units}`` entries —
+so a scraped ``/v1/metrics`` snapshot drops straight next to the
+committed ``benchmarks/out/*.json`` files.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Per-path cap on retained latency samples; old samples are dropped
+#: FIFO so long-lived servers report recent behaviour.
+MAX_SAMPLES = 8192
+
+#: Latency paths the service distinguishes.
+PATHS = ("hit", "miss", "analytic")
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The *q*-quantile (0..1) of *samples* by linear interpolation."""
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    pos = q * (len(ordered) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return ordered[lo]
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+
+
+class ServiceStats:
+    """Thread-safe counters + latency samples for one service instance."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started_at = time.monotonic()
+        self.requests = 0
+        self.cache_hits = 0
+        self.dedup_hits = 0
+        self.dispatched = 0
+        self.batches = 0
+        self.batched_cells = 0
+        self.shed = 0
+        self.timeouts = 0
+        self.fallbacks = 0
+        self.errors = 0
+        self._latency: Dict[str, List[float]] = {path: [] for path in PATHS}
+
+    def count(self, counter: str, amount: int = 1) -> None:
+        """Bump one of the named counters."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def record_latency(self, path: str, seconds: float) -> None:
+        """Record one end-to-end request latency on *path*."""
+        samples = self._latency[path]
+        with self._lock:
+            samples.append(seconds)
+            if len(samples) > MAX_SAMPLES:
+                del samples[: len(samples) - MAX_SAMPLES]
+
+    def latency_percentiles(
+        self, path: str, quantiles: Sequence[float] = (0.5, 0.95, 0.99)
+    ) -> Dict[str, float]:
+        """``{"p50": ..., ...}`` seconds for one path (0.0 when empty)."""
+        with self._lock:
+            samples = list(self._latency[path])
+        return {f"p{int(q * 100)}": percentile(samples, q) for q in quantiles}
+
+    def samples(self, path: str) -> List[float]:
+        """A copy of the retained latency samples for *path*."""
+        with self._lock:
+            return list(self._latency[path])
+
+    def snapshot(self) -> Dict[str, int]:
+        """A consistent copy of all counters."""
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "cache_hits": self.cache_hits,
+                "dedup_hits": self.dedup_hits,
+                "dispatched": self.dispatched,
+                "batches": self.batches,
+                "batched_cells": self.batched_cells,
+                "shed": self.shed,
+                "timeouts": self.timeouts,
+                "fallbacks": self.fallbacks,
+                "errors": self.errors,
+            }
+
+    def to_bench_metrics(
+        self, cache_counters: Optional[Dict[str, int]] = None
+    ) -> Dict[str, Any]:
+        """Snapshot in the bench-metrics/v1 schema."""
+        counters = self.snapshot()
+        with self._lock:
+            uptime = time.monotonic() - self.started_at
+        metrics = [
+            {"name": name, "value": value, "units": ""}
+            for name, value in counters.items()
+        ]
+        for name, value in (cache_counters or {}).items():
+            metrics.append({"name": name, "value": value, "units": ""})
+        for path in PATHS:
+            for label, value in self.latency_percentiles(path).items():
+                metrics.append(
+                    {
+                        "name": f"{path}_latency_{label}_ms",
+                        "value": value * 1_000.0,
+                        "units": "ms",
+                    }
+                )
+        return {
+            "benchmark": "service",
+            "schema": "bench-metrics/v1",
+            "tests": {
+                "service": {
+                    "wall_time_s": round(uptime, 6),
+                    "metrics": metrics,
+                }
+            },
+        }

@@ -20,9 +20,13 @@ record — no f-strings, no :class:`~repro.sim.trace.Segment` allocation.
 
 from __future__ import annotations
 
-from typing import Optional
+import hashlib
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from .trace import Segment, TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (metrics ← recording)
+    from .metrics import SimulationResult
 
 
 class Recorder:
@@ -105,3 +109,57 @@ class TraceBackedRecorder(Recorder):
 
 #: Shared stateless no-op recorder instance.
 NULL_RECORDER = NullRecorder()
+
+
+def trace_sha256(trace: TraceRecorder) -> str:
+    """SHA-256 over the canonical rendering of a full trace.
+
+    Floats are rendered with ``repr`` — the shortest round-trip form — so
+    the hash is bit-exact: any refactor that perturbs a single float or
+    reorders one event changes the digest.  This is the fingerprint the
+    golden-trace fixtures (``tests/golden/``) and the service result
+    cache both pin bit-identity with.
+    """
+    lines: List[str] = []
+    for seg in trace.segments:
+        lines.append(
+            "S|%s|%s|%s|%s|%s|%s|%s"
+            % (
+                repr(seg.start),
+                repr(seg.end),
+                seg.state,
+                seg.job,
+                seg.task,
+                repr(seg.speed_start),
+                repr(seg.speed_end),
+            )
+        )
+    for event in trace.events:
+        lines.append("E|%s|%s|%s" % (repr(event.time), event.kind, event.detail))
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+
+def digest_result(result: "SimulationResult") -> Dict[str, object]:
+    """Canonical, bit-exact digest of one *traced* simulation result.
+
+    The digest pins everything observable about the run: the trace hash,
+    every energy bucket as ``repr`` strings, and the scalar counters.
+    Requires ``record_trace=True`` — digesting an untraced result would
+    silently pin less than the golden fixtures do.
+    """
+    trace = result.trace
+    if not isinstance(trace, TraceRecorder):
+        raise ValueError("digest_result needs a traced result (record_trace=True)")
+    return {
+        "trace_sha256": trace_sha256(trace),
+        "segments": len(trace.segments),
+        "events": len(trace.events),
+        "energy": {k: repr(v) for k, v in result.energy.as_dict().items()},
+        "energy_total": repr(result.energy.total),
+        "jobs_completed": result.jobs_completed,
+        "deadline_misses": len(result.deadline_misses),
+        "context_switches": result.context_switches,
+        "preemptions": result.preemptions,
+        "speed_changes": result.speed_changes,
+        "sleep_entries": result.sleep_entries,
+    }

@@ -7,10 +7,13 @@ that equivalence — including the figure8 sweep from the acceptance
 criteria — plus the executor's fallback behaviour.
 """
 
+import os
+
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.experiments.figure8 import run_figure8
-from repro.experiments.runner import RunSpec, run_many
+from repro.experiments.runner import RunSpec, resolve_jobs, run_many
 from repro.faults.guards import GuardConfig
 from repro.faults.injectors import WcetOverrunInjector
 from repro.faults.layer import FaultLayer
@@ -126,11 +129,19 @@ class TestExecutorMechanics:
         (result,) = run_many([spec], jobs=2)
         assert result.scheduler == "FPS"
 
-    def test_jobs_none_is_serial(self):
+    def test_default_jobs_is_serial(self):
         taskset = get_workload("cnc").prioritized()
         spec = RunSpec(taskset=taskset, scheduler="fps", duration=9_600.0)
         (result,) = run_many([spec])
         assert result.jobs_completed > 0
+
+    def test_jobs_auto_matches_serial_output(self):
+        """``jobs=0`` (one worker per CPU) never changes results."""
+        specs = _grid_specs()[:4]
+        serial = run_many(specs, jobs=1)
+        auto = run_many(specs, jobs=0)
+        for s, p in zip(serial, auto):
+            assert _fingerprint(s) == _fingerprint(p)
 
     def test_record_trace_round_trips(self):
         taskset = get_workload("cnc").prioritized()
@@ -171,3 +182,35 @@ class TestExecutorMechanics:
         ]
         with pytest.raises(DeadlineMissError):
             run_many(specs, jobs=2)
+
+
+class TestJobsConvention:
+    """The shared ``jobs`` convention: ``None``/``0`` mean one per CPU."""
+
+    def test_none_resolves_to_cpu_count(self):
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+
+    def test_zero_resolves_to_cpu_count(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_positive_passes_through(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_negative_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="jobs"):
+            resolve_jobs(-1)
+
+    def test_non_integer_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="jobs"):
+            resolve_jobs(2.5)
+        with pytest.raises(ConfigurationError, match="jobs"):
+            resolve_jobs("4")
+        with pytest.raises(ConfigurationError, match="jobs"):
+            resolve_jobs(True)  # bools are not worker counts
+
+    def test_run_many_rejects_bad_jobs(self):
+        taskset = get_workload("cnc").prioritized()
+        spec = RunSpec(taskset=taskset, scheduler="fps", duration=9_600.0)
+        with pytest.raises(ConfigurationError):
+            run_many([spec], jobs=-2)

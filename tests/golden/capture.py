@@ -22,7 +22,6 @@ Regenerate (only when a behaviour change is intended and understood)::
 
 from __future__ import annotations
 
-import hashlib
 import json
 import pathlib
 from typing import Dict, List, Tuple
@@ -30,6 +29,7 @@ from typing import Dict, List, Tuple
 from repro.schedulers.registry import available_schedulers, make_scheduler
 from repro.sim.engine import simulate
 from repro.sim.metrics import SimulationResult
+from repro.sim.recording import digest_result
 from repro.tasks.generation import GaussianModel
 from repro.workloads.registry import get_workload
 
@@ -75,41 +75,6 @@ def run_case(scheduler: str, workload: str, duration: float) -> SimulationResult
         on_miss="record",
         record_trace=True,
     )
-
-
-def digest_result(result: SimulationResult) -> Dict[str, object]:
-    """Canonical, bit-exact digest of one simulation result."""
-    trace = result.trace
-    lines: List[str] = []
-    for seg in trace.segments:
-        lines.append(
-            "S|%s|%s|%s|%s|%s|%s|%s"
-            % (
-                repr(seg.start),
-                repr(seg.end),
-                seg.state,
-                seg.job,
-                seg.task,
-                repr(seg.speed_start),
-                repr(seg.speed_end),
-            )
-        )
-    for event in trace.events:
-        lines.append("E|%s|%s|%s" % (repr(event.time), event.kind, event.detail))
-    sha = hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
-    return {
-        "trace_sha256": sha,
-        "segments": len(trace.segments),
-        "events": len(trace.events),
-        "energy": {k: repr(v) for k, v in result.energy.as_dict().items()},
-        "energy_total": repr(result.energy.total),
-        "jobs_completed": result.jobs_completed,
-        "deadline_misses": len(result.deadline_misses),
-        "context_switches": result.context_switches,
-        "preemptions": result.preemptions,
-        "speed_changes": result.speed_changes,
-        "sleep_entries": result.sleep_entries,
-    }
 
 
 def digest_case(scheduler: str, workload: str, duration: float) -> Dict[str, object]:

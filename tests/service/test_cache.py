@@ -1,0 +1,105 @@
+"""Result-cache tiers: LRU behaviour, disk persistence, degradation."""
+
+from __future__ import annotations
+
+import json
+
+from repro.service.cache import ResultCache
+
+PAYLOAD = {"ok": True, "kind": "energy", "average_power": 0.5}
+
+
+def _key(i: int) -> str:
+    return f"{i:02x}" + "ab" * 31
+
+
+class TestMemoryTier:
+    def test_round_trip(self):
+        cache = ResultCache(memory_items=4)
+        cache.put(_key(1), PAYLOAD)
+        payload, tier = cache.get_with_tier(_key(1))
+        assert payload == PAYLOAD
+        assert tier == "memory"
+        assert cache.hits_memory == 1
+
+    def test_miss(self):
+        cache = ResultCache(memory_items=4)
+        assert cache.get(_key(1)) is None
+        assert cache.misses == 1
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = ResultCache(memory_items=2)
+        cache.put(_key(1), {"v": 1})
+        cache.put(_key(2), {"v": 2})
+        assert cache.get(_key(1)) == {"v": 1}  # touch 1: now 2 is LRU
+        cache.put(_key(3), {"v": 3})
+        assert cache.get(_key(2)) is None
+        assert cache.get(_key(1)) == {"v": 1}
+        assert cache.get(_key(3)) == {"v": 3}
+        assert cache.evictions == 1
+
+    def test_zero_capacity_memory_tier_is_passthrough(self):
+        cache = ResultCache(memory_items=0)
+        cache.put(_key(1), PAYLOAD)
+        assert len(cache) == 0
+        assert cache.get(_key(1)) is None
+
+
+class TestDiskTier:
+    def test_persists_across_instances(self, tmp_path):
+        first = ResultCache(memory_items=4, disk_dir=tmp_path / "cache")
+        first.put(_key(7), PAYLOAD)
+        second = ResultCache(memory_items=4, disk_dir=tmp_path / "cache")
+        payload, tier = second.get_with_tier(_key(7))
+        assert payload == PAYLOAD
+        assert tier == "disk"
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        cache = ResultCache(memory_items=4, disk_dir=tmp_path / "cache")
+        cache.put(_key(7), PAYLOAD)
+        fresh = ResultCache(memory_items=4, disk_dir=tmp_path / "cache")
+        assert fresh.get_with_tier(_key(7))[1] == "disk"
+        assert fresh.get_with_tier(_key(7))[1] == "memory"
+
+    def test_eviction_does_not_lose_the_answer(self, tmp_path):
+        cache = ResultCache(memory_items=1, disk_dir=tmp_path / "cache")
+        cache.put(_key(1), {"v": 1})
+        cache.put(_key(2), {"v": 2})  # evicts key 1 from memory
+        payload, tier = cache.get_with_tier(_key(1))
+        assert payload == {"v": 1}
+        assert tier == "disk"
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(memory_items=0, disk_dir=tmp_path / "cache")
+        cache.put(_key(3), PAYLOAD)
+        path = next((tmp_path / "cache").rglob("*.json"))
+        path.write_text("{torn")
+        assert cache.get(_key(3)) is None
+        assert not path.exists(), "corrupt entries are removed"
+
+    def test_entries_are_sharded_and_valid_json(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path / "cache")
+        key = _key(0xAB)
+        cache.put(key, PAYLOAD)
+        path = tmp_path / "cache" / key[:2] / f"{key}.json"
+        assert path.exists()
+        assert json.loads(path.read_text()) == PAYLOAD
+
+    def test_unwritable_disk_dir_degrades_to_memory_only(self, tmp_path):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("a file where the cache dir should go")
+        cache = ResultCache(memory_items=4, disk_dir=blocker / "sub")
+        cache.put(_key(1), PAYLOAD)  # disk write fails silently
+        assert cache.get(_key(1)) == PAYLOAD  # memory tier still serves
+
+
+def test_counters_snapshot():
+    cache = ResultCache(memory_items=2)
+    cache.put(_key(1), PAYLOAD)
+    cache.get(_key(1))
+    cache.get(_key(9))
+    counters = cache.counters()
+    assert counters["cache_puts"] == 1
+    assert counters["cache_hits_memory"] == 1
+    assert counters["cache_misses"] == 1
+    assert counters["cache_memory_entries"] == 1
