@@ -116,15 +116,36 @@ def pytest_runtest_makereport(item, call):
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Flush one JSON per benchmark module that ran."""
+    """Flush one JSON per benchmark module that ran.
+
+    Payloads are assembled (and, when the package is importable,
+    validated) by :mod:`repro.obs.schema` — the same builder the
+    profiler and the service ``/v1/metrics`` endpoint use, so every
+    bench-metrics/v1 producer shares one code path.
+    """
     if not _METRICS:
         return
+    try:
+        from repro.obs.schema import bench_metrics_payload, validate_bench_metrics
+    except ImportError:  # benchmarks run without PYTHONPATH=src
+        def bench_metrics_payload(benchmark, tests):
+            return {
+                "benchmark": benchmark,
+                "schema": "bench-metrics/v1",
+                "tests": dict(tests),
+            }
+
+        def validate_bench_metrics(payload):
+            return []
+
     OUT_DIR.mkdir(exist_ok=True)
     for module, tests in _METRICS.items():
-        payload = {
-            "benchmark": module,
-            "schema": "bench-metrics/v1",
-            "tests": tests,
-        }
+        payload = bench_metrics_payload(module, tests)
+        problems = validate_bench_metrics(payload)
+        if problems:
+            raise pytest.UsageError(
+                f"bench-metrics payload for {module} does not validate: "
+                + "; ".join(problems)
+            )
         path = OUT_DIR / f"{module}.json"
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -9,6 +9,7 @@ Examples
     lpfps figure8 --app ins --seeds 1 2 3
     lpfps ablation --which mechanisms --app ins
     lpfps simulate --app cnc --scheduler lpfps --bcet-ratio 0.5
+    lpfps profile lpfps example_dac99
     lpfps serve --port 8080 --cache-dir /tmp/lpfps-cache
     lpfps query --kind energy --app ins --scheduler lpfps --bcet-ratio 0.5
     python -m repro figure1
@@ -145,6 +146,23 @@ def build_parser() -> argparse.ArgumentParser:
     simp.add_argument("--bcet-ratio", type=float, default=1.0)
     simp.add_argument("--seed", type=int, default=1)
     simp.add_argument("--duration", type=float, default=None, help="horizon in us")
+
+    prof = sub.add_parser(
+        "profile",
+        help="per-phase time/energy breakdown of one simulation run",
+    )
+    # Positional, and deliberately without choices=: the workload
+    # registry accepts aliases (e.g. example_dac99) that the canonical
+    # listing hides.
+    prof.add_argument("scheduler", choices=available_schedulers())
+    prof.add_argument("workload", help="workload name or alias")
+    prof.add_argument("--bcet-ratio", type=float, default=0.5)
+    prof.add_argument("--seed", type=int, default=1)
+    prof.add_argument("--duration", type=float, default=None, help="horizon in us")
+    prof.add_argument(
+        "--out-dir", default="benchmarks/out",
+        help="where the profile_*.json payload is written",
+    )
 
     srv = sub.add_parser(
         "serve", help="serve scheduling/energy queries over HTTP"
@@ -343,10 +361,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(result.summary())
         if result.missed:
             return 1
+    elif args.command == "profile":
+        return _run_profile(args)
     elif args.command == "serve":
         return _run_serve(args)
     elif args.command == "query":
         return _run_query(args)
+    return 0
+
+
+def _run_profile(args) -> int:
+    """Profile one run; print the breakdown and write the JSON payload."""
+    import pathlib
+
+    from .errors import ReproError
+    from .obs.profiler import profile_run
+
+    try:
+        report = profile_run(
+            args.scheduler,
+            args.workload,
+            duration=args.duration,
+            seed=args.seed,
+            bcet_ratio=args.bcet_ratio,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    path = report.write(pathlib.Path(args.out_dir))
+    print(f"\nwrote {path}")
     return 0
 
 

@@ -20,10 +20,12 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..errors import ConfigurationError
 from ..faults.layer import FaultLayer
+from ..obs.registry import current
 from ..power.processor import ProcessorSpec
 from ..sim.engine import simulate
 from ..sim.metrics import SimulationResult
@@ -109,8 +111,15 @@ class RunSpec:
 
 
 def _run_spec(spec: RunSpec) -> SimulationResult:
-    """Module-level trampoline so worker processes can unpickle the call."""
-    return spec.run()
+    """Module-level trampoline so worker processes can unpickle the call.
+
+    Times the cell where it actually ran (inside the worker, for pooled
+    campaigns) so ``metadata["cell_wall_s"]`` survives the pickle back.
+    """
+    t0 = perf_counter()
+    result = spec.run()
+    result.metadata["cell_wall_s"] = perf_counter() - t0
+    return result
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -155,21 +164,85 @@ def run_many(
     execution rather than failing.  The worker count is clamped to the
     machine's CPU count — on a single core a process pool is pure
     overhead, so the campaign runs in-process instead.
+
+    Every returned result's ``metadata`` records how the campaign
+    actually executed — ``requested_jobs`` (the knob as passed),
+    ``resolved_jobs`` (after auto/CPU clamping), ``workers`` (pool size
+    actually used), ``executor`` (which path ran), and ``cell_wall_s``
+    — and the same numbers are gauged into the thread-locally installed
+    obs registry, so dumped campaign JSON is self-describing.
     """
     spec_list = list(specs)
-    workers = min(resolve_jobs(jobs), os.cpu_count() or 1)
-    if workers <= 1 or len(spec_list) <= 1:
-        return [spec.run() for spec in spec_list]
-    try:
-        pickle.dumps(spec_list)
-    except Exception:
-        return [spec.run() for spec in spec_list]
-    try:
-        with ProcessPoolExecutor(max_workers=min(workers, len(spec_list))) as pool:
-            return list(pool.map(_run_spec, spec_list))
-    except (BrokenProcessPool, OSError, PermissionError, NotImplementedError):
-        # Sandboxes without working process spawning fall back to serial.
-        return [spec.run() for spec in spec_list]
+    resolved = min(resolve_jobs(jobs), os.cpu_count() or 1)
+    t0 = perf_counter()
+    if resolved <= 1 or len(spec_list) <= 1:
+        results, executor, workers = (
+            [_run_spec(spec) for spec in spec_list], "serial", 1
+        )
+    else:
+        try:
+            pickle.dumps(spec_list)
+            picklable = True
+        except Exception:
+            picklable = False
+        if not picklable:
+            results, executor, workers = (
+                [_run_spec(spec) for spec in spec_list],
+                "serial-fallback-unpicklable",
+                1,
+            )
+        else:
+            workers = min(resolved, len(spec_list))
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    results = list(pool.map(_run_spec, spec_list))
+                executor = "process-pool"
+            except (BrokenProcessPool, OSError, PermissionError, NotImplementedError):
+                # Sandboxes without working process spawning fall back
+                # to serial.
+                results, executor, workers = (
+                    [_run_spec(spec) for spec in spec_list],
+                    "serial-fallback-broken-pool",
+                    1,
+                )
+    _annotate_campaign(
+        results, jobs, resolved, workers, executor, perf_counter() - t0
+    )
+    return results
+
+
+def _annotate_campaign(
+    results: List[SimulationResult],
+    requested_jobs: Optional[int],
+    resolved_jobs: int,
+    workers: int,
+    executor: str,
+    wall_s: float,
+) -> None:
+    """Stamp execution provenance on *results* and gauge it into obs."""
+    busy_s = 0.0
+    for result in results:
+        metadata = result.metadata
+        metadata["requested_jobs"] = requested_jobs
+        metadata["resolved_jobs"] = resolved_jobs
+        metadata["workers"] = workers
+        metadata["executor"] = executor
+        busy_s += float(metadata.get("cell_wall_s", 0.0))
+    obs = current()
+    if not obs.enabled:
+        return
+    obs.count("runner.campaigns")
+    obs.count("runner.cells", len(results))
+    obs.count(f"runner.executor.{executor}")
+    obs.gauge("runner.resolved_jobs", float(resolved_jobs))
+    obs.gauge("runner.workers", float(workers))
+    obs.gauge("runner.campaign_wall_s", wall_s, units="s")
+    for result in results:
+        obs.observe("runner.cell_wall_s", float(result.metadata["cell_wall_s"]))
+    if wall_s > 0.0 and workers > 0 and results:
+        # Fraction of the pool's capacity spent inside cells: 1.0 means
+        # every worker was busy simulating for the whole campaign.
+        obs.gauge("runner.worker_utilization", busy_s / (wall_s * workers))
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,83 @@
+"""The bench-metrics/v1 schema: builder and validator.
+
+One machine-readable shape is shared by every metrics producer in the
+repo — ``benchmarks/out/<module>.json`` (``benchmarks/conftest.py``),
+the service ``/v1/metrics`` endpoint, and ``lpfps profile`` output::
+
+    {
+      "benchmark": "<producer name>",
+      "schema": "bench-metrics/v1",
+      "tests": {
+        "<test name>": {
+          "wall_time_s": <float or null>,
+          "metrics": [{"name": str, "value": number, "units": str}, ...]
+        }
+      }
+    }
+
+:func:`validate_bench_metrics` is the single source of truth for that
+shape; producers validate before writing and consumers (the perf gate,
+the service tests) validate after reading, so drift fails loudly at
+both ends.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+#: The schema tag every payload carries.
+BENCH_SCHEMA = "bench-metrics/v1"
+
+
+def bench_metrics_payload(
+    benchmark: str, tests: Mapping[str, Mapping[str, Any]]
+) -> Dict[str, Any]:
+    """Assemble one bench-metrics/v1 payload from per-test records."""
+    return {
+        "benchmark": benchmark,
+        "schema": BENCH_SCHEMA,
+        "tests": {name: dict(record) for name, record in tests.items()},
+    }
+
+
+def validate_bench_metrics(payload: Any) -> List[str]:
+    """Validate *payload* against bench-metrics/v1; return its problems.
+
+    An empty list means the payload conforms.  Problems are dotted-path
+    strings, so a failing assertion names exactly what drifted.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, Mapping):
+        return [f"payload must be a mapping, got {type(payload).__name__}"]
+    if payload.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema must be {BENCH_SCHEMA!r}, got {payload.get('schema')!r}")
+    if not isinstance(payload.get("benchmark"), str) or not payload.get("benchmark"):
+        problems.append("benchmark must be a non-empty string")
+    tests = payload.get("tests")
+    if not isinstance(tests, Mapping):
+        problems.append("tests must be a mapping")
+        return problems
+    for test_name, record in tests.items():
+        prefix = f"tests[{test_name!r}]"
+        if not isinstance(record, Mapping):
+            problems.append(f"{prefix} must be a mapping")
+            continue
+        wall = record.get("wall_time_s")
+        if wall is not None and not isinstance(wall, (int, float)):
+            problems.append(f"{prefix}.wall_time_s must be a number or null")
+        metrics = record.get("metrics")
+        if not isinstance(metrics, list):
+            problems.append(f"{prefix}.metrics must be a list")
+            continue
+        for i, metric in enumerate(metrics):
+            mprefix = f"{prefix}.metrics[{i}]"
+            if not isinstance(metric, Mapping):
+                problems.append(f"{mprefix} must be a mapping")
+                continue
+            if not isinstance(metric.get("name"), str) or not metric.get("name"):
+                problems.append(f"{mprefix}.name must be a non-empty string")
+            if not isinstance(metric.get("value"), (int, float, str)):
+                problems.append(f"{mprefix}.value must be a number or string")
+            if not isinstance(metric.get("units"), str):
+                problems.append(f"{mprefix}.units must be a string")
+    return problems

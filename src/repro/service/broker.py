@@ -39,6 +39,7 @@ from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from ..errors import ConfigurationError, ReproError, ServiceError
 from ..experiments.runner import resolve_jobs, run_many
+from ..obs.registry import DISABLED, Registry, install
 from .cache import ResultCache
 from .fingerprint import fingerprint
 from .query import Query
@@ -129,11 +130,15 @@ class Broker:
         guards: Optional[ServiceGuards] = None,
         jobs: Optional[int] = 0,
         stats: Optional[ServiceStats] = None,
+        obs: Optional[Registry] = None,
     ):
         self.cache = cache if cache is not None else ResultCache()
         self.guards = guards if guards is not None else ServiceGuards()
         self.jobs = resolve_jobs(jobs)
         self.stats = stats if stats is not None else ServiceStats()
+        #: Stage-level spans/counters; ``DISABLED`` when nobody injected
+        #: a registry, so the span context managers cost one branch.
+        self.obs = obs if obs is not None else DISABLED
         self._queue: "queue.Queue[Tuple[str, Query]]" = queue.Queue()
         self._inflight: Dict[str, "Future[dict]"] = {}
         self._lock = threading.Lock()
@@ -149,8 +154,10 @@ class Broker:
         if self._closed.is_set():
             raise BrokerClosed("broker is closed")
         self.stats.count("requests")
+        obs = self.obs
         key = fingerprint(query)
-        cached = self.cache.get(key)
+        with obs.span("broker.cache_lookup"):
+            cached = self.cache.get(key)
         if cached is not None:
             self.stats.count("cache_hits")
             done: "Future[dict]" = Future()
@@ -164,7 +171,7 @@ class Broker:
             future: "Future[dict]" = Future()
             future.set_result(payload)
             return Submission(future, "analytic", key)
-        with self._lock:
+        with obs.span("broker.dedupe"), self._lock:
             existing = self._inflight.get(key)
             if existing is not None:
                 self.stats.count("dedup_hits")
@@ -236,35 +243,49 @@ class Broker:
         """Dispatcher loop: gather one micro-batch, run it, repeat."""
         import time
 
+        # The dispatcher thread's ambient registry: run_many's campaign
+        # gauges land next to the broker's own stage spans.
+        install(self.obs if self.obs.enabled else None)
+        obs = self.obs
         while not self._closed.is_set():
             try:
                 first = self._queue.get(timeout=0.05)
             except queue.Empty:
                 continue
             batch = [first]
-            cutoff = time.monotonic() + self.guards.batch_window_s
-            while len(batch) < self.guards.max_batch:
-                remaining = cutoff - time.monotonic()
-                if remaining <= 0:
-                    break
-                try:
-                    batch.append(self._queue.get(timeout=remaining))
-                except queue.Empty:
-                    break
+            with obs.span("broker.batch_window"):
+                cutoff = time.monotonic() + self.guards.batch_window_s
+                while len(batch) < self.guards.max_batch:
+                    remaining = cutoff - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    try:
+                        batch.append(self._queue.get(timeout=remaining))
+                    except queue.Empty:
+                        break
             self._run_batch(batch)
 
     def _run_batch(self, batch: List[Tuple[str, Query]]) -> None:
         """Run one micro-batch as a single campaign; contain failures."""
         self.stats.count("batches")
         self.stats.count("batched_cells", len(batch))
+        obs = self.obs
+        obs.observe(
+            "broker.batch_size",
+            float(len(batch)),
+            edges=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+            units="",
+        )
         payloads: Dict[str, dict] = {}
         failures: Dict[str, BaseException] = {}
         try:
-            results = run_many(
-                [query.to_runspec() for _, query in batch], jobs=self.jobs
-            )
-            for (key, query), result in zip(batch, results):
-                payloads[key] = encode_result(query, result)
+            with obs.span("broker.dispatch"):
+                results = run_many(
+                    [query.to_runspec() for _, query in batch], jobs=self.jobs
+                )
+            with obs.span("broker.serialize"):
+                for (key, query), result in zip(batch, results):
+                    payloads[key] = encode_result(query, result)
         except BaseException as exc:  # noqa: BLE001 - contained below
             if not self.guards.serial_fallback:
                 for key, query in batch:
@@ -276,15 +297,16 @@ class Broker:
                 # One bad cell must not fail its batch neighbours: rerun
                 # serially with per-cell containment (the guard idiom).
                 self.stats.count("fallbacks")
-                for key, query in batch:
-                    try:
-                        payloads[key] = encode_result(
-                            query, query.to_runspec().run()
-                        )
-                    except ReproError as cell_exc:
-                        payloads[key] = error_payload(query, cell_exc)
-                    except BaseException as cell_exc:  # noqa: BLE001
-                        failures[key] = cell_exc
+                with obs.span("broker.dispatch"):
+                    for key, query in batch:
+                        try:
+                            payloads[key] = encode_result(
+                                query, query.to_runspec().run()
+                            )
+                        except ReproError as cell_exc:
+                            payloads[key] = error_payload(query, cell_exc)
+                        except BaseException as cell_exc:  # noqa: BLE001
+                            failures[key] = cell_exc
         self._complete(payloads, failures)
 
     def _complete(

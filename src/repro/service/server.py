@@ -16,8 +16,9 @@ transport in the broker.  Endpoints:
   400 on malformed queries, 503 when shed by admission control
   (with ``Retry-After``), 504 on per-request timeout.
 * ``GET /v1/health`` — liveness.
-* ``GET /v1/metrics`` — counters + latency percentiles in the
-  bench-metrics/v1 schema.
+* ``GET /v1/metrics`` — counters + latency percentiles, plus the
+  broker's stage spans and campaign gauges, in the bench-metrics/v1
+  schema (``tests.service`` and ``tests.obs`` respectively).
 * ``GET /v1/schedulers`` / ``GET /v1/workloads`` — registry listings.
 """
 
@@ -31,6 +32,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Mapping, Optional, Tuple, Union
 
 from ..errors import ServiceError
+from ..obs.registry import Registry
 from .broker import AdmissionError, Broker, RequestTimeout, ServiceGuards
 from .cache import ResultCache
 from .query import Query, QueryError, parse_query
@@ -53,8 +55,15 @@ class ScheduleService:
     ):
         self.stats = ServiceStats()
         self.cache = ResultCache(memory_items=memory_items, disk_dir=cache_dir)
+        #: Long-lived stage spans + campaign gauges for the whole stack,
+        #: surfaced by ``GET /v1/metrics`` next to the counters.
+        self.obs = Registry()
         self.broker = Broker(
-            cache=self.cache, guards=guards, jobs=jobs, stats=self.stats
+            cache=self.cache,
+            guards=guards,
+            jobs=jobs,
+            stats=self.stats,
+            obs=self.obs,
         )
 
     def query(self, query: Query, timeout: Optional[float] = None) -> Dict[str, Any]:
@@ -82,8 +91,16 @@ class ScheduleService:
         return self.query(parse_query(request), timeout=timeout)
 
     def metrics(self) -> Dict[str, Any]:
-        """bench-metrics/v1 snapshot of the whole stack."""
-        return self.stats.to_bench_metrics(self.cache.counters())
+        """bench-metrics/v1 snapshot of the whole stack.
+
+        Two ``tests`` entries: ``service`` carries the request counters
+        and latency percentiles (as before), ``obs`` the broker stage
+        spans (cache lookup, dedupe, batch window, dispatch, serialize)
+        and the campaign executor's gauges.
+        """
+        payload = self.stats.to_bench_metrics(self.cache.counters())
+        payload["tests"]["obs"] = self.obs.test_record()
+        return payload
 
     def close(self) -> None:
         """Shut the broker down; idempotent."""

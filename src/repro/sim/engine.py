@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import enum
 import random
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import (
@@ -41,6 +42,7 @@ from ..errors import (
 from ..faults.guards import GuardActivation, GuardConfig
 from ..faults.injector import FaultEvent
 from ..faults.layer import FaultLayer
+from ..obs.registry import Registry
 from ..power.processor import ProcessorSpec
 from ..tasks.generation import ExecutionTimeModel, WcetModel
 from ..tasks.job import Job
@@ -63,6 +65,41 @@ from .speed_control import SpeedController
 _MAX_STALL = 10_000
 
 _INF = float("inf")
+
+#: Precomputed obs counter keys, one per scheduler-invocation reason —
+#: the hot path must not build strings per decision.
+_EVENT_COUNT_KEYS = {
+    event: f"sched.invocations.{event.value}" for event in SchedEvent
+}
+
+#: Obs phase accumulator slots.  Each holds ``[total_s, count]``; the
+#: names tile the event loop (see ``_flush_obs`` for the nesting rules).
+_OBS_PHASES = (
+    "scan", "advance", "ramp", "handle", "dispatch", "release", "sleep"
+)
+
+#: Every value ``_decision_kind`` can return — preseeded into the obs
+#: count dict so the hot path is a bare ``counts[key] += 1``.
+_DECISION_KINDS = (
+    "sched.decisions.sleep",
+    "sched.decisions.speed",
+    "sched.decisions.no_change",
+    "sched.decisions.dispatch",
+    "sched.decisions.idle",
+)
+
+
+def _decision_kind(decision: Decision) -> str:
+    """Classify one decision for the per-decision obs counters."""
+    if decision.sleep is not None:
+        return "sched.decisions.sleep"
+    if decision.speed_target is not None:
+        return "sched.decisions.speed"
+    if decision.keeps_active:
+        return "sched.decisions.no_change"
+    if decision.run is not None:
+        return "sched.decisions.dispatch"
+    return "sched.decisions.idle"
 
 
 class _Mode(enum.Enum):
@@ -115,6 +152,15 @@ class Simulator:
         Explicit :class:`~repro.sim.recording.Recorder` to install,
         overriding *record_trace*.  Campaign sweeps pass the shared
         null recorder implicitly by leaving both at their defaults.
+    obs:
+        Optional :class:`~repro.obs.registry.Registry` receiving kernel
+        phase spans (release scan, dispatch, speed-ramp, sleep) and
+        per-decision counters.  ``None`` (default) collects nothing and
+        stays off every hot path; an enabled registry only reads the
+        monotonic clock and writes to its own accumulators, so the
+        simulated schedule, trace, and energy are bit-identical either
+        way.  Span timing honours ``obs.sample`` (one timed iteration
+        in N, scaled back up); counters are always exact.
     """
 
     def __init__(
@@ -130,6 +176,7 @@ class Simulator:
         scheduler_overhead: float = 0.0,
         faults: Optional[FaultLayer] = None,
         recorder: Optional[Recorder] = None,
+        obs: Optional[Registry] = None,
     ):
         if on_miss not in ("raise", "record"):
             raise ConfigurationError(
@@ -195,6 +242,34 @@ class Simulator:
             faults.reset()
             faults.observer = self._on_fault_event
 
+        # -- observability ----------------------------------------------------
+        self._obs = obs if (obs is not None and obs.enabled) else None
+        #: True while the current loop iteration is being span-timed.
+        #: All phase timing AND counting happens only on live iterations,
+        #: then is scaled back up by the sampling ratio at flush — so at
+        #: sample>1 counters are estimates, at sample=1 they are exact.
+        self._obs_live = False
+        if self._obs is not None:
+            self._obs_period = max(1, self._obs.sample)
+            self._obs_phase: Optional[Dict[str, List[float]]] = {
+                name: [0.0, 0.0] for name in _OBS_PHASES
+            }
+            counts = {key: 0 for key in _EVENT_COUNT_KEYS.values()}
+            counts.update({kind: 0 for kind in _DECISION_KINDS})
+            counts["kernel.releases"] = 0
+            self._obs_counts: Optional[Dict[str, int]] = counts
+            self._obs_boundary: Dict[str, int] = {}
+            self._obs_iter = 0
+            self._obs_sampled_iters = 0
+            # Setup/INIT contributions (recorded live, outside sampling)
+            # are snapshotted in run() so flush can exclude them from the
+            # sampling scale-up; these defaults cover the no-run case.
+            self._obs_init_phase = {name: [0.0, 0.0] for name in _OBS_PHASES}
+            self._obs_init_counts = dict(counts)
+        else:
+            self._obs_phase = None
+            self._obs_counts = None
+
         # -- engine-private state ---------------------------------------------
         self._mode = _Mode.IDLE
         # move_due_releases memo: the call is idempotent within one
@@ -246,6 +321,9 @@ class Simulator:
         heap = self.delay_queue._heap
         if not heap or heap[0][0] > now + _TIME_EPS:
             return []
+        obs_live = self._obs_live
+        if obs_live:
+            _t0 = perf_counter()
         released = []
         sample = self._exec_model.sample
         rng = self._rng
@@ -267,6 +345,12 @@ class Simulator:
             if self._rec_on:
                 self._recorder.event(now, "release", job.name)
             released.append(job)
+        if obs_live:
+            if released:
+                self._obs_counts["kernel.releases"] += len(released)
+            acc = self._obs_phase["release"]
+            acc[0] += perf_counter() - _t0
+            acc[1] += 1.0
         return released
 
     def count_preemption(self) -> None:
@@ -300,10 +384,21 @@ class Simulator:
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationResult:
         """Execute the simulation and return its result."""
+        obs_on = self._obs is not None
+        if obs_on:
+            _run_t0 = perf_counter()
+            self._obs_live = True  # time setup + INIT into "dispatch"
         for task in self.taskset:
             self._push_release(task, task.phase, 0)
         self.scheduler.setup(self)
         self._invoke_scheduler(SchedEvent.INIT)
+        if obs_on:
+            # One-time setup/INIT work was recorded live but outside the
+            # loop's sampling; snapshot it so flush keeps it unscaled.
+            self._obs_init_counts = dict(self._obs_counts)
+            self._obs_init_phase = {
+                name: list(acc) for name, acc in self._obs_phase.items()
+            }
 
         stall = 0
         horizon = self.horizon
@@ -312,8 +407,33 @@ class Simulator:
         integrate = self._integrate
         speed_ctrl = self._speed_ctrl
         handle_boundary = self._handle_boundary
+        # Obs tiling: when live, consecutive timestamps _t0/_t1/_t2 carve
+        # each iteration into scan | advance-or-ramp | handle, so phase
+        # self-times sum to the loop's wall time (profile's invariant).
+        live = False
+        phase = self._obs_phase
         while self.now < cutoff:
+            if obs_on:
+                k = self._obs_iter
+                if k:
+                    self._obs_iter = k - 1
+                    if live:
+                        live = False
+                        self._obs_live = False
+                else:
+                    self._obs_iter = self._obs_period - 1
+                    self._obs_sampled_iters += 1
+                    live = True
+                    self._obs_live = True
+                    _t1 = _t0 = perf_counter()
             t_next, reason = next_boundary()
+            if live:
+                _t1 = perf_counter()
+                acc = phase["scan"]
+                acc[0] += _t1 - _t0
+                acc[1] += 1.0
+                boundary = self._obs_boundary
+                boundary[reason] = boundary.get(reason, 0) + 1
             if t_next > horizon:
                 t_next = horizon
             now = self.now
@@ -335,7 +455,14 @@ class Simulator:
                 else:
                     integrate(now, t_next)
                 stall = 0
+                if live:
+                    _t2 = perf_counter()
+                    acc = phase["ramp" if ramp is not None else "advance"]
+                    acc[0] += _t2 - _t1
+                    acc[1] += 1.0
             else:
+                if live:
+                    _t2 = _t1
                 stall += 1
                 if stall > _MAX_STALL:
                     raise SimulationError(
@@ -346,7 +473,15 @@ class Simulator:
             if t_next >= cutoff:
                 break
             handle_boundary()
-        return self._finalize()
+            if live:
+                acc = phase["handle"]
+                acc[0] += perf_counter() - _t2
+                acc[1] += 1.0
+        result = self._finalize()
+        if obs_on:
+            self._obs_live = False
+            self._flush_obs(perf_counter() - _run_t0)
+        return result
 
     # ------------------------------------------------------------------ #
     # Boundary computation                                                 #
@@ -494,9 +629,18 @@ class Simulator:
         mode = self._mode
         sleep_ctrl = self._sleep_ctrl
         if mode is _Mode.SLEEP:
+            obs_live = self._obs_live
+            if obs_live:
+                _t0 = perf_counter()
             action, guard = sleep_ctrl.resolve_boundary(
                 now, self.delay_queue, self._guards
             )
+            if obs_live:
+                # _begin_wake may invoke the scheduler (its own span);
+                # only the power-down resolution itself is "sleep" time.
+                acc = self._obs_phase["sleep"]
+                acc[0] += perf_counter() - _t0
+                acc[1] += 1.0
             if guard is not None:
                 self._record_guard(guard[0], guard[1], None)
             if action is WAKE:
@@ -513,8 +657,15 @@ class Simulator:
             and mode is _Mode.IDLE
             and now >= sleep_ctrl.pending_at - _TIME_EPS
         ):
+            obs_live = self._obs_live
+            if obs_live:
+                _t0 = perf_counter()
             self._enter_sleep(sleep_ctrl.pending_until)
             sleep_ctrl.clear_pending()
+            if obs_live:
+                acc = self._obs_phase["sleep"]
+                acc[0] += perf_counter() - _t0
+                acc[1] += 1.0
             return
 
         job = self.active_job
@@ -660,6 +811,9 @@ class Simulator:
     # Scheduler invocation and decision application                        #
     # ------------------------------------------------------------------ #
     def _invoke_scheduler(self, event: SchedEvent) -> None:
+        obs_live = self._obs_live
+        if obs_live:
+            _t0 = perf_counter()
         overhead = self._overhead
         if self._injecting:
             self._faults.advance_clock(self.now)
@@ -670,6 +824,13 @@ class Simulator:
         if decision is None:
             decision = NO_CHANGE
         self._apply(decision)
+        if obs_live:
+            counts = self._obs_counts
+            counts[_EVENT_COUNT_KEYS[event]] += 1
+            counts[_decision_kind(decision)] += 1
+            acc = self._obs_phase["dispatch"]
+            acc[0] += perf_counter() - _t0
+            acc[1] += 1.0
 
     def _consume_overhead(self, overhead: float) -> None:
         """Charge one scheduler invocation's processor time.
@@ -786,6 +947,92 @@ class Simulator:
             fault_events=list(self._faults.events) if self._faults is not None else [],
             guard_activations=list(self._guard_activations),
         )
+
+    def _flush_obs(self, wall_s: float) -> None:
+        """Fold the run's local accumulators into the obs registry.
+
+        The engine batches phase times and decision counts in plain
+        dicts while running (only on sampled "live" iterations) and hands
+        them to the (locked) registry exactly once, so instrumentation
+        cost stays in the accumulators, not in lock traffic.  Sampled
+        accumulations — times AND counts — are scaled back up by the
+        sampling ratio, minus the one-time setup/INIT snapshot, which was
+        recorded live outside the loop and must stay unscaled.  At
+        ``sample=1`` (``lpfps profile``) the factor is 1, so everything
+        is exact.
+
+        Exported span self-times tile the event loop: ``dispatch`` is
+        reported exclusive of the release scans schedulers trigger, and
+        ``boundary_handle`` exclusive of both the dispatches and the
+        power-down work nested inside it.
+        """
+        obs = self._obs
+        phase = self._obs_phase
+        init_phase = self._obs_init_phase
+        period = self._obs_period
+        sampled = self._obs_sampled_iters
+        if sampled:
+            # Live iterations reset the countdown to period-1; each
+            # non-live one decrements it, so the remainder reconstructs
+            # the exact iteration count without a per-iteration counter.
+            total_iters = (
+                sampled + (sampled - 1) * (period - 1)
+                + (period - 1 - self._obs_iter)
+            )
+            factor = total_iters / sampled
+        else:
+            total_iters = 0
+            factor = 1.0
+
+        def scaled(name: str) -> Tuple[float, int]:
+            total_s, count = phase[name]
+            init_s, init_n = init_phase[name]
+            return (
+                init_s + (total_s - init_s) * factor,
+                int(round(init_n + (count - init_n) * factor)),
+            )
+
+        scan_t, scan_n = scaled("scan")
+        advance_t, advance_n = scaled("advance")
+        ramp_t, ramp_n = scaled("ramp")
+        handle_t, handle_n = scaled("handle")
+        dispatch_t, dispatch_n = scaled("dispatch")
+        release_t, release_n = scaled("release")
+        sleep_t, sleep_n = scaled("sleep")
+        loop_t = scan_t + advance_t + ramp_t + handle_t
+        obs.span_add("kernel.run", wall_s, 1, self_s=max(0.0, wall_s - loop_t))
+        for name, total_s, count, self_s in (
+            ("kernel.boundary_scan", scan_t, scan_n, scan_t),
+            ("kernel.advance", advance_t, advance_n, advance_t),
+            ("kernel.speed_ramp", ramp_t, ramp_n, ramp_t),
+            (
+                "kernel.boundary_handle",
+                handle_t,
+                handle_n,
+                max(0.0, handle_t - dispatch_t - sleep_t),
+            ),
+            (
+                "kernel.dispatch",
+                dispatch_t,
+                dispatch_n,
+                max(0.0, dispatch_t - release_t),
+            ),
+            ("kernel.release_scan", release_t, release_n, release_t),
+            ("kernel.sleep", sleep_t, sleep_n, sleep_t),
+        ):
+            if count:
+                obs.span_add(name, total_s, count, self_s=self_s)
+        init_counts = self._obs_init_counts
+        for name, value in self._obs_counts.items():
+            base = init_counts.get(name, 0)
+            estimate = base + int(round((value - base) * factor))
+            if estimate:
+                obs.count(name, estimate)
+        for reason, value in self._obs_boundary.items():
+            obs.count("kernel.boundary." + reason, int(round(value * factor)))
+        obs.count("kernel.iterations", total_iters)
+        obs.count("kernel.sampled_iterations", sampled)
+        obs.gauge("kernel.sample_period", float(period))
 
 
 # Imported late so the module docstring's component list reads top-down.

@@ -117,6 +117,11 @@ class SimulationResult:
     fault_events: List["object"] = field(default_factory=list)
     #: Guard interventions, in activation order (empty without guards).
     guard_activations: List["object"] = field(default_factory=list)
+    #: Execution provenance, not simulation output: the campaign executor
+    #: annotates cell wall time and resolved worker counts here so dumped
+    #: campaign JSON is self-describing.  Deliberately excluded from
+    #: golden digests — it varies run to run.
+    metadata: Dict[str, object] = field(default_factory=dict)
 
     @property
     def average_power(self) -> float:

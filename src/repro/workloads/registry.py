@@ -20,24 +20,36 @@ _FACTORIES: Dict[str, Callable[[], Workload]] = {
     "example": example_workload,
 }
 
+#: Alternate spellings accepted by :func:`get_workload` but kept out of
+#: :func:`available_workloads` (and therefore out of CLI ``choices``
+#: lists), so each workload still has exactly one canonical name.
+_ALIASES: Dict[str, str] = {
+    "example_dac99": "example",
+}
+
 #: The four applications of the paper's Table 2, in its row order.
 TABLE2_NAMES = ("avionics", "ins", "flight_control", "cnc")
 
 
 def available_workloads() -> List[str]:
-    """Registered workload names, sorted."""
+    """Registered workload names, sorted (aliases excluded)."""
     return sorted(_FACTORIES)
 
 
-def get_workload(name: str) -> Workload:
-    """Instantiate a workload by registry name."""
-    try:
-        factory = _FACTORIES[name.lower()]
-    except KeyError:
+def canonical_workload_name(name: str) -> str:
+    """Resolve *name* (or an alias) to its canonical registry key."""
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    if key not in _FACTORIES:
         raise ConfigurationError(
             f"unknown workload {name!r}; available: {', '.join(available_workloads())}"
-        ) from None
-    return factory()
+        )
+    return key
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate a workload by registry name or alias."""
+    return _FACTORIES[canonical_workload_name(name)]()
 
 
 def table2_workloads() -> List[Workload]:

@@ -184,6 +184,69 @@ class TestExecutorMechanics:
             run_many(specs, jobs=2)
 
 
+class TestExecutionMetadata:
+    """Every result self-describes how its campaign actually executed."""
+
+    def _one_spec(self):
+        taskset = get_workload("cnc").prioritized()
+        return RunSpec(taskset=taskset, scheduler="fps", duration=9_600.0)
+
+    def test_metadata_stamped_on_every_result(self):
+        results = run_many(_grid_specs()[:3], jobs=1)
+        for result in results:
+            metadata = result.metadata
+            assert metadata["requested_jobs"] == 1
+            assert metadata["resolved_jobs"] == 1
+            assert metadata["workers"] == 1
+            assert metadata["executor"] == "serial"
+            assert metadata["cell_wall_s"] > 0.0
+
+    def test_resolved_jobs_clamped_to_cpu_count(self):
+        cpus = os.cpu_count() or 1
+        results = run_many(_grid_specs()[:2], jobs=cpus + 7)
+        for result in results:
+            assert result.metadata["requested_jobs"] == cpus + 7
+            assert result.metadata["resolved_jobs"] == cpus
+
+    def test_unpicklable_fallback_is_recorded(self):
+        if (os.cpu_count() or 1) < 2:
+            pytest.skip("needs >1 CPU for the pool path to be attempted")
+        taskset = get_workload("cnc").prioritized()
+        local = FpsScheduler
+        spec1 = RunSpec(
+            taskset=taskset, scheduler=lambda: local(), duration=9_600.0
+        )
+        spec2 = RunSpec(
+            taskset=taskset, scheduler=lambda: local(), duration=9_600.0
+        )
+        results = run_many([spec1, spec2], jobs=2)
+        for result in results:
+            assert result.metadata["executor"] == "serial-fallback-unpicklable"
+
+    def test_obs_gauges_campaign_execution(self):
+        from repro.obs.registry import installed, Registry
+
+        specs = _grid_specs()[:4]
+        registry = Registry()
+        with installed(registry):
+            run_many(specs, jobs=1)
+        assert registry.counter_value("runner.campaigns") == 1
+        assert registry.counter_value("runner.cells") == len(specs)
+        assert registry.counter_value("runner.executor.serial") == 1
+        assert registry.gauge_value("runner.resolved_jobs") == 1.0
+        assert registry.gauge_value("runner.workers") == 1.0
+        assert registry.gauge_value("runner.campaign_wall_s") > 0.0
+        # Serial execution spends ~all campaign wall time inside cells.
+        assert 0.0 < registry.gauge_value("runner.worker_utilization") <= 1.01
+        snap = registry.snapshot()
+        assert snap["histograms"]["runner.cell_wall_s"]["count"] == len(specs)
+
+    def test_no_registry_installed_means_no_obs_traffic(self):
+        # Metadata still lands; the obs side becomes a no-op.
+        (result,) = run_many([self._one_spec()], jobs=1)
+        assert result.metadata["executor"] == "serial"
+
+
 class TestJobsConvention:
     """The shared ``jobs`` convention: ``None``/``0`` mean one per CPU."""
 

@@ -63,8 +63,14 @@ def case_id(scheduler: str, workload: str) -> str:
     return f"{scheduler}@{workload}"
 
 
-def run_case(scheduler: str, workload: str, duration: float) -> SimulationResult:
-    """Simulate one golden cell with full trace recording."""
+def run_case(
+    scheduler: str, workload: str, duration: float, **kwargs
+) -> SimulationResult:
+    """Simulate one golden cell with full trace recording.
+
+    Extra *kwargs* flow through to :func:`simulate` — the obs-enabled
+    golden tests use this to re-run the matrix with instrumentation on.
+    """
     taskset = get_workload(workload).prioritized().with_bcet_ratio(GOLDEN_BCET_RATIO)
     return simulate(
         taskset,
@@ -74,10 +80,13 @@ def run_case(scheduler: str, workload: str, duration: float) -> SimulationResult
         seed=GOLDEN_SEED,
         on_miss="record",
         record_trace=True,
+        **kwargs,
     )
 
 
-def digest_case(scheduler: str, workload: str, duration: float) -> Dict[str, object]:
+def digest_case(
+    scheduler: str, workload: str, duration: float, **kwargs
+) -> Dict[str, object]:
     """Digest one cell; configuration/analysis refusals are golden too.
 
     The YDS oracle (for one) refuses workloads whose hyperperiod implies
@@ -87,7 +96,7 @@ def digest_case(scheduler: str, workload: str, duration: float) -> Dict[str, obj
     from repro.errors import ReproError
 
     try:
-        return digest_result(run_case(scheduler, workload, duration))
+        return digest_result(run_case(scheduler, workload, duration, **kwargs))
     except ReproError as exc:
         return {"error": f"{type(exc).__name__}: {exc}"}
 

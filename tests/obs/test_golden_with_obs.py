@@ -1,0 +1,39 @@
+"""Golden matrix with instrumentation ON: obs must be trace-invisible.
+
+The plain golden tests pin the kernel with obs disabled; this module
+re-runs the same fixture matrix with an enabled registry at the default
+sampling period — the configuration every instrumented campaign uses —
+and requires bit-identical digests.  A mismatch means a probe leaked
+into simulation state (reordered an event, consumed RNG, perturbed a
+float), which is the one thing the observability layer may never do.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.registry import Registry
+
+from ..golden.capture import FIXTURE_PATH, case_id, digest_case, golden_cases
+
+pytestmark = pytest.mark.golden
+
+
+@pytest.fixture(scope="module")
+def fixtures():
+    return json.loads(FIXTURE_PATH.read_text())
+
+
+@pytest.mark.parametrize(
+    "scheduler,workload,duration",
+    golden_cases(),
+    ids=[case_id(s, w) for s, w, _ in golden_cases()],
+)
+def test_golden_trace_with_obs_enabled(fixtures, scheduler, workload, duration):
+    expected = fixtures[case_id(scheduler, workload)]
+    actual = digest_case(scheduler, workload, duration, obs=Registry())
+    assert actual == expected, (
+        f"obs instrumentation changed the trace for {scheduler} on {workload}"
+    )

@@ -1,0 +1,97 @@
+"""``lpfps profile``: exit codes, phase-table accuracy, JSON artefact."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs.profiler import profile_run
+from repro.obs.schema import validate_bench_metrics
+
+
+class TestParser:
+    def test_profile_arguments(self):
+        args = build_parser().parse_args(
+            ["profile", "lpfps", "cnc", "--duration", "9600", "--seed", "3"]
+        )
+        assert args.command == "profile"
+        assert args.scheduler == "lpfps"
+        assert args.workload == "cnc"
+        assert args.duration == 9600.0
+        assert args.seed == 3
+
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "nope", "cnc"])
+
+
+class TestProfileRun:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return profile_run("lpfps", "cnc", duration=50_000.0)
+
+    def test_phase_self_times_tile_the_wall_time(self, report):
+        # The acceptance bar: phase times must sum to within 5% of the
+        # run's wall time (coverage counts kernel.run self-time — setup,
+        # finalisation, loop glue — as attributed).
+        assert report.coverage == pytest.approx(1.0, abs=0.05)
+
+    def test_render_lists_phases_and_energy(self, report):
+        text = report.render()
+        assert "scheduler dispatch" in text
+        assert "boundary scan" in text
+        assert "energy bucket" in text
+        assert "TOTAL (wall)" in text
+        assert "decisions:" in text
+
+    def test_payload_validates(self, report):
+        payload = report.to_payload()
+        assert validate_bench_metrics(payload) == []
+        assert "lpfps@cnc" in payload["tests"]
+
+    def test_workload_alias_resolves(self):
+        report = profile_run("fps", "example_dac99", duration=400.0)
+        assert report.workload == "example"
+
+    def test_unknown_workload_raises_repro_error(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            profile_run("fps", "not-a-workload", duration=400.0)
+
+
+class TestMain:
+    def test_profile_exits_zero_and_writes_json(self, tmp_path, capsys):
+        code = main(
+            [
+                "profile",
+                "lpfps",
+                "example_dac99",
+                "--duration",
+                "2000",
+                "--out-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile: scheduler=lpfps workload=example" in out
+        path = tmp_path / "profile_lpfps_example.json"
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "bench-metrics/v1"
+        assert validate_bench_metrics(payload) == []
+        metrics = {
+            m["name"]: m["value"]
+            for m in payload["tests"]["lpfps@example"]["metrics"]
+        }
+        assert metrics["scheduler"] == "lpfps"
+        assert metrics["kernel.run_count"] == 1
+        assert metrics["kernel.iterations"] > 0
+
+    def test_unknown_workload_exits_one(self, tmp_path, capsys):
+        code = main(
+            ["profile", "fps", "not-a-workload", "--out-dir", str(tmp_path)]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
