@@ -77,6 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the run grid; 0 = one per CPU "
         "(results identical to serial)",
     )
+    f8.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="journal completed cells into DIR; rerunning with the same "
+        "DIR resumes after a crash instead of starting over",
+    )
+    f8.add_argument(
+        "--resume", metavar="DIR", dest="checkpoint",
+        help="alias for --checkpoint: resume from DIR's journal",
+    )
 
     ab = sub.add_parser("ablation", help="design-choice ablation studies")
     ab.add_argument(
@@ -127,6 +136,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for the run grid; 0 = one per CPU "
         "(results identical to serial)",
+    )
+    flt.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="journal completed cells into DIR; rerunning with the same "
+        "DIR resumes after a crash instead of starting over",
+    )
+    flt.add_argument(
+        "--resume", metavar="DIR", dest="checkpoint",
+        help="alias for --checkpoint: resume from DIR's journal",
     )
 
     val = sub.add_parser(
@@ -247,13 +265,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "figure8":
         if args.app == "all":
             for name, result in run_figure8_all(
-                seeds=args.seeds, jobs=args.jobs
+                seeds=args.seeds, jobs=args.jobs, checkpoint=args.checkpoint
             ).items():
                 print(result.render())
                 print()
         else:
             print(
-                run_figure8(args.app, seeds=args.seeds, jobs=args.jobs).render()
+                run_figure8(
+                    args.app, seeds=args.seeds, jobs=args.jobs,
+                    checkpoint=args.checkpoint,
+                ).render()
             )
     elif args.command == "ablation":
         runs = {
@@ -296,6 +317,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             seeds=tuple(args.seed),
             miss_policy=args.miss_policy,
             jobs=args.jobs,
+            checkpoint=args.checkpoint,
         )
         print(campaign.render())
     elif args.command == "validate":

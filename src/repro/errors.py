@@ -12,9 +12,46 @@ from __future__ import annotations
 
 from typing import Optional
 
+#: The machine-readable failure taxonomy every service error payload
+#: draws its ``error_kind`` from.  One vocabulary for the whole stack:
+#:
+#: * ``bad-request`` — the request itself is malformed (HTTP 400);
+#: * ``overload``    — the system shed load to protect itself (HTTP 503,
+#:   admission control, open circuit breakers);
+#: * ``timeout``     — a wait deadline expired; the answer may still be
+#:   computed and cached (HTTP 504);
+#: * ``refusal``     — a *deterministic* property of the query: the
+#:   scheduler or analysis refuses this workload, and asking again gives
+#:   the same refusal (cacheable ``ok: false`` payloads);
+#: * ``internal``    — anything else; a bug, not a contract.
+ERROR_KINDS = ("bad-request", "overload", "timeout", "refusal", "internal")
+
+
+def error_kind(exc: BaseException) -> str:
+    """Classify *exc* into the :data:`ERROR_KINDS` taxonomy.
+
+    Exception classes opt in by setting a class-level ``kind``; anything
+    without one — including non-:class:`ReproError` exceptions — is
+    ``internal``.  Deterministic :class:`ReproError` refusals (scheduler
+    oracles, analysis failures) default to ``refusal`` because retrying
+    them can never change the answer.
+    """
+    kind = getattr(exc, "kind", None)
+    if kind in ERROR_KINDS:
+        return kind
+    if isinstance(exc, ReproError):
+        return "refusal"
+    return "internal"
+
 
 class ReproError(Exception):
-    """Base class for every exception raised by :mod:`repro`."""
+    """Base class for every exception raised by :mod:`repro`.
+
+    Subclasses may set a class-level ``kind`` (one of
+    :data:`ERROR_KINDS`) so :func:`error_kind` can classify instances
+    without string matching; plain :class:`ReproError` instances
+    classify as deterministic refusals.
+    """
 
 
 class ConfigurationError(ReproError):
@@ -102,6 +139,21 @@ class DeadlineMissError(SchedulingError):
 
 class SimulationError(ReproError):
     """The discrete-event engine reached an inconsistent state."""
+
+    kind = "internal"
+
+
+class ExecutionError(ReproError):
+    """A campaign cell could not be executed by the infrastructure.
+
+    Raised by the supervised executor when a cell's worker process keeps
+    dying (or the cell keeps raising) past its retry budget and the
+    caller asked for failures to propagate rather than be contained.
+    The failure is *infrastructural* — nothing is wrong with the
+    simulation model — so it carries the ``internal`` error kind.
+    """
+
+    kind = "internal"
 
 
 class ServiceError(ReproError):

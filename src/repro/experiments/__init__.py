@@ -25,7 +25,16 @@ from .robustness import (
     run_robustness_sweep,
     stress_taskset,
 )
-from .runner import ComparisonPoint, compare_schedulers, measurement_duration
+from .checkpoint import CheckpointJournal, spec_fingerprint
+from .runner import (
+    CellFailure,
+    ComparisonPoint,
+    RunSpec,
+    compare_schedulers,
+    measurement_duration,
+    resolve_jobs,
+    run_many,
+)
 from .structure import StructureResult, run_structure_study
 from .table1_schedule import Table1Result, run_table1
 from .table2 import Table2Result, Table2Row, run_table2
@@ -65,4 +74,10 @@ __all__ = [
     "compare_schedulers",
     "measurement_duration",
     "ComparisonPoint",
+    "RunSpec",
+    "run_many",
+    "resolve_jobs",
+    "CellFailure",
+    "CheckpointJournal",
+    "spec_fingerprint",
 ]

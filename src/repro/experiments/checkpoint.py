@@ -1,0 +1,274 @@
+"""Campaign checkpointing: content-addressed, crash-consistent journals.
+
+Long sweeps (Figure 8, robustness, fault campaigns) are exactly the
+workloads that must survive partial failure rather than rerun: a journal
+turns ``run_many(..., checkpoint=dir)`` into a resumable operation.  Two
+pieces:
+
+* :func:`spec_fingerprint` — a SHA-256 over a *canonical payload* of one
+  :class:`~repro.experiments.runner.RunSpec`, in the same idiom as the
+  service's query fingerprint (:mod:`repro.service.fingerprint`): every
+  float is rendered ``repr``-exact, tasks are sorted by name, and every
+  knob that determines the cell's result participates.  Two specs with
+  equal fingerprints produce bit-identical results, so a journal entry
+  *is* the answer.  Cells whose scheduler / fault layer / execution
+  model are opaque callables cannot be content-addressed and return
+  ``None`` — they simply run uncheckpointed.
+* :class:`CheckpointJournal` — an append-only JSONL file of completed
+  cells.  Each record carries the fingerprint, a pickled result blob,
+  and a checksum over the blob; records are flushed and fsynced before
+  the cell counts as committed, so a SIGKILL at any instant leaves at
+  worst one torn trailing line, which :meth:`~CheckpointJournal.load`
+  skips.  A corrupt record degrades to recomputing that cell — never to
+  serving a wrong result (checksum mismatch → miss, the cache idiom).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner ← checkpoint)
+    from .runner import RunSpec
+
+#: Bumped whenever the canonical payload layout or the journal record
+#: format changes, so stale journals can never alias a new fingerprint.
+JOURNAL_VERSION = 1
+
+#: Journal file name inside a checkpoint directory.
+JOURNAL_NAME = "journal.jsonl"
+
+
+def _num(value: float) -> str:
+    """Canonical string form of one numeric parameter (``repr``-exact)."""
+    return repr(float(value))
+
+
+def _describe_faults(faults: Any) -> Optional[Dict[str, Any]]:
+    """Canonical description of a cell's fault layer, or ``None`` if opaque.
+
+    A :class:`~repro.faults.layer.FaultLayer` is content-addressed by its
+    seed, its guard configuration, and each injector's type, intensity,
+    and (for targeted injectors) task filter — the fields that fully
+    determine the injected fault sequence under the PR-1 seeding
+    contract.  Factories and injectors carrying unrecognised state are
+    opaque: the cell still runs, just never from a journal.
+    """
+    from ..faults.injector import Injector
+    from ..faults.layer import FaultLayer
+
+    if faults is None:
+        return None
+    if not isinstance(faults, FaultLayer):
+        return None  # zero-arg factory: not content-addressable
+    injectors = []
+    for injector in faults.injectors:
+        if type(injector).perturb_demand is not Injector.perturb_demand and (
+            getattr(injector, "jobs", None) is not None
+        ):
+            # ScriptedOverrun-style: the explicit job map is the content.
+            extra: Any = sorted(
+                (name, _num(factor)) for name, factor in injector.jobs.items()
+            )
+        else:
+            tasks = getattr(injector, "tasks", None)
+            extra = sorted(tasks) if tasks is not None else None
+        injectors.append(
+            {
+                "type": type(injector).__name__,
+                "name": injector.name,
+                "intensity": _num(injector.intensity),
+                "extra": extra,
+            }
+        )
+    guards = faults.guards
+    return {
+        "seed": int(faults.seed),
+        "guards": {
+            "overrun_watchdog": bool(guards.overrun_watchdog),
+            "sleep_guard": bool(guards.sleep_guard),
+            "miss_policy": guards.miss_policy,
+        },
+        "injectors": injectors,
+    }
+
+
+def canonical_spec_payload(spec: "RunSpec") -> Optional[Dict[str, Any]]:
+    """The canonical JSON-ready payload :func:`spec_fingerprint` hashes.
+
+    Returns ``None`` when the spec is not content-addressable (callable
+    scheduler factory, fault-layer factory, or an execution model whose
+    ``repr`` does not pin its parameters).
+    """
+    if not isinstance(spec.scheduler, str):
+        return None
+    if spec.faults is not None:
+        faults = _describe_faults(spec.faults)
+        if faults is None:
+            return None
+    else:
+        faults = None
+    model = spec.execution_model
+    # Models pin themselves via their parameter-complete reprs
+    # (``GaussianModel()``, ``BimodalModel(p_short=0.8, spread=0.05)``);
+    # a default-object repr (``<... at 0x...>``) is not stable content.
+    model_repr = None if model is None else repr(model)
+    if model_repr is not None and "0x" in model_repr:
+        return None
+    tasks = []
+    for task in sorted(spec.taskset, key=lambda t: t.name):
+        tasks.append(
+            {
+                "name": task.name,
+                "wcet": _num(task.wcet),
+                "period": _num(task.period),
+                "deadline": _num(task.deadline),
+                "bcet": _num(task.bcet),
+                "phase": _num(task.phase),
+                "priority": None if task.priority is None else int(task.priority),
+            }
+        )
+    spec_proc = spec.spec
+    return {
+        "v": JOURNAL_VERSION,
+        "taskset": spec.taskset.name,
+        "tasks": tasks,
+        "scheduler": spec.scheduler,
+        "seed": int(spec.seed),
+        "processor": None if spec_proc is None else repr(spec_proc),
+        "execution_model": model_repr,
+        "duration": None if spec.duration is None else _num(spec.duration),
+        "on_miss": spec.on_miss,
+        "scheduler_overhead": _num(spec.scheduler_overhead),
+        "faults": faults,
+        "record_trace": bool(spec.record_trace),
+    }
+
+
+def spec_fingerprint(spec: "RunSpec") -> Optional[str]:
+    """SHA-256 hex digest of one cell's canonical payload — the journal key.
+
+    ``None`` means the cell cannot be content-addressed and must always
+    recompute.
+    """
+    payload = canonical_spec_payload(spec)
+    if payload is None:
+        return None
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class CheckpointJournal:
+    """Append-only journal of completed campaign cells.
+
+    One JSONL record per committed cell::
+
+        {"v": 1, "fp": "<spec fingerprint>", "sha": "<sha256 of blob>",
+         "blob": "<base64 pickled SimulationResult>"}
+
+    Crash consistency comes from the write discipline (serialise →
+    append → flush → fsync, in that order, one line per record) plus a
+    tolerant reader: a torn trailing line, a checksum mismatch, or an
+    unpicklable blob all degrade to recomputing that cell.
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.path = self.directory / JOURNAL_NAME
+        self._handle = None
+
+    # -- read ----------------------------------------------------------------
+    def load(self) -> Dict[str, Any]:
+        """Map of fingerprint → result for every intact journal record.
+
+        Later records win (a cell journaled twice — e.g. by overlapping
+        campaigns — is content-addressed, so the payloads are identical
+        anyway).  Corrupt records are skipped, never trusted.
+        """
+        results: Dict[str, Any] = {}
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return results
+        except OSError:
+            return results
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                continue  # torn write (the crash-consistency contract)
+            if not isinstance(record, dict) or record.get("v") != JOURNAL_VERSION:
+                continue
+            fp = record.get("fp")
+            blob = record.get("blob")
+            checksum = record.get("sha")
+            if not isinstance(fp, str) or not isinstance(blob, str):
+                continue
+            try:
+                payload = base64.b64decode(blob.encode("ascii"), validate=True)
+            except (ValueError, UnicodeEncodeError):
+                continue
+            if hashlib.sha256(payload).hexdigest() != checksum:
+                continue  # corrupt → miss, never a wrong hit
+            try:
+                results[fp] = pickle.loads(payload)
+            except Exception:  # noqa: BLE001 - any unpickling failure = miss
+                continue
+        return results
+
+    def __len__(self) -> int:
+        """Number of intact records currently on disk."""
+        return len(self.load())
+
+    # -- write ---------------------------------------------------------------
+    def record(self, fingerprint: str, result: Any) -> bool:
+        """Append one completed cell; returns False if it cannot be stored.
+
+        The record is durable (flushed + fsynced) before this returns,
+        so a parent killed immediately afterwards still resumes past
+        this cell.
+        """
+        try:
+            payload = pickle.dumps(result)
+        except Exception:  # noqa: BLE001 - unpicklable result: skip journaling
+            return False
+        record = {
+            "v": JOURNAL_VERSION,
+            "fp": fingerprint,
+            "sha": hashlib.sha256(payload).hexdigest(),
+            "blob": base64.b64encode(payload).decode("ascii"),
+        }
+        line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        try:
+            if self._handle is None:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "ab")
+            self._handle.write(line.encode("utf-8"))
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError:
+            # A full or read-only disk demotes checkpointing to a no-op;
+            # the campaign itself must keep running.
+            return False
+        return True
+
+    def close(self) -> None:
+        """Close the append handle; idempotent."""
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            finally:
+                self._handle = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -15,11 +15,10 @@ processor.  The expected shape (paper §4):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..core.lpfps import LpfpsScheduler
 from ..power.processor import ProcessorSpec
-from ..schedulers.fps import FpsScheduler
 from ..tasks.generation import GaussianModel
 from ..viz.series import render_series
 from ..viz.tables import render_table
@@ -105,12 +104,16 @@ def run_figure8(
     spec: Optional[ProcessorSpec] = None,
     duration: Optional[float] = None,
     jobs: Optional[int] = 1,
+    checkpoint: Union[None, str, Path] = None,
 ) -> Figure8Result:
     """Run the Figure 8 sweep for one application by registry name.
 
     *jobs* > 1 runs each ratio's (scheduler, seed) grid on worker
     processes via :func:`~repro.experiments.runner.run_many`; the sweep's
-    numbers are identical to a serial run.
+    numbers are identical to a serial run.  *checkpoint* names a journal
+    directory: completed (ratio, scheduler, seed) cells are persisted as
+    they finish, and rerunning the sweep against the same directory
+    resumes after a crash instead of starting over.
     """
     workload = get_workload(application)
     base = workload.prioritized()
@@ -121,12 +124,16 @@ def run_figure8(
         taskset = base.with_bcet_ratio(ratio)
         comparison: Dict[str, ComparisonPoint] = compare_schedulers(
             taskset,
-            {"FPS": FpsScheduler, "LPFPS": LpfpsScheduler},
+            # Registry names, not classes: checkpoint fingerprints only
+            # cover content-addressable cells, and both policies are
+            # zero-argument registry entries anyway.
+            {"FPS": "fps", "LPFPS": "lpfps"},
             spec=spec,
             execution_model=GaussianModel(),
             seeds=seeds,
             duration=horizon,
             jobs=jobs,
+            checkpoint=checkpoint,
         )
         fps, lpfps = comparison["FPS"], comparison["LPFPS"]
         points.append(
@@ -151,9 +158,17 @@ def run_figure8_all(
     seeds: Sequence[int] = (1, 2, 3),
     spec: Optional[ProcessorSpec] = None,
     jobs: Optional[int] = 1,
+    checkpoint: Union[None, str, Path] = None,
 ) -> Dict[str, Figure8Result]:
-    """Run all four panels (a)–(d) of Figure 8."""
+    """Run all four panels (a)–(d) of Figure 8.
+
+    All four panels share one *checkpoint* journal — fingerprints are
+    content-addressed, so cells from different applications coexist.
+    """
     return {
-        name: run_figure8(name, ratios=ratios, seeds=seeds, spec=spec, jobs=jobs)
+        name: run_figure8(
+            name, ratios=ratios, seeds=seeds, spec=spec, jobs=jobs,
+            checkpoint=checkpoint,
+        )
         for name in ("avionics", "ins", "flight_control", "cnc")
     }

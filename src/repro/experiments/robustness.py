@@ -30,7 +30,8 @@ fixed run order, fixed-width rendering): repeating one is bit-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Optional, Sequence, Tuple, Union
 
 from ..errors import ConfigurationError
 from ..faults.campaign import CampaignResult, run_campaign
@@ -174,6 +175,7 @@ def run_robustness_sweep(
     seeds: Sequence[int] = (1, 2, 3),
     duration: float = STRESS_DURATION,
     jobs_workers: Optional[int] = None,
+    checkpoint: Union[None, str, Path] = None,
 ) -> RobustnessResult:
     """Guarded vs unguarded LPFPS under targeted WCET overruns.
 
@@ -208,7 +210,7 @@ def run_robustness_sweep(
         for guarded in (False, True)
         for seed in seeds
     ]
-    results = iter(run_many(specs, jobs=jobs_workers))
+    results = iter(run_many(specs, jobs=jobs_workers, checkpoint=checkpoint))
     points = []
     for intensity in intensities:
         cells = {}
@@ -253,11 +255,14 @@ def run_robustness_campaign(
     seeds: Sequence[int] = (1, 2, 3),
     miss_policy: str = "run-to-completion",
     jobs: Optional[int] = 1,
+    checkpoint: Union[None, str, Path] = None,
 ) -> Tuple[CampaignResult, ...]:
     """Policy dose-response: one full campaign per intensity.
 
     Returns the campaigns in intensity order; render each with
-    :meth:`~repro.faults.campaign.CampaignResult.render`.
+    :meth:`~repro.faults.campaign.CampaignResult.render`.  All
+    intensities share one *checkpoint* journal, so a killed sweep
+    resumes mid-grid.
     """
     taskset = get_workload(application).prioritized().with_bcet_ratio(bcet_ratio)
     return tuple(
@@ -268,6 +273,7 @@ def run_robustness_campaign(
             seeds=seeds,
             miss_policy=miss_policy,
             jobs=jobs,
+            checkpoint=checkpoint,
         )
         for intensity in intensities
     )

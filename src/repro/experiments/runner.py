@@ -17,13 +17,16 @@ from __future__ import annotations
 import math
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import traceback as traceback_module
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from time import perf_counter
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ExecutionError, error_kind
 from ..faults.layer import FaultLayer
 from ..obs.registry import current
 from ..power.processor import ProcessorSpec
@@ -31,6 +34,7 @@ from ..sim.engine import simulate
 from ..sim.metrics import SimulationResult
 from ..tasks.generation import ExecutionTimeModel, GaussianModel
 from ..tasks.task import TaskSet
+from .checkpoint import CheckpointJournal, spec_fingerprint
 
 #: Lower bound on a power-measurement horizon: short hyperperiods (CNC's is
 #: 9.6 ms) are repeated until at least this much time is simulated, so sleep
@@ -110,16 +114,121 @@ class RunSpec:
         )
 
 
+@dataclass
+class CellFailure:
+    """Structured, picklable record of one campaign cell that failed.
+
+    Returned in place of a :class:`~repro.sim.metrics.SimulationResult`
+    when ``run_many(..., failures="contain")`` could not produce a
+    result for a cell — either the cell itself raised, or its worker
+    process kept dying past the retry budget.  Carries everything
+    needed to triage without re-running: the spec's identity, the
+    :data:`~repro.errors.ERROR_KINDS` classification, and the original
+    traceback.  ``metadata`` exists so campaign provenance stamping
+    treats failures like any other result.
+    """
+
+    index: int
+    taskset: str
+    scheduler: str
+    seed: int
+    error_kind: str
+    error_type: str
+    message: str
+    traceback: str = ""
+    attempts: int = 1
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        """Always ``True`` — the isinstance-free way to filter results."""
+        return True
+
+    @classmethod
+    def from_exception(
+        cls,
+        spec: RunSpec,
+        exc: BaseException,
+        index: int = -1,
+        attempts: int = 1,
+    ) -> "CellFailure":
+        """Build a failure record for *spec* from a raised exception."""
+        scheduler = (
+            spec.scheduler
+            if isinstance(spec.scheduler, str)
+            else getattr(spec.scheduler, "__name__", type(spec.scheduler).__name__)
+        )
+        return cls(
+            index=index,
+            taskset=spec.taskset.name,
+            scheduler=scheduler,
+            seed=spec.seed,
+            error_kind=error_kind(exc),
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(
+                traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+            attempts=attempts,
+            metadata={"cell_wall_s": 0.0},
+        )
+
+    @classmethod
+    def from_worker_loss(
+        cls, spec: RunSpec, index: int, attempts: int
+    ) -> "CellFailure":
+        """Build a failure record for a cell whose workers kept dying."""
+        scheduler = (
+            spec.scheduler
+            if isinstance(spec.scheduler, str)
+            else getattr(spec.scheduler, "__name__", type(spec.scheduler).__name__)
+        )
+        return cls(
+            index=index,
+            taskset=spec.taskset.name,
+            scheduler=scheduler,
+            seed=spec.seed,
+            error_kind="internal",
+            error_type="BrokenProcessPool",
+            message=(
+                f"worker process died {attempts} time(s) running this cell; "
+                "retry budget exhausted"
+            ),
+            attempts=attempts,
+            metadata={"cell_wall_s": 0.0},
+        )
+
+
 def _run_spec(spec: RunSpec) -> SimulationResult:
     """Module-level trampoline so worker processes can unpickle the call.
 
     Times the cell where it actually ran (inside the worker, for pooled
     campaigns) so ``metadata["cell_wall_s"]`` survives the pickle back.
+    Cells carrying an infra-chaos plan (``extra["chaos"]``) have it
+    applied here — inside the executing process — so kill/slow faults
+    hit the worker, not the supervisor.
     """
     t0 = perf_counter()
+    chaos = spec.extra.get("chaos") if spec.extra else None
+    if chaos is not None:
+        from ..faults.chaos import apply_cell_chaos
+
+        apply_cell_chaos(chaos)
     result = spec.run()
     result.metadata["cell_wall_s"] = perf_counter() - t0
     return result
+
+
+def _run_spec_contained(spec: RunSpec) -> Union[SimulationResult, CellFailure]:
+    """Worker trampoline for ``failures="contain"`` campaigns.
+
+    A raising cell comes back as a picklable :class:`CellFailure`
+    instead of poisoning the pool's result stream.
+    """
+    try:
+        return _run_spec(spec)
+    except Exception as exc:  # noqa: BLE001 - the containment contract
+        return CellFailure.from_exception(spec, exc)
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -145,18 +254,248 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+@dataclass
+class _CampaignStats:
+    """Supervisor-side counters for one :func:`run_many` campaign."""
+
+    pool_rebuilds: int = 0
+    cell_retries: int = 0
+    cell_failures: int = 0
+    checkpoint_hits: int = 0
+    checkpoint_stored: int = 0
+
+
+class _PoolUnavailable(Exception):
+    """Internal: process pooling does not work here; run serially."""
+
+
+def _commit_result(
+    results: List[Any],
+    index: int,
+    result: Union[SimulationResult, CellFailure],
+    journal: Optional[CheckpointJournal],
+    fingerprints: Optional[List[Optional[str]]],
+    stats: _CampaignStats,
+) -> None:
+    """Store one finished cell and journal it if checkpointing is on.
+
+    The journal write happens *before* the checkpoint-provenance stamp,
+    so the durable blob is the pristine result; only successful cells
+    are journaled — failures must recompute on resume.
+    """
+    if isinstance(result, CellFailure):
+        result.index = index
+        stats.cell_failures += 1
+    elif journal is not None and fingerprints is not None:
+        fp = fingerprints[index]
+        if fp is not None and journal.record(fp, result):
+            stats.checkpoint_stored += 1
+            result.metadata["checkpoint"] = "stored"
+    results[index] = result
+
+
+def _run_serial(
+    spec_list: List[RunSpec],
+    indices: Sequence[int],
+    results: List[Any],
+    failures: str,
+    journal: Optional[CheckpointJournal],
+    fingerprints: Optional[List[Optional[str]]],
+    stats: _CampaignStats,
+) -> None:
+    """In-process execution of *indices*, committing each as it lands."""
+    for i in indices:
+        if failures == "contain":
+            result = _run_spec_contained(spec_list[i])
+            if isinstance(result, CellFailure):
+                result.attempts = 1
+        else:
+            result = _run_spec(spec_list[i])
+        _commit_result(results, i, result, journal, fingerprints, stats)
+
+
+def _pool_generation(
+    spec_list: List[RunSpec],
+    indices: Sequence[int],
+    workers: int,
+    failures: str,
+    results: List[Any],
+    journal: Optional[CheckpointJournal],
+    fingerprints: Optional[List[Optional[str]]],
+    stats: _CampaignStats,
+) -> Tuple[bool, List[int], List[int]]:
+    """Run *indices* through one process pool until done or it breaks.
+
+    Dispatch is wave-based — at most *workers* cells are ever in flight
+    — so when the pool breaks, the set of cells that might have killed
+    it is bounded by the pool width, not the campaign size.  Returns
+    ``(broken, suspects, leftover)``: the cells in flight at the break
+    (one of them is probably the killer) and the cells never submitted
+    (innocent; re-dispatch freely).
+
+    Raises :class:`_PoolUnavailable` when the pool cannot even be
+    created (sandboxes without process spawning).
+    """
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers)
+    except (OSError, PermissionError, NotImplementedError):
+        raise _PoolUnavailable() from None
+    runner = _run_spec if failures == "raise" else _run_spec_contained
+    queue = deque(indices)
+    inflight: Dict[Any, int] = {}
+    broken = False
+    suspects: List[int] = []
+    try:
+        while queue or inflight:
+            while queue and len(inflight) < workers:
+                i = queue.popleft()
+                try:
+                    inflight[pool.submit(runner, spec_list[i])] = i
+                except (BrokenProcessPool, RuntimeError):
+                    queue.appendleft(i)
+                    broken = True
+                    break
+            if broken or not inflight:
+                break
+            done, _ = wait(list(inflight), return_when=FIRST_COMPLETED)
+            for future in done:
+                i = inflight.pop(future)
+                exc = future.exception()
+                if exc is None:
+                    _commit_result(
+                        results, i, future.result(), journal, fingerprints, stats
+                    )
+                elif isinstance(exc, BrokenProcessPool):
+                    broken = True
+                    suspects.append(i)
+                else:
+                    # failures="raise": the cell's own exception
+                    # propagates exactly as the serial path would raise
+                    # it (DeadlineMissError with on_miss="raise", ...).
+                    raise exc
+            if broken:
+                break
+        if broken and inflight:
+            # The pool fails every remaining future promptly once broken;
+            # a worker may still have completed a cell in the same race.
+            wait(list(inflight))
+            for future, i in inflight.items():
+                if future.exception() is None and not future.cancelled():
+                    _commit_result(
+                        results, i, future.result(), journal, fingerprints, stats
+                    )
+                else:
+                    suspects.append(i)
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+    return broken, suspects, list(queue)
+
+
+def _run_pool_supervised(
+    spec_list: List[RunSpec],
+    indices: Sequence[int],
+    workers: int,
+    failures: str,
+    retries: int,
+    results: List[Any],
+    journal: Optional[CheckpointJournal],
+    fingerprints: Optional[List[Optional[str]]],
+    stats: _CampaignStats,
+) -> None:
+    """Supervise pool execution across worker deaths.
+
+    When a pool breaks mid-run, completed cells keep their results; the
+    cells that were in flight become *suspects* and are re-dispatched
+    one at a time in single-worker quarantine pools — a killer cell then
+    breaks only its own pool, so it is identified deterministically and
+    charged against its retry budget, while innocent bystanders complete
+    on their first quarantine run.  Everything never submitted continues
+    in a fresh full-width pool.
+    """
+    attempts: Dict[int, int] = {i: 0 for i in indices}
+    pending: List[int] = list(indices)
+    quarantine: "deque[int]" = deque()
+    completed_any = False
+    while pending or quarantine:
+        if quarantine:
+            batch: List[int] = [quarantine.popleft()]
+            width = 1
+        else:
+            batch, pending = pending, []
+            width = min(workers, len(batch))
+        broken, suspects, leftover = _pool_generation(
+            spec_list, batch, width, failures, results, journal,
+            fingerprints, stats,
+        )
+        pending.extend(leftover)
+        completed_any = completed_any or any(
+            results[i] is not None for i in batch
+        )
+        if not broken:
+            continue
+        if failures == "raise" and not completed_any and stats.pool_rebuilds == 0:
+            # The very first pool died before finishing a single cell:
+            # indistinguishable from an environment where process
+            # pooling simply does not work, so preserve the historical
+            # serial fallback instead of burning retry budgets.
+            raise _PoolUnavailable()
+        stats.pool_rebuilds += 1
+        for i in suspects:
+            attempts[i] += 1
+            if attempts[i] <= retries:
+                stats.cell_retries += 1
+                quarantine.append(i)
+            elif failures == "contain":
+                _commit_result(
+                    results,
+                    i,
+                    CellFailure.from_worker_loss(spec_list[i], i, attempts[i]),
+                    journal,
+                    fingerprints,
+                    stats,
+                )
+            else:
+                raise ExecutionError(
+                    f"campaign cell {i} "
+                    f"({spec_list[i].taskset.name}/{spec_list[i].scheduler!r}"
+                    f"/seed={spec_list[i].seed}) killed its worker process "
+                    f"{attempts[i]} time(s); retry budget ({retries}) exhausted"
+                )
+
+
 def run_many(
     specs: Sequence[RunSpec],
     jobs: Optional[int] = 1,
-) -> List[SimulationResult]:
+    *,
+    failures: str = "raise",
+    retries: int = 2,
+    checkpoint: Union[None, str, Path] = None,
+) -> List[Union[SimulationResult, CellFailure]]:
     """Execute a campaign of :class:`RunSpec` cells, optionally in parallel.
 
     Results come back in spec order.  With ``jobs=1`` (the default) the
-    cells run serially in this process; with ``jobs`` > 1 they are mapped
-    over a process pool; ``jobs=None`` and ``jobs=0`` both mean *auto* —
-    one worker per CPU (:func:`resolve_jobs`).  Each cell is seeded and
-    self-contained, so the returned results are identical either way —
-    parallelism changes wall time, never output.
+    cells run serially in this process; with ``jobs`` > 1 they run under
+    a supervised process pool; ``jobs=None`` and ``jobs=0`` both mean
+    *auto* — one worker per CPU (:func:`resolve_jobs`).  Each cell is
+    seeded and self-contained, so the returned results are identical
+    either way — parallelism changes wall time, never output.
+
+    ``failures`` selects the containment policy.  The default
+    ``"raise"`` propagates the first cell exception (the historical
+    behaviour — ``on_miss="raise"`` campaigns still raise).  With
+    ``"contain"``, a raising cell yields a structured, picklable
+    :class:`CellFailure` in its slot and its neighbours keep running; a
+    worker process dying mid-campaign no longer aborts the run either —
+    the pool is rebuilt and only incomplete cells are re-dispatched,
+    each at most ``retries`` extra times before it is given up as a
+    :class:`CellFailure` (or, under ``"raise"``, an
+    :class:`~repro.errors.ExecutionError`).
+
+    ``checkpoint`` names a journal directory: completed cells are
+    appended durably as they land (keyed by
+    :func:`~repro.experiments.checkpoint.spec_fingerprint`), and a rerun
+    pointed at the same directory resumes — journaled cells are restored
+    (``metadata["checkpoint"] == "hit"``) instead of recomputed.
 
     The serial path is also the fallback: spec lists that cannot be
     pickled (e.g. closure-based scheduler factories) and environments
@@ -173,51 +512,86 @@ def run_many(
     obs registry, so dumped campaign JSON is self-describing.
     """
     spec_list = list(specs)
+    if failures not in ("raise", "contain"):
+        raise ConfigurationError(
+            f"failures must be 'raise' or 'contain', got {failures!r}"
+        )
+    if isinstance(retries, bool) or not isinstance(retries, int) or retries < 0:
+        raise ConfigurationError(f"retries must be an integer >= 0, got {retries!r}")
     resolved = min(resolve_jobs(jobs), os.cpu_count() or 1)
     t0 = perf_counter()
-    if resolved <= 1 or len(spec_list) <= 1:
-        results, executor, workers = (
-            [_run_spec(spec) for spec in spec_list], "serial", 1
-        )
-    else:
-        try:
-            pickle.dumps(spec_list)
-            picklable = True
-        except Exception:
-            picklable = False
-        if not picklable:
-            results, executor, workers = (
-                [_run_spec(spec) for spec in spec_list],
-                "serial-fallback-unpicklable",
-                1,
+    stats = _CampaignStats()
+    results: List[Any] = [None] * len(spec_list)
+    journal: Optional[CheckpointJournal] = None
+    fingerprints: Optional[List[Optional[str]]] = None
+    pending = list(range(len(spec_list)))
+    if checkpoint is not None:
+        journal = CheckpointJournal(checkpoint)
+        fingerprints = [spec_fingerprint(spec) for spec in spec_list]
+        stored = journal.load()
+        remaining = []
+        for i in pending:
+            fp = fingerprints[i]
+            hit = stored.get(fp) if fp is not None else None
+            if hit is not None:
+                hit.metadata["checkpoint"] = "hit"
+                results[i] = hit
+                stats.checkpoint_hits += 1
+            else:
+                remaining.append(i)
+        pending = remaining
+    try:
+        if resolved <= 1 or len(pending) <= 1:
+            executor, workers = "serial", 1
+            _run_serial(
+                spec_list, pending, results, failures, journal,
+                fingerprints, stats,
             )
         else:
-            workers = min(resolved, len(spec_list))
             try:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    results = list(pool.map(_run_spec, spec_list))
-                executor = "process-pool"
-            except (BrokenProcessPool, OSError, PermissionError, NotImplementedError):
-                # Sandboxes without working process spawning fall back
-                # to serial.
-                results, executor, workers = (
-                    [_run_spec(spec) for spec in spec_list],
-                    "serial-fallback-broken-pool",
-                    1,
+                pickle.dumps([spec_list[i] for i in pending])
+                picklable = True
+            except Exception:
+                picklable = False
+            if not picklable:
+                executor, workers = "serial-fallback-unpicklable", 1
+                _run_serial(
+                    spec_list, pending, results, failures, journal,
+                    fingerprints, stats,
                 )
+            else:
+                workers = min(resolved, len(pending))
+                try:
+                    _run_pool_supervised(
+                        spec_list, pending, workers, failures, retries,
+                        results, journal, fingerprints, stats,
+                    )
+                    executor = "process-pool"
+                except _PoolUnavailable:
+                    # Sandboxes without working process spawning fall
+                    # back to serial.
+                    executor, workers = "serial-fallback-broken-pool", 1
+                    _run_serial(
+                        spec_list, pending, results, failures, journal,
+                        fingerprints, stats,
+                    )
+    finally:
+        if journal is not None:
+            journal.close()
     _annotate_campaign(
-        results, jobs, resolved, workers, executor, perf_counter() - t0
+        results, jobs, resolved, workers, executor, perf_counter() - t0, stats
     )
     return results
 
 
 def _annotate_campaign(
-    results: List[SimulationResult],
+    results: List[Union[SimulationResult, CellFailure]],
     requested_jobs: Optional[int],
     resolved_jobs: int,
     workers: int,
     executor: str,
     wall_s: float,
+    stats: Optional[_CampaignStats] = None,
 ) -> None:
     """Stamp execution provenance on *results* and gauge it into obs."""
     busy_s = 0.0
@@ -237,8 +611,20 @@ def _annotate_campaign(
     obs.gauge("runner.resolved_jobs", float(resolved_jobs))
     obs.gauge("runner.workers", float(workers))
     obs.gauge("runner.campaign_wall_s", wall_s, units="s")
+    if stats is not None:
+        for name, value in (
+            ("runner.pool_rebuilds", stats.pool_rebuilds),
+            ("runner.cell_retries", stats.cell_retries),
+            ("runner.cell_failures", stats.cell_failures),
+            ("runner.checkpoint_hits", stats.checkpoint_hits),
+            ("runner.checkpoint_stored", stats.checkpoint_stored),
+        ):
+            if value:
+                obs.count(name, value)
     for result in results:
-        obs.observe("runner.cell_wall_s", float(result.metadata["cell_wall_s"]))
+        obs.observe(
+            "runner.cell_wall_s", float(result.metadata.get("cell_wall_s", 0.0))
+        )
     if wall_s > 0.0 and workers > 0 and results:
         # Fraction of the pool's capacity spent inside cells: 1.0 means
         # every worker was busy simulating for the whole campaign.
@@ -272,6 +658,7 @@ def compare_schedulers(
     duration: Optional[float] = None,
     on_miss: str = "record",
     jobs: Optional[int] = 1,
+    checkpoint: Union[None, str, Path] = None,
 ) -> Dict[str, ComparisonPoint]:
     """Run every scheduler over every seed and average the powers.
 
@@ -279,7 +666,9 @@ def compare_schedulers(
     or zero-argument factories (a fresh policy object per run keeps
     per-run state clean).  *jobs* > 1 fans the (scheduler, seed) grid out
     over :func:`run_many` worker processes; the averaged numbers are
-    identical to the serial ones.
+    identical to the serial ones.  *checkpoint* names a journal
+    directory so an interrupted comparison resumes instead of rerunning
+    (registry-named schedulers only; factory cells always recompute).
     """
     spec = spec if spec is not None else ProcessorSpec.arm8()
     model = execution_model if execution_model is not None else GaussianModel()
@@ -298,7 +687,7 @@ def compare_schedulers(
         for name in names
         for seed in seeds
     ]
-    results = run_many(cells, jobs=jobs)
+    results = run_many(cells, jobs=jobs, checkpoint=checkpoint)
     points: Dict[str, ComparisonPoint] = {}
     n_seeds = len(seeds)
     for i, name in enumerate(names):

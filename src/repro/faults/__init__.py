@@ -12,6 +12,14 @@ The bridge to the engine is :class:`~repro.faults.layer.FaultLayer`,
 passed as ``simulate(..., faults=layer)``.
 """
 
+from .chaos import (
+    apply_cell_chaos,
+    flaky_transport,
+    kill_worker,
+    slow_cell,
+    tear_file,
+    with_chaos,
+)
 from .guards import MISS_POLICIES, GuardActivation, GuardConfig
 from .injector import FaultEvent, Injector
 from .injectors import (
@@ -44,6 +52,12 @@ __all__ = [
     "CampaignResult",
     "PolicyOutcome",
     "run_campaign",
+    "apply_cell_chaos",
+    "flaky_transport",
+    "kill_worker",
+    "slow_cell",
+    "tear_file",
+    "with_chaos",
 ]
 
 _CAMPAIGN_EXPORTS = ("CampaignResult", "PolicyOutcome", "run_campaign")

@@ -17,7 +17,8 @@ campaign with the same arguments is bit-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
 
 from ..errors import ConfigurationError
 from .guards import GuardConfig
@@ -130,6 +131,7 @@ def run_campaign(
     duration: Optional[float] = None,
     scheduler_overhead: float = 0.0,
     jobs: Optional[int] = 1,
+    checkpoint: Union[None, str, Path] = None,
 ) -> CampaignResult:
     """Run one seeded fault-injection campaign.
 
@@ -154,6 +156,10 @@ def run_campaign(
         Worker processes for the run grid (> 1 fans out over
         :func:`~repro.experiments.runner.run_many`); results are
         identical to the serial default.
+    checkpoint:
+        Journal directory for crash/resume: completed cells are
+        persisted as they finish and restored instead of recomputed on
+        the next run with the same arguments.
     """
     # Imported lazily: the engine imports ``repro.faults`` at module level,
     # so importing these back here at module level would be circular.
@@ -204,7 +210,7 @@ def run_campaign(
         for with_faults in (False, True)
         for seed in seeds
     ]
-    run_iter = iter(run_many(specs, jobs=jobs))
+    run_iter = iter(run_many(specs, jobs=jobs, checkpoint=checkpoint))
     for policy in policies:
         for guarded in (False, True):
             baseline_runs = [next(run_iter) for _ in seeds]

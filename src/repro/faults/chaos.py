@@ -1,0 +1,169 @@
+"""Infrastructure-chaos injectors: faults *around* the simulation.
+
+The PR-1 injectors break the paper's model assumptions inside a
+simulation; this module breaks the machinery the campaigns run on —
+worker processes, disk writes, the service transport — so the resilience
+layer (supervised ``run_many``, checkpoint journals, retrying clients)
+can be tested against the failures it exists to survive.
+
+The same design rules as :mod:`repro.faults.injector` apply:
+
+* **Zero intensity is a strict no-op** — a flaky transport at rate 0 is
+  the original transport object, a chaos plan of ``None`` is no plan;
+* **Own randomness** — every stochastic element takes an explicit seed
+  and draws from its own :class:`random.Random`;
+* **Reproducibility** — a (seed, intensity) pair fully determines the
+  fault sequence.
+
+Cell-level chaos travels *inside* a campaign cell, as a plain picklable
+dict under ``RunSpec.extra["chaos"]``, and is applied by the runner's
+worker trampoline — so a kill lands on the worker process that actually
+executes the cell, wherever the supervisor dispatched it:
+
+* ``kill_worker(marker=path)`` — the executing process SIGKILLs itself.
+  With a *marker* file the kill fires **once**: the marker is created
+  durably *before* the kill, so the re-dispatched cell finds it and
+  runs clean (a crash-then-recover fault).  Without a marker the cell
+  kills every worker that ever picks it up (a poison-pill fault that
+  must exhaust the retry budget).
+* ``slow_cell(delay_s)`` — the cell stalls before simulating (an
+  overloaded-machine fault; exercises timeout paths, never corrupts).
+
+File-level chaos models torn writes — a crash midway through a cache
+shard or journal append: :func:`tear_file` truncates a file at a seeded
+offset so crash-consistency tests can assert *corrupt reads degrade to
+misses, never to wrong hits*.
+
+Transport-level chaos wraps a load-generator ``send`` callable:
+:func:`flaky_transport` makes a deterministic, seeded fraction of calls
+raise :class:`ConnectionError` — exactly the failure class the retrying
+client and its circuit breaker are specified against.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from ..errors import ConfigurationError
+
+#: Chaos-plan types :func:`apply_cell_chaos` understands.
+CELL_CHAOS_TYPES = ("kill-worker", "slow-cell")
+
+
+# -- cell-level plans --------------------------------------------------------
+def kill_worker(
+    marker: Union[None, str, Path] = None,
+    kill_signal: int = signal.SIGKILL,
+) -> Dict[str, Any]:
+    """A chaos plan that SIGKILLs the process executing the cell.
+
+    *marker* arms kill-once semantics: the first execution creates the
+    marker durably, then dies; any later execution sees the marker and
+    proceeds normally.  ``None`` means kill on **every** execution.
+    """
+    return {
+        "type": "kill-worker",
+        "marker": None if marker is None else str(marker),
+        "signal": int(kill_signal),
+    }
+
+
+def slow_cell(delay_s: float) -> Dict[str, Any]:
+    """A chaos plan that stalls the cell for *delay_s* before it runs."""
+    if delay_s < 0:
+        raise ConfigurationError(f"slow-cell delay must be >= 0, got {delay_s}")
+    return {"type": "slow-cell", "delay_s": float(delay_s)}
+
+
+def with_chaos(spec, plan: Optional[Dict[str, Any]]):
+    """Copy of RunSpec *spec* carrying chaos *plan* (``None`` = no-op copy)."""
+    if plan is None:
+        return spec
+    return replace(spec, extra={**spec.extra, "chaos": plan})
+
+
+def apply_cell_chaos(plan: Dict[str, Any]) -> None:
+    """Execute one cell-level chaos plan inside the executing process.
+
+    Called by the runner's worker trampoline before the simulation
+    starts.  May not return (kill-worker).
+    """
+    kind = plan.get("type")
+    if kind == "slow-cell":
+        delay = float(plan.get("delay_s", 0.0))
+        if delay > 0:
+            time.sleep(delay)
+        return
+    if kind == "kill-worker":
+        marker = plan.get("marker")
+        if marker is not None:
+            path = Path(marker)
+            if path.exists():
+                return  # already fired: run clean this time
+            # The marker must survive the imminent SIGKILL, or the cell
+            # would kill every retry: create it durably first.
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(str(path), os.O_CREAT | os.O_WRONLY, 0o644)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        os.kill(os.getpid(), int(plan.get("signal", signal.SIGKILL)))
+        time.sleep(60)  # unreachable for SIGKILL; parks softer signals
+        return
+    raise ConfigurationError(
+        f"unknown chaos plan type {kind!r}; available: {', '.join(CELL_CHAOS_TYPES)}"
+    )
+
+
+# -- file-level chaos --------------------------------------------------------
+def tear_file(path: Union[str, Path], seed: int = 0) -> int:
+    """Simulate a torn write: truncate *path* at a seeded interior offset.
+
+    Returns the new length.  The offset is drawn uniformly from
+    ``[1, size - 1]`` so the file is always left *partially* written —
+    the state a crash between ``write`` and ``fsync`` leaves behind.
+    Files of length <= 1 are truncated to zero.
+    """
+    target = Path(path)
+    size = target.stat().st_size
+    if size <= 1:
+        cut = 0
+    else:
+        cut = random.Random(seed).randint(1, size - 1)
+    with open(target, "r+b") as handle:
+        handle.truncate(cut)
+    return cut
+
+
+# -- transport-level chaos ---------------------------------------------------
+def flaky_transport(
+    send: Callable[[Dict[str, Any]], Tuple[int, Dict[str, Any]]],
+    rate: float,
+    seed: int = 0,
+) -> Callable[[Dict[str, Any]], Tuple[int, Dict[str, Any]]]:
+    """Wrap a ``send`` callable so a seeded fraction of calls fail.
+
+    Failed calls raise :class:`ConnectionError` — the socket-level
+    failure class transports raise and the retrying client retries.
+    ``rate=0`` returns *send* itself (the strict no-op rule);
+    ``rate=1`` fails every call (drives the circuit breaker open).
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigurationError(f"failure rate must be in [0, 1], got {rate}")
+    if rate == 0.0:
+        return send
+    rng = random.Random(seed)
+
+    def flaky(request: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        if rate >= 1.0 or rng.random() < rate:
+            raise ConnectionError("chaos: flaky transport dropped the request")
+        return send(request)
+
+    return flaky

@@ -136,6 +136,29 @@ class ProfileReport:
         if counts:
             lines.append("")
             lines.append("decisions: " + " ".join(counts))
+        # Resilience events (supervised campaigns, retrying clients,
+        # broker degradation) — shown whenever any counter fired, so a
+        # profiled run that survived infrastructure trouble says so.
+        resilience = (
+            "runner.pool_rebuilds",
+            "runner.cell_retries",
+            "runner.cell_failures",
+            "runner.checkpoint_hits",
+            "runner.checkpoint_stored",
+            "client.retries",
+            "client.transport_failures",
+            "client.breaker_trips",
+            "client.fast_fails",
+            "broker.window_shrinks",
+        )
+        events = [
+            f"{name.split('.', 1)[-1]}={self.counters[name]}"
+            for name in resilience
+            if name in self.counters
+        ]
+        if events:
+            lines.append("")
+            lines.append("resilience: " + " ".join(events))
         return "\n".join(lines)
 
     def to_payload(self) -> Dict[str, Any]:

@@ -35,16 +35,21 @@ from .cache import ResultCache
 from .fingerprint import canonical_payload, fingerprint
 from .query import Query, QueryError, parse_query
 from .results import encode_result, execute_analytic
+from .retry import CircuitBreaker, CircuitOpenError, RetryPolicy, RetryingClient
 from .server import ScheduleService, serve_forever
 from .stats import ServiceStats
 
 __all__ = [
     "AdmissionError",
     "Broker",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "Query",
     "QueryError",
     "RequestTimeout",
     "ResultCache",
+    "RetryPolicy",
+    "RetryingClient",
     "ScheduleService",
     "ServiceGuards",
     "ServiceStats",

@@ -129,6 +129,13 @@ class ResultCache:
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
                     json.dump(payload, handle, sort_keys=True)
+                    # fsync *before* rename: os.replace promises readers
+                    # never see a torn entry, but only a flushed temp
+                    # file makes the promise hold across a crash — an
+                    # unsynced rename can leave the final name pointing
+                    # at zero-length or partial data after power loss.
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(tmp, path)
             except BaseException:
                 try:

@@ -49,6 +49,8 @@ _TIME_FIELDS = ("wcet", "period", "deadline", "bcet", "phase")
 class QueryError(ServiceError):
     """A request is malformed or references unknown names (HTTP 400)."""
 
+    kind = "bad-request"
+
 
 @dataclass(frozen=True)
 class Query:

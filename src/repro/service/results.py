@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Any, Dict
 
 from ..analysis.rta import analyze
-from ..errors import ReproError
+from ..errors import ReproError, error_kind
 from ..sim.metrics import SimulationResult
 from ..sim.recording import digest_result
 from .query import Query
@@ -54,11 +54,17 @@ def encode_result(query: Query, result: SimulationResult) -> Dict[str, Any]:
 
 
 def error_payload(query: Query, exc: BaseException) -> Dict[str, Any]:
-    """Encode a deterministic refusal in the golden ``error`` format."""
+    """Encode a deterministic refusal in the golden ``error`` format.
+
+    ``error_kind`` carries the machine-readable taxonomy entry
+    (:data:`repro.errors.ERROR_KINDS`) so clients can branch without
+    parsing the human-facing ``error`` string.
+    """
     return {
         "ok": False,
         "kind": query.kind,
         "error": f"{type(exc).__name__}: {exc}",
+        "error_kind": error_kind(exc),
     }
 
 

@@ -1,0 +1,260 @@
+"""Client-side resilience: retries with decorrelated jitter + a breaker.
+
+The service's failure contract is explicit: 503 means *shed — the work
+was never admitted, retry later*; 504 means *the wait expired but the
+computation continues and its answer lands in the cache* — so a retry of
+either is cheap and correct, provided clients back off instead of
+hammering a service that just told them it is overloaded.
+
+:class:`RetryingClient` wraps any load-generator transport (a
+``send(request) -> (status, payload)`` callable, the
+:data:`~repro.service.client.SendFn` shape) with:
+
+* **Decorrelated-jitter backoff** — each delay is drawn uniformly from
+  ``[base, 3 * previous]`` and capped, which de-synchronises retrying
+  clients (no thundering herd on the shared broker) while keeping the
+  expected delay growing geometrically.  The schedule is a pure
+  function of the injected RNG, and its total is provably bounded by
+  ``(max_attempts - 1) * cap_s`` (property-tested).
+* **A circuit breaker** — *transport* failures (socket errors; the
+  service did not answer at all) are different from 503/504 (the
+  service answered, with flow control): after ``failure_threshold``
+  consecutive transport failures the breaker opens and calls fail fast
+  with :class:`CircuitOpenError` instead of burning timeouts against a
+  dead endpoint.  After ``reset_timeout_s`` it half-opens: exactly one
+  probe is let through; its outcome closes or re-opens the circuit.
+
+Clock, sleep, and RNG are all injectable so tests are deterministic and
+instantaneous.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from ..errors import ConfigurationError, ServiceError
+from ..obs.registry import Registry, current
+
+#: Exception classes treated as transport failures: the request may
+#: never have reached the service (retryable, breaker-countable).
+TRANSPORT_ERRORS = (ConnectionError, TimeoutError, OSError)
+
+
+class CircuitOpenError(ServiceError):
+    """The circuit breaker is open; the call was not attempted."""
+
+    kind = "overload"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff knobs for :class:`RetryingClient`.
+
+    ``retry_on`` lists the HTTP statuses worth retrying: by default the
+    two flow-control answers (503 shed, 504 late-answer-cached).  Real
+    errors (400, 500) and refusals return immediately — retrying a
+    deterministic answer wastes everyone's time.
+    """
+
+    max_attempts: int = 5
+    base_s: float = 0.05
+    cap_s: float = 5.0
+    retry_on: Tuple[int, ...] = (503, 504)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_s <= 0:
+            raise ConfigurationError(f"base_s must be > 0, got {self.base_s}")
+        if self.cap_s < self.base_s:
+            raise ConfigurationError(
+                f"cap_s must be >= base_s ({self.base_s}), got {self.cap_s}"
+            )
+
+
+def backoff_schedule(policy: RetryPolicy, rng: random.Random) -> Iterator[float]:
+    """The (infinite) decorrelated-jitter delay sequence for *policy*.
+
+    ``delay[n] = min(cap, uniform(base, 3 * delay[n-1]))`` with
+    ``delay[-1] = base``.  Every element lies in ``[0, cap_s]``, so any
+    prefix of length *k* sums to at most ``k * cap_s``.
+    """
+    previous = policy.base_s
+    while True:
+        delay = min(policy.cap_s, rng.uniform(policy.base_s, 3.0 * previous))
+        yield delay
+        previous = delay
+
+
+class CircuitBreaker:
+    """Three-state (closed / open / half-open) breaker, thread-safe.
+
+    Only *consecutive* failures count: one success resets the streak.
+    While open, :meth:`allow` refuses until ``reset_timeout_s`` has
+    elapsed on the injected clock; then exactly one caller is admitted
+    as the half-open probe.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s <= 0:
+            raise ConfigurationError(
+                f"reset_timeout_s must be > 0, got {reset_timeout_s}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._streak = 0
+        self._opened_at = 0.0
+        self.trips = 0  #: closed/half-open -> open transitions, cumulative
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half-open"`` (may transition)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._state = "half-open"
+            self._probing = False
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  Half-open admits one probe."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "closed":
+                return True
+            if self._state == "half-open" and not getattr(self, "_probing", False):
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """The service answered (any HTTP status): transport is healthy."""
+        with self._lock:
+            self._state = "closed"
+            self._streak = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """A transport failure: count it; trip when the streak fills."""
+        with self._lock:
+            self._streak += 1
+            if self._state == "half-open" or self._streak >= self.failure_threshold:
+                if self._state != "open":
+                    self.trips += 1
+                self._state = "open"
+                self._probing = False
+                self._opened_at = self._clock()
+
+
+class RetryingClient:
+    """Wrap a transport with backoff retries and a circuit breaker.
+
+    Instances are callable with the same signature as the wrapped
+    ``send`` — drop one straight into ``run_closed_loop`` /
+    ``run_open_loop``.  Counters land in the thread-locally installed
+    obs registry (``client.retries``, ``client.transport_failures``,
+    ``client.breaker_trips``, ``client.fast_fails``) unless one is
+    passed explicitly.
+    """
+
+    def __init__(
+        self,
+        send: Callable[[Dict[str, Any]], Tuple[int, Dict[str, Any]]],
+        policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        obs: Optional[Registry] = None,
+    ):
+        self.send = send
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        self._obs = obs
+        self.attempts = 0
+        self.retries = 0
+        self.transport_failures = 0
+        self.fast_fails = 0
+        self.slept_s = 0.0
+
+    def _registry(self) -> Registry:
+        return self._obs if self._obs is not None else current()
+
+    def __call__(self, request: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """Send with retries; returns the final ``(status, payload)``.
+
+        Raises :class:`CircuitOpenError` when the breaker refuses the
+        call, or the last transport error when every attempt failed at
+        the socket level.  A still-unsuccessful 503/504 after the last
+        attempt is *returned*, not raised — flow control is an answer.
+        """
+        obs = self._registry()
+        policy = self.policy
+        delays = backoff_schedule(policy, self._rng)
+        last_response: Optional[Tuple[int, Dict[str, Any]]] = None
+        last_error: Optional[BaseException] = None
+        trips_before = self.breaker.trips
+        for attempt in range(policy.max_attempts):
+            if not self.breaker.allow():
+                self.fast_fails += 1
+                obs.count("client.fast_fails")
+                raise CircuitOpenError(
+                    f"circuit open after {self.breaker.failure_threshold} "
+                    "consecutive transport failures; not calling"
+                )
+            self.attempts += 1
+            obs.count("client.attempts")
+            try:
+                status, payload = self.send(request)
+            except TRANSPORT_ERRORS as exc:
+                self.transport_failures += 1
+                obs.count("client.transport_failures")
+                self.breaker.record_failure()
+                if self.breaker.trips > trips_before:
+                    trips_before = self.breaker.trips
+                    obs.count("client.breaker_trips")
+                last_error, last_response = exc, None
+            else:
+                self.breaker.record_success()
+                if status not in policy.retry_on:
+                    return status, payload
+                last_response, last_error = (status, payload), None
+            if attempt + 1 >= policy.max_attempts:
+                break
+            delay = next(delays)
+            self.retries += 1
+            self.slept_s += delay
+            obs.count("client.retries")
+            obs.observe("client.backoff_s", delay, units="s")
+            self._sleep(delay)
+        if last_response is not None:
+            return last_response
+        assert last_error is not None
+        raise last_error
+
+    # ``SendFn`` name parity with ServiceClient.query
+    query = __call__

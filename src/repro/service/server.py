@@ -31,7 +31,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, Iterator, Mapping, Optional, Tuple, Union
 
-from ..errors import ServiceError
+from ..errors import ServiceError, error_kind
 from ..obs.registry import Registry
 from .broker import AdmissionError, Broker, RequestTimeout, ServiceGuards
 from .cache import ResultCache
@@ -41,6 +41,17 @@ from .stats import ServiceStats
 #: Largest accepted request body, bytes — queries are small; anything
 #: bigger is a mistake or abuse.
 MAX_BODY_BYTES = 1_000_000
+
+#: Default taxonomy entry per HTTP status, for errors raised at the
+#: transport layer itself (bad paths, unparseable bodies) where no
+#: library exception exists to classify.
+_STATUS_KINDS = {
+    400: "bad-request",
+    404: "bad-request",
+    503: "overload",
+    504: "timeout",
+    500: "internal",
+}
 
 
 class ScheduleService:
@@ -130,6 +141,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _error(self, status: int, message: str, **extra: Any) -> None:
+        extra.setdefault("error_kind", _STATUS_KINDS.get(status, "internal"))
         self._reply(status, {"ok": False, "error": message, **extra})
 
     # -- routes --------------------------------------------------------------
@@ -170,17 +182,17 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             payload = self.server.service.query_dict(request)
         except QueryError as exc:
-            self._error(400, str(exc))
+            self._error(400, str(exc), error_kind=error_kind(exc))
         except AdmissionError as exc:
             self._reply(
                 503,
-                {"ok": False, "error": str(exc)},
+                {"ok": False, "error": str(exc), "error_kind": error_kind(exc)},
                 headers=(("Retry-After", "1"),),
             )
         except RequestTimeout as exc:
-            self._error(504, str(exc))
+            self._error(504, str(exc), error_kind=error_kind(exc))
         except ServiceError as exc:
-            self._error(500, str(exc))
+            self._error(500, str(exc), error_kind=error_kind(exc))
         else:
             self._reply(200, payload)
 

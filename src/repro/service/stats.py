@@ -59,6 +59,7 @@ class ServiceStats:
         self.timeouts = 0
         self.fallbacks = 0
         self.errors = 0
+        self.window_shrinks = 0
         self._latency: Dict[str, List[float]] = {path: [] for path in PATHS}
 
     def count(self, counter: str, amount: int = 1) -> None:
@@ -101,6 +102,7 @@ class ServiceStats:
                 "timeouts": self.timeouts,
                 "fallbacks": self.fallbacks,
                 "errors": self.errors,
+                "window_shrinks": self.window_shrinks,
             }
 
     def to_bench_metrics(

@@ -135,6 +135,16 @@ class SimulationResult:
         """True when any job violated its deadline."""
         return bool(self.deadline_misses)
 
+    @property
+    def failed(self) -> bool:
+        """Always ``False`` — the counterpart of ``CellFailure.failed``.
+
+        Contained campaigns (``run_many(..., failures="contain")``) mix
+        results and failures in one list; ``r.failed`` filters them
+        without importing the executor's types.
+        """
+        return False
+
     def power_reduction_vs(self, baseline: "SimulationResult") -> float:
         """Fractional power saving relative to *baseline* (paper's metric).
 

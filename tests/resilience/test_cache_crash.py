@@ -1,0 +1,70 @@
+"""Crash consistency of the disk cache tier.
+
+The contract: a torn or corrupted shard file — what a crash mid-write
+leaves behind — degrades to a *miss* (recompute) and is swept from
+disk; it must never surface as a wrong hit.  The writer's
+fsync-before-rename discipline is what keeps intact entries intact; the
+reader's job, tested here, is to never trust a broken one.
+"""
+
+import json
+
+from repro.faults.chaos import tear_file
+from repro.service.cache import ResultCache
+
+
+KEY = "ab" + "0" * 62  # 64-hex-ish content key; shard dir is key[:2]
+PAYLOAD = {"ok": True, "average_power": 0.25}
+
+
+def _shard(disk_dir):
+    return disk_dir / KEY[:2] / f"{KEY}.json"
+
+
+def _fresh(disk_dir):
+    """A cache with an empty memory tier, forcing the disk read."""
+    return ResultCache(memory_items=4, disk_dir=disk_dir)
+
+
+class TestTornShard:
+    def test_intact_entry_round_trips_through_disk(self, tmp_path):
+        _fresh(tmp_path).put(KEY, PAYLOAD)
+        payload, tier = _fresh(tmp_path).get_with_tier(KEY)
+        assert tier == "disk"
+        assert payload == PAYLOAD
+
+    def test_torn_entry_is_a_miss_never_a_wrong_hit(self, tmp_path):
+        _fresh(tmp_path).put(KEY, PAYLOAD)
+        tear_file(_shard(tmp_path), seed=3)
+        payload, tier = _fresh(tmp_path).get_with_tier(KEY)
+        assert payload is None
+        assert tier == "miss"
+
+    def test_torn_entry_is_swept_and_rewritable(self, tmp_path):
+        _fresh(tmp_path).put(KEY, PAYLOAD)
+        tear_file(_shard(tmp_path), seed=9)
+        cache = _fresh(tmp_path)
+        assert cache.get(KEY) is None
+        assert not _shard(tmp_path).exists()  # the corpse was unlinked
+        cache.put(KEY, PAYLOAD)
+        assert _fresh(tmp_path).get(KEY) == PAYLOAD
+
+    def test_every_tear_offset_degrades_safely(self, tmp_path):
+        # Sweep tear offsets: whatever byte the "crash" stopped at, the
+        # reader answers the true payload or a miss — nothing else.
+        for seed in range(12):
+            _fresh(tmp_path).put(KEY, PAYLOAD)
+            tear_file(_shard(tmp_path), seed=seed)
+            got = _fresh(tmp_path).get(KEY)
+            assert got is None or got == PAYLOAD
+
+    def test_garbage_json_is_a_miss(self, tmp_path):
+        _fresh(tmp_path).put(KEY, PAYLOAD)
+        _shard(tmp_path).write_text(json.dumps(["not", "a", "dict"]))
+        assert _fresh(tmp_path).get(KEY) is None
+
+    def test_zero_length_shard_is_a_miss(self, tmp_path):
+        # The exact artifact an unsynced rename leaves after power loss.
+        _fresh(tmp_path).put(KEY, PAYLOAD)
+        _shard(tmp_path).write_bytes(b"")
+        assert _fresh(tmp_path).get(KEY) is None

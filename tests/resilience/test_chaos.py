@@ -1,0 +1,132 @@
+"""Unit tests for the infra-chaos injectors themselves.
+
+Kill-worker plans are only ever *executed* under a process pool (see
+test_supervisor.py); here we test the safe halves in-process: plan
+construction, kill-once marker semantics (a marker that already exists
+means "run clean"), seeded determinism of the torn-write and flaky
+transport helpers, and the PR-1 zero-intensity no-op rule.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.checkpoint import spec_fingerprint
+from repro.experiments.runner import RunSpec
+from repro.faults.chaos import (
+    CELL_CHAOS_TYPES,
+    apply_cell_chaos,
+    flaky_transport,
+    kill_worker,
+    slow_cell,
+    tear_file,
+    with_chaos,
+)
+from repro.tasks.generation import GaussianModel
+from repro.workloads.registry import get_workload
+
+
+class TestPlans:
+    def test_kill_worker_plan_is_a_plain_dict(self, tmp_path):
+        plan = kill_worker(marker=tmp_path / "m")
+        assert plan["type"] == "kill-worker"
+        assert plan["marker"] == str(tmp_path / "m")
+        assert plan["type"] in CELL_CHAOS_TYPES
+
+    def test_slow_cell_rejects_negative_delay(self):
+        with pytest.raises(ConfigurationError):
+            slow_cell(-0.1)
+
+    def test_unknown_plan_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown chaos plan"):
+            apply_cell_chaos({"type": "set-fire-to-rack"})
+
+    def test_with_chaos_none_is_a_strict_noop(self):
+        spec = RunSpec(
+            taskset=get_workload("cnc").prioritized(), scheduler="lpfps"
+        )
+        assert with_chaos(spec, None) is spec
+
+    def test_with_chaos_copies_and_leaves_fingerprint_alone(self, tmp_path):
+        spec = RunSpec(
+            taskset=get_workload("cnc").prioritized(),
+            scheduler="lpfps",
+            execution_model=GaussianModel(),
+            duration=9_600.0,
+        )
+        chaotic = with_chaos(spec, kill_worker(marker=tmp_path / "m"))
+        assert chaotic is not spec
+        assert "chaos" not in spec.extra
+        assert chaotic.extra["chaos"]["type"] == "kill-worker"
+        # Chaos is infrastructure, not content: the cell computes the
+        # same result (kill-once recovers, slow-cell just waits), so it
+        # shares the original's checkpoint identity.
+        assert spec_fingerprint(chaotic) == spec_fingerprint(spec)
+
+    def test_kill_once_marker_present_means_run_clean(self, tmp_path):
+        marker = tmp_path / "fired"
+        marker.touch()
+        # Would SIGKILL this test process if the marker were ignored.
+        apply_cell_chaos(kill_worker(marker=marker))
+
+    def test_slow_cell_sleeps(self):
+        t0 = time.perf_counter()
+        apply_cell_chaos(slow_cell(0.05))
+        assert time.perf_counter() - t0 >= 0.05
+
+
+class TestTearFile:
+    def test_tear_strictly_shortens(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"x" * 100)
+        cut = tear_file(path, seed=3)
+        assert 1 <= cut <= 99
+        assert path.stat().st_size == cut
+
+    def test_tear_is_seed_deterministic(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        a.write_bytes(b"y" * 1000)
+        b.write_bytes(b"y" * 1000)
+        assert tear_file(a, seed=11) == tear_file(b, seed=11)
+
+    def test_tiny_file_truncates_to_zero(self, tmp_path):
+        path = tmp_path / "one"
+        path.write_bytes(b"z")
+        assert tear_file(path, seed=0) == 0
+        assert path.stat().st_size == 0
+
+
+class TestFlakyTransport:
+    @staticmethod
+    def _ok(request):
+        return 200, {"ok": True}
+
+    def test_rate_zero_returns_send_itself(self):
+        assert flaky_transport(self._ok, 0.0) is self._ok
+
+    def test_rate_one_always_raises(self):
+        flaky = flaky_transport(self._ok, 1.0, seed=1)
+        for _ in range(5):
+            with pytest.raises(ConnectionError):
+                flaky({})
+
+    def test_seeded_failure_sequence_is_reproducible(self):
+        def outcomes(seed):
+            flaky = flaky_transport(self._ok, 0.5, seed=seed)
+            out = []
+            for _ in range(20):
+                try:
+                    flaky({})
+                    out.append("ok")
+                except ConnectionError:
+                    out.append("drop")
+            return out
+
+        assert outcomes(7) == outcomes(7)
+        assert "ok" in outcomes(7) and "drop" in outcomes(7)
+
+    def test_rate_out_of_range_rejected(self):
+        for rate in (-0.1, 1.5):
+            with pytest.raises(ConfigurationError):
+                flaky_transport(self._ok, rate)

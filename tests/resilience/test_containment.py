@@ -1,0 +1,134 @@
+"""Per-cell fault containment: ``run_many(..., failures="contain")``.
+
+A raising cell must come back as a structured, picklable
+:class:`~repro.experiments.runner.CellFailure` in its own slot — order
+preserved, neighbours untouched — while the default ``failures="raise"``
+keeps the historical propagate-first semantics.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError, DeadlineMissError
+from repro.experiments.runner import CellFailure, RunSpec, run_many
+from repro.tasks.priority import rate_monotonic
+from repro.tasks.task import Task, TaskSet
+from repro.workloads.registry import get_workload
+
+
+def _boom_scheduler():
+    """Module-level (hence picklable) factory that always raises."""
+    raise ValueError("boom factory")
+
+
+def _good_spec(seed=1):
+    taskset = get_workload("cnc").prioritized()
+    return RunSpec(taskset=taskset, scheduler="fps", seed=seed, duration=9_600.0)
+
+
+def _bad_spec():
+    taskset = get_workload("cnc").prioritized()
+    return RunSpec(taskset=taskset, scheduler=_boom_scheduler, duration=9_600.0)
+
+
+def _miss_spec():
+    overloaded = rate_monotonic(
+        TaskSet(
+            name="overload",
+            tasks=[
+                Task("a", wcet=800.0, period=1000.0),
+                Task("b", wcet=800.0, period=1000.0),
+            ],
+        )
+    )
+    return RunSpec(
+        taskset=overloaded, scheduler="fps", duration=5_000.0, on_miss="raise"
+    )
+
+
+class TestContainSerial:
+    def test_raising_cell_becomes_structured_failure(self):
+        specs = [_good_spec(1), _bad_spec(), _good_spec(2)]
+        results = run_many(specs, jobs=1, failures="contain")
+        assert len(results) == 3
+        assert results[0].jobs_completed > 0
+        assert results[2].jobs_completed > 0
+        assert [r.failed for r in results] == [False, True, False]
+        failure = results[1]
+        assert isinstance(failure, CellFailure)
+        assert failure.failed
+        assert failure.index == 1
+        assert failure.error_type == "ValueError"
+        assert failure.error_kind == "internal"
+        assert "boom factory" in failure.message
+        assert "ValueError" in failure.traceback
+        assert failure.taskset == "cnc"
+        assert failure.scheduler == "_boom_scheduler"
+
+    def test_deadline_miss_contained_and_classified(self):
+        results = run_many([_miss_spec()], jobs=1, failures="contain")
+        (failure,) = results
+        assert isinstance(failure, CellFailure)
+        assert failure.error_type == "DeadlineMissError"
+        # SchedulingError carries no explicit kind: deterministic
+        # library refusals classify as "refusal".
+        assert failure.error_kind == "refusal"
+
+    def test_default_raise_mode_still_propagates(self):
+        with pytest.raises(DeadlineMissError):
+            run_many([_miss_spec()], jobs=1)
+
+    def test_metadata_stamped_on_failures_too(self):
+        results = run_many([_bad_spec()], jobs=1, failures="contain")
+        (failure,) = results
+        assert failure.metadata["executor"] == "serial"
+        assert failure.metadata["requested_jobs"] == 1
+
+    def test_failure_records_are_picklable(self):
+        (failure,) = run_many([_bad_spec()], jobs=1, failures="contain")
+        clone = pickle.loads(pickle.dumps(failure))
+        assert isinstance(clone, CellFailure)
+        assert clone.error_type == failure.error_type
+        assert clone.message == failure.message
+
+
+class TestContainPooled:
+    def test_raising_cell_contained_under_pool(self):
+        specs = [_good_spec(1), _bad_spec(), _good_spec(2), _good_spec(3)]
+        results = run_many(specs, jobs=2, failures="contain")
+        assert isinstance(results[1], CellFailure)
+        assert results[1].error_type == "ValueError"
+        for i in (0, 2, 3):
+            assert results[i].jobs_completed > 0
+
+    def test_contained_neighbours_match_serial_reference(self):
+        specs = [_good_spec(1), _bad_spec(), _good_spec(2)]
+        reference = run_many([_good_spec(1), _good_spec(2)], jobs=1)
+        contained = run_many(specs, jobs=2, failures="contain")
+        assert repr(contained[0].energy.total) == repr(reference[0].energy.total)
+        assert repr(contained[2].energy.total) == repr(reference[1].energy.total)
+
+    def test_pooled_raise_mode_still_propagates(self):
+        specs = [_good_spec(1), _miss_spec()]
+        with pytest.raises(DeadlineMissError):
+            run_many(specs, jobs=2)
+
+
+class TestFailuresValidation:
+    def test_unknown_failures_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="failures"):
+            run_many([_good_spec()], failures="ignore")
+
+    def test_bad_retries_rejected(self):
+        for retries in (-1, 1.5, True, "2"):
+            with pytest.raises(ConfigurationError, match="retries"):
+                run_many([_good_spec()], retries=retries)
+
+    def test_cell_failures_counted_in_obs(self):
+        from repro.obs.registry import Registry, installed
+
+        registry = Registry()
+        with installed(registry):
+            run_many([_bad_spec(), _good_spec()], jobs=1, failures="contain")
+        assert registry.counter_value("runner.cell_failures") == 1

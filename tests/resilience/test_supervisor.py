@@ -1,0 +1,169 @@
+"""The supervised pool executor under real worker deaths.
+
+These tests SIGKILL genuine worker processes (via the kill-worker chaos
+plan riding inside a cell) and assert the supervisor's contract: a
+mid-``run_many`` :class:`BrokenProcessPool` never escapes, surviving
+cells keep their bit-identical results, and a poison-pill cell exhausts
+its retry budget into a :class:`CellFailure` (contain) or
+:class:`~repro.errors.ExecutionError` (raise) without taking the
+campaign down.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.experiments.runner import CellFailure, RunSpec, run_many
+from repro.faults.chaos import kill_worker, slow_cell, with_chaos
+from repro.obs.registry import Registry, installed
+from repro.tasks.generation import GaussianModel
+from repro.workloads.registry import get_workload
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(autouse=True)
+def _multicore(monkeypatch):
+    # run_many clamps the pool width to the CPU count and runs serially
+    # on a single core — which would execute kill-worker chaos in *this*
+    # process.  Pretend to have cores so the supervised pool engages and
+    # kills land on genuine worker processes, whatever box CI runs on.
+    monkeypatch.setattr(os, "cpu_count", lambda: 4)
+
+
+def _spec(seed=1):
+    taskset = get_workload("cnc").prioritized()
+    return RunSpec(
+        taskset=taskset,
+        scheduler="lpfps",
+        seed=seed,
+        execution_model=GaussianModel(),
+        duration=9_600.0,
+    )
+
+
+def _sig(result):
+    return (
+        repr(result.energy.total),
+        repr(result.average_power),
+        result.jobs_completed,
+        result.context_switches,
+    )
+
+
+class TestKillOnce:
+    """A worker dies once mid-campaign; the supervisor recovers fully."""
+
+    def test_contain_mode_recovers_every_cell(self, tmp_path):
+        specs = [_spec(seed=s) for s in (1, 2, 3, 4)]
+        reference = [_sig(r) for r in run_many(list(specs), jobs=1)]
+        chaotic = list(specs)
+        chaotic[1] = with_chaos(specs[1], kill_worker(marker=tmp_path / "fired"))
+        registry = Registry()
+        with installed(registry):
+            results = run_many(chaotic, jobs=2, failures="contain")
+        assert not any(isinstance(r, CellFailure) for r in results)
+        assert [_sig(r) for r in results] == reference
+        assert registry.counter_value("runner.pool_rebuilds") >= 1
+        assert (tmp_path / "fired").exists()
+
+    def test_raise_mode_broken_pool_never_escapes(self, tmp_path):
+        # Regression: a worker death mid-dispatch used to surface as a
+        # raw BrokenProcessPool out of run_many.  Now the supervisor
+        # recovers (or degrades to the serial path) and the campaign
+        # still returns every result.
+        specs = [_spec(seed=s) for s in (1, 2, 3, 4)]
+        reference = [_sig(r) for r in run_many(list(specs), jobs=1)]
+        chaotic = list(specs)
+        chaotic[2] = with_chaos(specs[2], kill_worker(marker=tmp_path / "fired"))
+        results = run_many(chaotic, jobs=2)  # failures="raise", the default
+        assert [_sig(r) for r in results] == reference
+
+    def test_retried_cell_result_identical_to_serial(self, tmp_path):
+        spec = _spec(seed=7)
+        (reference,) = run_many([RunSpec(
+            taskset=spec.taskset,
+            scheduler="lpfps",
+            seed=7,
+            execution_model=GaussianModel(),
+            duration=9_600.0,
+        )], jobs=1)
+        chaotic = [
+            with_chaos(spec, kill_worker(marker=tmp_path / "fired")),
+            _spec(seed=8),
+        ]
+        results = run_many(chaotic, jobs=2, failures="contain")
+        assert _sig(results[0]) == _sig(reference)
+
+
+class TestPoisonPill:
+    """A cell that kills every worker it touches must not win."""
+
+    def test_contain_mode_exhausts_budget_into_cell_failure(self):
+        specs = [with_chaos(_spec(seed=1), kill_worker())] + [
+            _spec(seed=s) for s in (2, 3, 4)
+        ]
+        registry = Registry()
+        with installed(registry):
+            results = run_many(specs, jobs=2, failures="contain", retries=1)
+        failure = results[0]
+        assert isinstance(failure, CellFailure)
+        assert failure.error_type == "BrokenProcessPool"
+        assert failure.error_kind == "internal"
+        assert failure.attempts == 2  # initial dispatch + 1 retry
+        assert "retry budget" in failure.message
+        for r in results[1:]:
+            assert not isinstance(r, CellFailure)
+            assert r.jobs_completed > 0
+        assert registry.counter_value("runner.pool_rebuilds") >= 2
+        assert registry.counter_value("runner.cell_failures") == 1
+
+    def test_raise_mode_exhausts_budget_into_execution_error(self):
+        # The poison cell sits behind two clean cells so the first wave
+        # proves the pool works before the pill lands.
+        specs = [
+            _spec(seed=1),
+            _spec(seed=2),
+            with_chaos(_spec(seed=3), kill_worker()),
+            _spec(seed=4),
+        ]
+        with pytest.raises(ExecutionError, match="killed its worker"):
+            run_many(specs, jobs=2, retries=0)
+
+    def test_checkpoint_preserves_completed_cells_around_failure(self, tmp_path):
+        # Two poison cells so the resumed campaign still has > 1 pending
+        # cell and stays on the supervised pool path (a lone pending
+        # cell runs serially, where a process-level kill has no
+        # supervisor above it to contain it).
+        def campaign():
+            return [
+                _spec(seed=1),
+                with_chaos(_spec(seed=2), kill_worker()),
+                _spec(seed=3),
+                with_chaos(_spec(seed=4), kill_worker()),
+            ]
+
+        run_many(campaign(), jobs=2, failures="contain", retries=1,
+                 checkpoint=tmp_path)
+        # The journal holds the clean cells; resuming hits them and only
+        # re-attempts the poison cells.
+        registry = Registry()
+        with installed(registry):
+            resumed = run_many(
+                campaign(), jobs=2, failures="contain", retries=1,
+                checkpoint=tmp_path,
+            )
+        assert registry.counter_value("runner.checkpoint_hits") == 2
+        assert resumed[0].metadata["checkpoint"] == "hit"
+        assert resumed[2].metadata["checkpoint"] == "hit"
+        assert isinstance(resumed[1], CellFailure)
+        assert isinstance(resumed[3], CellFailure)
+
+
+class TestSlowCell:
+    def test_slow_cell_is_benign(self):
+        specs = [with_chaos(_spec(seed=1), slow_cell(0.05)), _spec(seed=2)]
+        reference = [_sig(r) for r in run_many([_spec(seed=1), _spec(seed=2)], jobs=1)]
+        results = run_many(specs, jobs=2)
+        assert [_sig(r) for r in results] == reference

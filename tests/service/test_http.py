@@ -52,6 +52,7 @@ class TestRoutes:
         status, payload = ServiceClient(client.url)._get("/v1/nope")
         assert status == 404
         assert payload["ok"] is False
+        assert payload["error_kind"] == "bad-request"
 
 
 class TestQuery:
@@ -84,6 +85,7 @@ class TestQuery:
         status, payload = client.query({"kind": "energy"})
         assert status == 400
         assert "app" in payload["error"] or "tasks" in payload["error"]
+        assert payload["error_kind"] == "bad-request"
 
     def test_unknown_field_is_400(self, client):
         status, payload = client.query({**ENERGY, "wat": 1})
@@ -118,10 +120,24 @@ class TestQuery:
         )
         assert status == 504
         assert "retry" in payload["error"]
+        assert payload["error_kind"] == "timeout"
 
     def test_bad_timeout_is_400(self, client):
         status, _ = client.query({**ENERGY, "timeout_s": -1})
         assert status == 400
+
+    def test_every_error_payload_carries_a_taxonomy_kind(self, client):
+        from repro.errors import ERROR_KINDS
+
+        for query in (
+            {"kind": "energy"},            # missing app
+            {**ENERGY, "wat": 1},          # unknown field
+            {**ENERGY, "timeout_s": -1},   # invalid knob
+            {"kind": "nope"},              # unknown kind
+        ):
+            status, payload = client.query(query)
+            assert status >= 400
+            assert payload["error_kind"] in ERROR_KINDS
 
 
 def test_admission_overflow_returns_503_with_retry_after():
@@ -146,6 +162,8 @@ def test_admission_overflow_returns_503_with_retry_after():
                 urllib.request.urlopen(request, timeout=30)
             assert info.value.code == 503
             assert info.value.headers["Retry-After"] == "1"
+            shed = json.loads(info.value.read().decode("utf-8"))
+            assert shed["error_kind"] == "overload"
         finally:
             service.close()
 
