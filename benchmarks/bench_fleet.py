@@ -1,0 +1,126 @@
+"""EXP-F1 benchmark: kill a replica under load, lose nothing.
+
+The fleet layer's acceptance gate: a three-replica supervised fleet
+serves an open-loop stream of queries through the failover client while
+one replica is SIGKILLed mid-run.  The gates:
+
+* **zero failed client requests** — every query answers 200; failover
+  transparently re-issues the content-addressed (hence idempotent)
+  query against a surviving replica;
+* **self-healing** — the supervisor restarts the killed replica and the
+  fleet returns to full strength before the run ends;
+* **bit-identity under failover** — golden-cell answers carry exactly
+  the trace digests pinned in ``tests/golden/golden_traces.json``, no
+  matter which replica (or cache tier) produced them.
+
+Runs against real subprocess replicas — the kill must take down a
+genuine ``lpfps serve`` process mid-traffic.
+"""
+
+import json
+import os
+import pathlib
+import random
+import signal
+
+from repro.service.fleet import FleetClient
+from repro.service.supervisor import FleetSupervisor, RestartBudget
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+FIXTURES = json.loads(
+    (REPO / "tests" / "golden" / "golden_traces.json").read_text()
+)
+
+#: Golden cells served under fire (example workload: fast, digest-pinned).
+GOLDEN_SCHEDULERS = ("lpfps", "fps")
+REQUESTS = 60
+KILL_AT = 20
+
+
+def _golden_request(scheduler: str) -> dict:
+    return {
+        "kind": "energy",
+        "app": "example",
+        "scheduler": scheduler,
+        "duration": 400.0,
+        "seed": 1,
+        "bcet_ratio": 0.5,
+        "execution": "gaussian",
+        "record_trace": True,
+    }
+
+
+def _request(i: int) -> dict:
+    if i % 3 < 2:  # two thirds golden cells: mostly warm, digest-checked
+        return _golden_request(GOLDEN_SCHEDULERS[i % 3])
+    # The rest is fresh work: unseen seeds force real simulations so the
+    # kill lands while replicas are actually computing.
+    return {"kind": "energy", "app": "example", "duration": 400.0,
+            "seed": 1000 + i}
+
+
+def test_replica_kill_under_load(tmp_path, artifact, metrics_out):
+    supervisor = FleetSupervisor(
+        replicas=3,
+        cache_dir=tmp_path / "cache",
+        jobs=1,
+        poll_interval_s=0.05,
+        probe_interval_s=0.2,
+        budget_factory=lambda: RestartBudget(base_s=0.1, cap_s=0.5),
+        log_dir=tmp_path / "logs",
+    )
+    with supervisor:
+        client = FleetClient(supervisor.urls(), rng=random.Random(1))
+        ok = digest_checked = 0
+        for i in range(REQUESTS):
+            if i == KILL_AT:
+                pid = supervisor.status()[1]["pid"]
+                os.kill(pid, signal.SIGKILL)
+            status, payload = client(_request(i))
+            assert status == 200, (i, status, payload)
+            assert payload["ok"] is True
+            ok += 1
+            if "digest" in payload:
+                scheduler = payload["scheduler"]
+                assert payload["digest"] == FIXTURES[f"{scheduler}@example"], (
+                    f"digest drift on {scheduler}@example at request {i}"
+                )
+                digest_checked += 1
+        assert ok == REQUESTS                       # zero failed requests
+        assert client.failovers >= 1                # the kill was felt
+        assert supervisor.counter("fleet.deaths") >= 1
+        assert supervisor.wait_serving(3, timeout_s=30.0), (
+            "killed replica was not restored"
+        )
+        assert supervisor.counter("fleet.restarts") >= 1
+        restarts = supervisor.counter("fleet.restarts")
+        deaths = supervisor.counter("fleet.deaths")
+        fleet_metrics = supervisor.metrics()
+
+    out_dir = pathlib.Path(__file__).parent / "out"
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / "fleet_metrics.json").write_text(
+        json.dumps(fleet_metrics, indent=2, sort_keys=True) + "\n"
+    )
+
+    metrics_out("requests_total", REQUESTS)
+    metrics_out("requests_ok", ok)
+    metrics_out("requests_failed", REQUESTS - ok)
+    metrics_out("digest_checked", digest_checked)
+    metrics_out("client_failovers", client.failovers)
+    metrics_out("replica_deaths", deaths)
+    metrics_out("replica_restarts", restarts)
+    artifact(
+        "fleet_kill_under_load",
+        "\n".join(
+            [
+                "EXP-F1: SIGKILL one of three replicas under open-loop load",
+                f"requests:          {REQUESTS} (all answered 200)",
+                f"digest-checked:    {digest_checked} "
+                "(bit-identical to golden fixtures)",
+                f"client failovers:  {client.failovers}",
+                f"replica deaths:    {deaths}",
+                f"replica restarts:  {restarts} (fleet back to 3/3 serving)",
+            ]
+        ),
+    )

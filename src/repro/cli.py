@@ -214,6 +214,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-window-ms", type=float, default=5.0,
         help="micro-batch gather window for cache misses",
     )
+    srv.add_argument(
+        "--drain-s", type=float, default=30.0,
+        help="SIGTERM drain budget: how long to let in-flight requests "
+        "finish before the broker is torn down",
+    )
+
+    flt_srv = sub.add_parser(
+        "fleet", help="supervise N serve replicas sharing one result cache"
+    )
+    flt_srv.add_argument(
+        "--replicas", type=int, default=3, help="replica count to babysit"
+    )
+    flt_srv.add_argument("--host", default="127.0.0.1")
+    flt_srv.add_argument(
+        "--cache-dir", default=None,
+        help="shared on-disk result-cache tier (content-addressed, so "
+        "replicas share it without coordination)",
+    )
+    flt_srv.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes per replica micro-batch; 0 = one per CPU",
+    )
+    flt_srv.add_argument(
+        "--max-pending", type=int, default=256,
+        help="per-replica admission-control bound",
+    )
+    flt_srv.add_argument(
+        "--timeout-s", type=float, default=60.0,
+        help="per-replica default request wait deadline",
+    )
+    flt_srv.add_argument(
+        "--batch-window-ms", type=float, default=5.0,
+        help="per-replica micro-batch gather window",
+    )
+    flt_srv.add_argument(
+        "--log-dir", default=None,
+        help="directory for per-replica server logs (default: discard)",
+    )
+    flt_srv.add_argument(
+        "--metrics-json", default=None,
+        help="write the fleet's bench-metrics/v1 snapshot here on shutdown",
+    )
+
+    ckpt = sub.add_parser(
+        "checkpoint", help="checkpoint-journal maintenance"
+    )
+    ckpt_sub = ckpt.add_subparsers(dest="checkpoint_command", required=True)
+    ckpt_gc = ckpt_sub.add_parser(
+        "gc",
+        help="compact the append-only journal: drop superseded and torn "
+        "entries, rewrite atomically",
+    )
+    ckpt_gc.add_argument("dir", help="checkpoint directory holding journal.jsonl")
+    ckpt_gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be dropped without rewriting the journal",
+    )
 
     qry = sub.add_parser(
         "query", help="ask the service one question (in-process or --url)"
@@ -387,6 +444,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_profile(args)
     elif args.command == "serve":
         return _run_serve(args)
+    elif args.command == "fleet":
+        return _run_fleet(args)
+    elif args.command == "checkpoint":
+        return _run_checkpoint_gc(args)
     elif args.command == "query":
         return _run_query(args)
     return 0
@@ -451,13 +512,86 @@ def _run_serve(args) -> int:
     try:
         stop.wait()
     finally:
-        # Orderly teardown: stop accepting, join the serve loop, then
+        # Orderly teardown, in drain order: stop the accept loop, close
+        # the listening socket (no new connections), let every in-flight
+        # request finish against the still-live broker, and only then
         # close the broker so no pool worker outlives the process.
         server.shutdown()
         thread.join(timeout=10.0)
         server.server_close()
+        pending = server.inflight()
+        if pending:
+            print(f"draining {pending} in-flight request(s)", flush=True)
+        if not server.wait_idle(timeout=args.drain_s):
+            print(
+                f"drain timeout after {args.drain_s:g}s; "
+                f"{server.inflight()} request(s) abandoned",
+                flush=True,
+            )
         service.close()
     print("shutdown complete", flush=True)
+    return 0
+
+
+def _run_fleet(args) -> int:
+    """Supervise a replica fleet until SIGTERM/SIGINT, then drain it."""
+    import json
+    import signal
+    import threading
+
+    from .service.supervisor import FleetError, FleetSupervisor
+
+    supervisor = FleetSupervisor(
+        replicas=args.replicas,
+        host=args.host,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        max_pending=args.max_pending,
+        timeout_s=args.timeout_s,
+        batch_window_ms=args.batch_window_ms,
+        log_dir=args.log_dir,
+    )
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):  # noqa: ARG001 - signal contract
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    try:
+        supervisor.start()
+    except FleetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for url in supervisor.urls():
+        print(f"replica serving on {url}", flush=True)
+    print(f"fleet of {args.replicas} ready", flush=True)
+    try:
+        stop.wait()
+    finally:
+        supervisor.stop()
+        if args.metrics_json is not None:
+            import pathlib
+
+            path = pathlib.Path(args.metrics_json)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(supervisor.metrics(), indent=2))
+            print(f"wrote {path}", flush=True)
+    print("fleet shutdown complete", flush=True)
+    return 0
+
+
+def _run_checkpoint_gc(args) -> int:
+    """``lpfps checkpoint gc``: compact a journal, report what changed."""
+    from .errors import ReproError
+    from .experiments.checkpoint import gc_journal
+
+    try:
+        report = gc_journal(args.dir, dry_run=args.dry_run)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
     return 0
 
 

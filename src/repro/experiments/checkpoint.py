@@ -30,6 +30,8 @@ import hashlib
 import json
 import os
 import pickle
+import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
@@ -272,3 +274,139 @@ class CheckpointJournal:
 
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
+
+
+@dataclass(frozen=True)
+class JournalGcReport:
+    """What ``gc_journal`` found (and, unless dry-run, rewrote)."""
+
+    path: Path
+    dry_run: bool
+    lines_total: int       #: non-empty lines inspected
+    kept: int              #: surviving records (one per fingerprint)
+    superseded: int        #: intact records shadowed by a later duplicate
+    corrupt: int           #: torn / checksum-mismatched / alien lines
+    bytes_before: int
+    bytes_after: int
+
+    @property
+    def dropped(self) -> int:
+        return self.superseded + self.corrupt
+
+    def render(self) -> str:
+        action = "would rewrite" if self.dry_run else "rewrote"
+        lines = [
+            f"journal {self.path}",
+            f"  records inspected:  {self.lines_total}",
+            f"  kept:               {self.kept}",
+            f"  dropped superseded: {self.superseded}",
+            f"  dropped corrupt:    {self.corrupt}",
+            f"  size:               {self.bytes_before} -> {self.bytes_after} "
+            f"bytes ({action})",
+        ]
+        if self.dry_run:
+            lines.append("  dry run: journal left untouched")
+        return "\n".join(lines)
+
+
+def _intact_record_key(line: bytes) -> Optional[str]:
+    """The fingerprint of one journal line, or ``None`` if the line is
+    torn/corrupt/alien — the same acceptance rules as
+    :meth:`CheckpointJournal.load`, minus the (expensive, irrelevant
+    for compaction) unpickling of the blob."""
+    try:
+        record = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(record, dict) or record.get("v") != JOURNAL_VERSION:
+        return None
+    fp = record.get("fp")
+    blob = record.get("blob")
+    if not isinstance(fp, str) or not isinstance(blob, str):
+        return None
+    try:
+        payload = base64.b64decode(blob.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError):
+        return None
+    if hashlib.sha256(payload).hexdigest() != record.get("sha"):
+        return None
+    return fp
+
+
+def gc_journal(
+    directory: Union[str, Path], dry_run: bool = False
+) -> JournalGcReport:
+    """Compact a checkpoint journal: one intact record per fingerprint.
+
+    The journal is append-only by design, so overlapping campaigns and
+    crash-retry loops leave superseded duplicates and the odd torn tail
+    behind; GC drops both and rewrites the file **atomically** (temp
+    file + fsync + ``os.replace``), preserving the order in which each
+    surviving fingerprint last appeared.  Results are content-addressed,
+    so dropping an *earlier* duplicate can never change what
+    :meth:`CheckpointJournal.load` returns — later records already won.
+
+    Run it only while no campaign is appending to the journal: a
+    concurrent appender's records landing between read and replace
+    would be lost.
+
+    ``dry_run=True`` computes the same report without touching the file.
+    """
+    from ..errors import ConfigurationError
+
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ConfigurationError(f"{directory} is not a checkpoint directory")
+    path = directory / JOURNAL_NAME
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        return JournalGcReport(
+            path=path, dry_run=dry_run, lines_total=0, kept=0,
+            superseded=0, corrupt=0, bytes_before=0, bytes_after=0,
+        )
+    lines_total = corrupt = superseded = 0
+    #: fingerprint -> raw line; insertion order re-ordered to "last
+    #: appearance" by delete-then-insert, matching load()'s later-wins.
+    survivors: Dict[str, bytes] = {}
+    for line in raw.splitlines():
+        if not line.strip():
+            continue
+        lines_total += 1
+        fp = _intact_record_key(line)
+        if fp is None:
+            corrupt += 1
+            continue
+        if fp in survivors:
+            superseded += 1
+            del survivors[fp]
+        survivors[fp] = line
+    compacted = b"".join(line + b"\n" for line in survivors.values())
+    report = JournalGcReport(
+        path=path,
+        dry_run=dry_run,
+        lines_total=lines_total,
+        kept=len(survivors),
+        superseded=superseded,
+        corrupt=corrupt,
+        bytes_before=len(raw),
+        bytes_after=len(compacted),
+    )
+    if dry_run:
+        return report
+    fd, tmp = tempfile.mkstemp(
+        prefix=".journal.gc.", suffix=".tmp", dir=str(directory)
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(compacted)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return report

@@ -22,6 +22,14 @@ the analysis substrate.  The pieces compose bottom-up:
   (``lpfps serve``).
 * :mod:`~repro.service.client` — HTTP client plus closed- and open-loop
   load generators (``benchmarks/bench_service.py``).
+* :mod:`~repro.service.supervisor` — the fleet supervisor: spawn N
+  server replicas over one shared cache, probe them, restart crashed
+  ones under an exponential-backoff budget, quarantine crash-loopers,
+  and SIGTERM-drain on shutdown (``lpfps fleet``).
+* :mod:`~repro.service.fleet` — the failover client: round-robin over
+  replica endpoints, per-endpoint circuit-breaker ejection, transparent
+  re-issue of (content-addressed, idempotent) queries on replica death
+  (``benchmarks/bench_fleet.py``).
 
 The service guarantees *bit-identity*: a cache hit returns exactly the
 payload a fresh simulation would produce, pinned by the golden-trace
@@ -33,11 +41,13 @@ from __future__ import annotations
 from .broker import AdmissionError, Broker, RequestTimeout, ServiceGuards
 from .cache import ResultCache
 from .fingerprint import canonical_payload, fingerprint
+from .fleet import FleetClient
 from .query import Query, QueryError, parse_query
 from .results import encode_result, execute_analytic
 from .retry import CircuitBreaker, CircuitOpenError, RetryPolicy, RetryingClient
 from .server import ScheduleService, serve_forever
 from .stats import ServiceStats
+from .supervisor import FleetError, FleetSupervisor, RestartBudget
 
 __all__ = [
     "AdmissionError",

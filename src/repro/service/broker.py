@@ -48,9 +48,26 @@ from .stats import ServiceStats
 
 
 class AdmissionError(ServiceError):
-    """The broker shed this request to protect itself (HTTP 503)."""
+    """The broker shed this request to protect itself (HTTP 503).
+
+    Carries the degradation context clients need to retry *well*:
+    ``queue_depth`` (unique simulations in flight when the request was
+    shed) and ``retry_after_s`` (the broker's estimate of when capacity
+    frees up, from recent miss latencies) — the HTTP layer surfaces them
+    as the payload's ``queue_depth`` and the ``Retry-After`` header.
+    """
 
     kind = "overload"
+
+    def __init__(
+        self,
+        message: str,
+        queue_depth: Optional[int] = None,
+        retry_after_s: Optional[float] = None,
+    ):
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.retry_after_s = retry_after_s
 
 
 class RequestTimeout(ServiceError):
@@ -184,9 +201,12 @@ class Broker:
                 return Submission(existing, "dedup", key)
             if len(self._inflight) >= self.guards.max_pending:
                 self.stats.count("shed")
+                depth = len(self._inflight)
                 raise AdmissionError(
-                    f"{len(self._inflight)} requests in flight "
-                    f"(max_pending={self.guards.max_pending}); retry later"
+                    f"{depth} requests in flight "
+                    f"(max_pending={self.guards.max_pending}); retry later",
+                    queue_depth=depth,
+                    retry_after_s=self.retry_after_s(depth),
                 )
             future = Future()
             self._inflight[key] = future
@@ -223,6 +243,23 @@ class Broker:
         """Unique simulation requests currently in flight."""
         with self._lock:
             return len(self._inflight)
+
+    def retry_after_s(self, depth: Optional[int] = None) -> float:
+        """Estimate how long a shed client should wait before retrying.
+
+        The queue drains roughly one miss-latency per ``jobs`` workers
+        per pending request, so the estimate is ``p50(miss latency) *
+        depth / jobs``, clamped to ``[1, 60]`` seconds.  With no miss
+        samples yet the honest answer is the old floor of one second.
+        """
+        from .stats import percentile
+
+        if depth is None:
+            depth = self.pending()
+        p50 = percentile(self.stats.samples("miss"), 0.5)
+        if p50 <= 0.0 or depth <= 0:
+            return 1.0
+        return min(60.0, max(1.0, p50 * depth / max(1, self.jobs)))
 
     def _effective_window(self) -> float:
         """The batch window adapted to the current backlog.

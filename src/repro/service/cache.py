@@ -8,6 +8,11 @@ the tiers may be shared between processes and across service restarts.
 
 * The **memory tier** is a bounded LRU (an ``OrderedDict`` moved-to-end
   on access); eviction only forgets the fast copy, never the answer.
+  The bound is explicit (``memory_items``, 0 disables the tier) and
+  every eviction is counted — locally (``evictions``, exported as
+  ``cache_evictions`` by :meth:`ResultCache.counters`) and, when a
+  registry is injected, as the obs counter ``cache.mem_evictions`` so
+  ``/v1/metrics`` surfaces silent memory-pressure churn.
 * The **disk tier** stores one JSON file per fingerprint, sharded by the
   first two hex digits, written atomically (temp file + ``os.replace``)
   so a crashed or concurrent writer can never leave a torn entry.  A
@@ -26,6 +31,8 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
+from ..obs.registry import DISABLED, Registry
+
 
 class ResultCache:
     """Two-tier content-addressed store for response payloads."""
@@ -34,12 +41,14 @@ class ResultCache:
         self,
         memory_items: int = 1024,
         disk_dir: Union[None, str, Path] = None,
+        obs: Optional["Registry"] = None,
     ):
         if memory_items < 0:
             raise ValueError(f"memory_items must be >= 0, got {memory_items}")
         self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._memory_items = memory_items
         self._disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self._obs = obs if obs is not None else DISABLED
         self._lock = threading.Lock()
         self.hits_memory = 0
         self.hits_disk = 0
@@ -92,6 +101,7 @@ class ResultCache:
         while len(self._memory) > self._memory_items:
             self._memory.popitem(last=False)
             self.evictions += 1
+            self._obs.count("cache.mem_evictions")
 
     # -- disk tier -----------------------------------------------------------
     def _disk_path(self, key: str) -> Optional[Path]:

@@ -227,7 +227,10 @@ def broker_send(service) -> SendFn:
         except QueryError as exc:
             return 400, {"ok": False, "error": str(exc)}
         except AdmissionError as exc:
-            return 503, {"ok": False, "error": str(exc)}
+            shed = {"ok": False, "error": str(exc)}
+            if exc.queue_depth is not None:
+                shed["queue_depth"] = exc.queue_depth
+            return 503, shed
         except RequestTimeout as exc:
             return 504, {"ok": False, "error": str(exc)}
 

@@ -26,7 +26,9 @@ from __future__ import annotations
 
 import contextlib
 import json
+import math
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, Iterator, Mapping, Optional, Tuple, Union
@@ -65,10 +67,12 @@ class ScheduleService:
         jobs: Optional[int] = 0,
     ):
         self.stats = ServiceStats()
-        self.cache = ResultCache(memory_items=memory_items, disk_dir=cache_dir)
         #: Long-lived stage spans + campaign gauges for the whole stack,
         #: surfaced by ``GET /v1/metrics`` next to the counters.
         self.obs = Registry()
+        self.cache = ResultCache(
+            memory_items=memory_items, disk_dir=cache_dir, obs=self.obs
+        )
         self.broker = Broker(
             cache=self.cache,
             guards=guards,
@@ -146,6 +150,14 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes --------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
+        with self.server.track_request():
+            self._get()
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
+        with self.server.track_request():
+            self._post()
+
+    def _get(self) -> None:
         service = self.server.service
         if self.path in ("/v1/health", "/health"):
             self._reply(200, {"ok": True, "status": "serving"})
@@ -162,7 +174,7 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._error(404, f"unknown path {self.path!r}")
 
-    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
+    def _post(self) -> None:
         if self.path not in ("/v1/query", "/query"):
             self._error(404, f"unknown path {self.path!r}")
             return
@@ -184,10 +196,19 @@ class _Handler(BaseHTTPRequestHandler):
         except QueryError as exc:
             self._error(400, str(exc), error_kind=error_kind(exc))
         except AdmissionError as exc:
+            # Guarantee-preserving degradation: the shed answer tells the
+            # client how loaded the fleet is (queue depth) and when to
+            # come back (Retry-After from the broker's drain estimate).
+            shed: Dict[str, Any] = {
+                "ok": False, "error": str(exc), "error_kind": error_kind(exc),
+            }
+            retry_after = 1
+            if exc.queue_depth is not None:
+                shed["queue_depth"] = exc.queue_depth
+            if exc.retry_after_s is not None:
+                retry_after = max(1, int(math.ceil(exc.retry_after_s)))
             self._reply(
-                503,
-                {"ok": False, "error": str(exc), "error_kind": error_kind(exc)},
-                headers=(("Retry-After", "1"),),
+                503, shed, headers=(("Retry-After", str(retry_after)),)
             )
         except RequestTimeout as exc:
             self._error(504, str(exc), error_kind=error_kind(exc))
@@ -198,7 +219,15 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """Threading HTTP server carrying its :class:`ScheduleService`."""
+    """Threading HTTP server carrying its :class:`ScheduleService`.
+
+    Handler threads are daemons (an idle keep-alive connection must
+    never pin the process), so graceful shutdown tracks in-flight
+    *requests* instead: every ``do_GET``/``do_POST`` runs inside
+    :meth:`track_request`, and :meth:`wait_idle` blocks until the last
+    one finishes — the drain step between "stop accepting" and "close
+    the broker".
+    """
 
     daemon_threads = True
     allow_reuse_address = True
@@ -206,6 +235,39 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     def __init__(self, address: Tuple[str, int], service: ScheduleService):
         super().__init__(address, _Handler)
         self.service = service
+        self._inflight = 0
+        self._idle = threading.Condition()
+
+    @contextlib.contextmanager
+    def track_request(self) -> Iterator[None]:
+        """Count one in-flight request for the drain bookkeeping."""
+        with self._idle:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._idle:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.notify_all()
+
+    def inflight(self) -> int:
+        """Requests currently being handled."""
+        with self._idle:
+            return self._inflight
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no request is in flight; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._inflight > 0:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(timeout=remaining)
+        return True
 
     @property
     def url(self) -> str:

@@ -1,0 +1,492 @@
+"""Replica supervision: spawn, babysit, and drain ``lpfps serve`` fleets.
+
+A :class:`FleetSupervisor` owns N replica *processes* of the existing
+single-node server (``python -m repro.cli serve``), all sharing one
+content-addressed disk-cache directory — the cache key is a content hash
+(:mod:`repro.service.fingerprint`), so replicas can share warm results
+without any coordination and a hit is bit-identical wherever it lands.
+
+Supervision follows the same containment idiom as the campaign
+supervisor (DESIGN.md §5e): failures are bounded, never amplified.
+
+* **Liveness + readiness probes** — each replica is watched two ways:
+  the process handle (``poll()``, catches crashes instantly) and a
+  periodic ``GET /v1/health`` probe (catches wedged-but-alive processes,
+  which are killed and treated as deaths).  A replica serves traffic
+  only after its first successful probe.
+* **Restart-on-crash with a budget circuit** — a dead replica is
+  respawned after an exponential backoff (:class:`RestartBudget`); a
+  replica that keeps dying inside the budget window is **quarantined**
+  (left down, counted, never thrashed) rather than restarted forever.
+  Quarantine is the supervisor's analogue of the client's circuit
+  breaker: stop paying for an endpoint that has proven itself unhealthy.
+* **SIGTERM drain** — :meth:`FleetSupervisor.stop` delivers SIGTERM and
+  waits; the server's own drain path (stop accepting, finish in-flight
+  requests, then exit — ``repro.cli._run_serve``) makes the shutdown
+  lossless.  Stragglers past the drain timeout are SIGKILLed.
+
+Ports are allocated once, up front, and pinned across restarts, so the
+fleet's endpoint list is stable and the failover client
+(:class:`repro.service.fleet.FleetClient`) never needs re-discovery.
+
+Counters land in the supervisor's obs registry (``fleet.deaths``,
+``fleet.restarts``, ``fleet.quarantines``, ``fleet.wedged``,
+``fleet.drain_kills``, gauge ``fleet.replicas_serving``) and are
+exported in the bench-metrics/v1 schema by :meth:`FleetSupervisor.
+metrics` — the same shape ``/v1/metrics`` speaks.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+from collections import deque
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from ..errors import ConfigurationError, ServiceError
+from ..obs.registry import Registry
+
+#: Lifecycle states a supervised replica moves through.
+REPLICA_STATES = ("new", "starting", "serving", "backoff", "quarantined", "stopped")
+
+
+class FleetError(ServiceError):
+    """The fleet could not be started or has lost all capacity."""
+
+    kind = "internal"
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """Ask the kernel for a currently-free TCP port on *host*.
+
+    The port is released before returning (bind-then-close), so a
+    different process can bind it immediately afterwards — the usual
+    benign race for test fleets on loopback.
+    """
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+def probe_health(url: str, timeout_s: float = 2.0) -> bool:
+    """One liveness/readiness probe: ``GET url/v1/health`` answers 200."""
+    try:
+        with urllib.request.urlopen(
+            url.rstrip("/") + "/v1/health", timeout=timeout_s
+        ) as response:
+            return response.status == 200
+    except OSError:
+        # Connection refused / reset / timeout / HTTP error — all mean
+        # "not serving right now"; the caller decides what that implies.
+        return False
+
+
+class RestartBudget:
+    """Exponential restart backoff plus a quarantine circuit.
+
+    Two independent mechanisms, both per replica:
+
+    * **Backoff** — consecutive deaths double the restart delay from
+      ``base_s`` up to ``cap_s``; a recovery (any healthy probe) resets
+      the streak.  This keeps a briefly-flapping replica cheap to
+      restore while never hot-looping on one that dies at boot.
+    * **Budget circuit** — more than ``max_restarts`` deaths inside a
+      sliding ``window_s`` exhausts the budget: :meth:`next_restart`
+      returns ``None`` and the supervisor quarantines the replica
+      instead of thrashing.  Unlike the backoff streak, the window is
+      *not* reset by recovery — a replica that crash-loops through
+      brief healthy periods still runs out of budget.
+
+    The clock is injectable so the arithmetic is unit-testable without
+    real restarts.
+    """
+
+    def __init__(
+        self,
+        base_s: float = 0.25,
+        cap_s: float = 5.0,
+        max_restarts: int = 5,
+        window_s: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if base_s <= 0:
+            raise ConfigurationError(f"base_s must be > 0, got {base_s}")
+        if cap_s < base_s:
+            raise ConfigurationError(
+                f"cap_s must be >= base_s ({base_s}), got {cap_s}"
+            )
+        if max_restarts < 1:
+            raise ConfigurationError(
+                f"max_restarts must be >= 1, got {max_restarts}"
+            )
+        if window_s <= 0:
+            raise ConfigurationError(f"window_s must be > 0, got {window_s}")
+        self.base_s = base_s
+        self.cap_s = cap_s
+        self.max_restarts = max_restarts
+        self.window_s = window_s
+        self._clock = clock
+        self._streak = 0
+        self._deaths: "deque[float]" = deque()
+
+    def deaths_in_window(self) -> int:
+        """Deaths recorded within the trailing budget window."""
+        now = self._clock()
+        while self._deaths and now - self._deaths[0] > self.window_s:
+            self._deaths.popleft()
+        return len(self._deaths)
+
+    def next_restart(self) -> Optional[float]:
+        """Record one death; return the backoff delay, or ``None``.
+
+        ``None`` means the budget is exhausted — quarantine, don't
+        restart.
+        """
+        if self.deaths_in_window() >= self.max_restarts:
+            return None
+        self._deaths.append(self._clock())
+        delay = min(self.cap_s, self.base_s * (2.0 ** self._streak))
+        self._streak += 1
+        return delay
+
+    def record_recovery(self) -> None:
+        """The replica proved healthy: reset the backoff streak."""
+        self._streak = 0
+
+
+class Replica:
+    """Book-keeping for one supervised server process."""
+
+    def __init__(self, name: str, host: str, port: int, budget: RestartBudget):
+        self.name = name
+        self.host = host
+        self.port = port
+        self.budget = budget
+        self.state = "new"
+        self.process: Optional[subprocess.Popen] = None
+        self.spawns = 0
+        self.started_at = 0.0
+        self.restart_at = 0.0
+        self.last_probe_at = 0.0
+        self.probe_failures = 0
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def restarts(self) -> int:
+        """Respawns after the initial launch."""
+        return max(0, self.spawns - 1)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready status row for dashboards and fleet metrics."""
+        process = self.process
+        return {
+            "name": self.name,
+            "url": self.url,
+            "state": self.state,
+            "spawns": self.spawns,
+            "restarts": self.restarts,
+            "pid": None if process is None else process.pid,
+        }
+
+
+class FleetSupervisor:
+    """Spawn and babysit N ``lpfps serve`` replicas sharing one cache.
+
+    Use as a context manager (``with FleetSupervisor(...) as fleet:``)
+    or call :meth:`start` / :meth:`stop` explicitly.  All replicas bind
+    pre-allocated loopback ports, pinned across restarts; the full
+    endpoint list is :meth:`urls` regardless of momentary health —
+    the failover client handles the momentary part.
+    """
+
+    def __init__(
+        self,
+        replicas: int = 3,
+        host: str = "127.0.0.1",
+        ports: Optional[Sequence[int]] = None,
+        cache_dir: Union[None, str, Path] = None,
+        jobs: int = 1,
+        max_pending: int = 256,
+        timeout_s: float = 60.0,
+        batch_window_ms: float = 5.0,
+        budget_factory: Optional[Callable[[], RestartBudget]] = None,
+        poll_interval_s: float = 0.1,
+        probe_interval_s: float = 0.5,
+        probe_timeout_s: float = 2.0,
+        probe_failure_threshold: int = 3,
+        ready_timeout_s: float = 30.0,
+        drain_timeout_s: float = 15.0,
+        log_dir: Union[None, str, Path] = None,
+        obs: Optional[Registry] = None,
+    ):
+        if replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
+        if ports is not None and len(ports) != replicas:
+            raise ConfigurationError(
+                f"ports must list exactly {replicas} entries, got {len(ports)}"
+            )
+        if probe_failure_threshold < 1:
+            raise ConfigurationError(
+                "probe_failure_threshold must be >= 1, "
+                f"got {probe_failure_threshold}"
+            )
+        self.host = host
+        self.cache_dir = None if cache_dir is None else Path(cache_dir)
+        self.jobs = jobs
+        self.max_pending = max_pending
+        self.timeout_s = timeout_s
+        self.batch_window_ms = batch_window_ms
+        self.poll_interval_s = poll_interval_s
+        self.probe_interval_s = probe_interval_s
+        self.probe_timeout_s = probe_timeout_s
+        self.probe_failure_threshold = probe_failure_threshold
+        self.ready_timeout_s = ready_timeout_s
+        self.drain_timeout_s = drain_timeout_s
+        self.log_dir = None if log_dir is None else Path(log_dir)
+        self.obs = obs if obs is not None else Registry()
+        budget_factory = budget_factory or RestartBudget
+        chosen = list(ports) if ports is not None else [
+            free_port(host) for _ in range(replicas)
+        ]
+        self._replicas = [
+            Replica(f"replica-{i}", host, port, budget_factory())
+            for i, port in enumerate(chosen)
+        ]
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+        self._started = False
+
+    # -- spawning ------------------------------------------------------------
+    def _command(self, replica: Replica) -> List[str]:
+        command = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--host", replica.host,
+            "--port", str(replica.port),
+            "--jobs", str(self.jobs),
+            "--max-pending", str(self.max_pending),
+            "--timeout-s", str(self.timeout_s),
+            "--batch-window-ms", str(self.batch_window_ms),
+        ]
+        if self.cache_dir is not None:
+            command += ["--cache-dir", str(self.cache_dir)]
+        return command
+
+    def _environment(self) -> Dict[str, str]:
+        env = dict(os.environ)
+        # The replica must import the same `repro` this supervisor runs:
+        # prepend its source root whatever the caller's PYTHONPATH was.
+        src = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+        return env
+
+    def _spawn(self, replica: Replica) -> None:
+        if self.log_dir is not None:
+            self.log_dir.mkdir(parents=True, exist_ok=True)
+            log_path = self.log_dir / f"{replica.name}.log"
+            stdout: Any = open(log_path, "ab")
+        else:
+            stdout = subprocess.DEVNULL
+        try:
+            replica.process = subprocess.Popen(
+                self._command(replica),
+                stdout=stdout,
+                stderr=subprocess.STDOUT if stdout is not subprocess.DEVNULL
+                else subprocess.DEVNULL,
+                env=self._environment(),
+            )
+        finally:
+            if stdout is not subprocess.DEVNULL:
+                stdout.close()
+        replica.spawns += 1
+        replica.started_at = time.monotonic()
+        replica.last_probe_at = 0.0
+        replica.probe_failures = 0
+        replica.state = "starting"
+        if replica.spawns > 1:
+            self.obs.count("fleet.restarts")
+        self._update_gauge()
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self, ready_timeout_s: Optional[float] = None) -> "FleetSupervisor":
+        """Spawn every replica, start the monitor, wait until all serve."""
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+            for replica in self._replicas:
+                self._spawn(replica)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="lpfps-fleet-monitor", daemon=True
+        )
+        self._monitor.start()
+        deadline = time.monotonic() + (
+            ready_timeout_s if ready_timeout_s is not None else self.ready_timeout_s
+        )
+        while time.monotonic() < deadline:
+            if self.serving_count() == len(self._replicas):
+                return self
+            time.sleep(self.poll_interval_s)
+        self.stop()
+        raise FleetError(
+            f"fleet not ready within {self.ready_timeout_s:g}s: "
+            f"{self.serving_count()}/{len(self._replicas)} replicas serving"
+        )
+
+    def stop(self) -> None:
+        """SIGTERM-drain every replica; SIGKILL stragglers.  Idempotent."""
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=10.0)
+            self._monitor = None
+        with self._lock:
+            live = [
+                r for r in self._replicas
+                if r.process is not None and r.process.poll() is None
+            ]
+            for replica in live:
+                replica.process.terminate()
+            deadline = time.monotonic() + self.drain_timeout_s
+            for replica in live:
+                remaining = max(0.0, deadline - time.monotonic())
+                try:
+                    replica.process.wait(timeout=remaining)
+                except subprocess.TimeoutExpired:
+                    self.obs.count("fleet.drain_kills")
+                    replica.process.kill()
+                    replica.process.wait()
+            for replica in self._replicas:
+                if replica.process is not None and replica.process.poll() is None:
+                    replica.process.kill()
+                    replica.process.wait()
+                replica.state = "stopped"
+            self._update_gauge()
+
+    def __enter__(self) -> "FleetSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- monitoring ----------------------------------------------------------
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.poll_interval_s):
+            for replica in self._replicas:
+                if self._stop.is_set():
+                    return
+                try:
+                    self._tend(replica)
+                except Exception:  # noqa: BLE001 - the monitor must survive
+                    # A probe or respawn hiccup must never kill the
+                    # monitor: the next tick retries from current state.
+                    self.obs.count("fleet.monitor_errors")
+
+    def _tend(self, replica: Replica) -> None:
+        now = time.monotonic()
+        state = replica.state
+        if state in ("quarantined", "stopped", "new"):
+            return
+        if state == "backoff":
+            if now >= replica.restart_at:
+                with self._lock:
+                    if not self._stop.is_set():
+                        self._spawn(replica)
+            return
+        process = replica.process
+        if process is None or process.poll() is not None:
+            self._on_death(replica)
+            return
+        if now - replica.last_probe_at < self.probe_interval_s:
+            return
+        replica.last_probe_at = now
+        if probe_health(replica.url, self.probe_timeout_s):
+            if replica.state == "starting":
+                with self._lock:
+                    replica.state = "serving"
+                self._update_gauge()
+            replica.probe_failures = 0
+            replica.budget.record_recovery()
+            return
+        if replica.state == "starting":
+            if now - replica.started_at > self.ready_timeout_s:
+                # Alive but never came up: treat as a death.
+                process.kill()
+                process.wait()
+                self.obs.count("fleet.wedged")
+                self._on_death(replica)
+            return
+        replica.probe_failures += 1
+        if replica.probe_failures >= self.probe_failure_threshold:
+            # Alive but unresponsive: kill it so the restart path (and
+            # its budget accounting) owns the recovery.
+            self.obs.count("fleet.wedged")
+            process.kill()
+            process.wait()
+            self._on_death(replica)
+
+    def _on_death(self, replica: Replica) -> None:
+        process = replica.process
+        if process is not None and process.poll() is None:
+            process.kill()
+        if process is not None:
+            process.wait()
+        self.obs.count("fleet.deaths")
+        delay = replica.budget.next_restart()
+        with self._lock:
+            if delay is None:
+                replica.state = "quarantined"
+                self.obs.count("fleet.quarantines")
+            else:
+                replica.state = "backoff"
+                replica.restart_at = time.monotonic() + delay
+        self._update_gauge()
+
+    def _update_gauge(self) -> None:
+        self.obs.gauge(
+            "fleet.replicas_serving",
+            float(sum(1 for r in self._replicas if r.state == "serving")),
+        )
+
+    # -- introspection -------------------------------------------------------
+    def urls(self) -> List[str]:
+        """Every replica endpoint (pinned ports — stable across restarts)."""
+        return [replica.url for replica in self._replicas]
+
+    def serving_count(self) -> int:
+        with self._lock:
+            return sum(1 for r in self._replicas if r.state == "serving")
+
+    def status(self) -> List[Dict[str, Any]]:
+        """JSON-ready per-replica status rows."""
+        with self._lock:
+            return [replica.describe() for replica in self._replicas]
+
+    def counter(self, name: str) -> int:
+        """Convenience read of one supervisor counter (0 when unset)."""
+        return self.obs.counter_value(name)
+
+    def metrics(self) -> Dict[str, Any]:
+        """Supervisor counters/gauges as one bench-metrics/v1 payload."""
+        payload = self.obs.to_bench_metrics(benchmark="fleet", test="fleet")
+        payload["replicas"] = self.status()
+        return payload
+
+    def wait_serving(self, count: int, timeout_s: float = 30.0) -> bool:
+        """Block until at least *count* replicas serve (or time out)."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.serving_count() >= count:
+                return True
+            time.sleep(self.poll_interval_s)
+        return self.serving_count() >= count

@@ -15,6 +15,7 @@ from repro.experiments.checkpoint import (
     JOURNAL_NAME,
     CheckpointJournal,
     canonical_spec_payload,
+    gc_journal,
     spec_fingerprint,
 )
 from repro.experiments.runner import RunSpec, run_many
@@ -272,6 +273,98 @@ class TestExperimentWiring:
         for o1, o2 in zip(first.outcomes, second.outcomes):
             assert repr(o1.power) == repr(o2.power)
             assert repr(o1.baseline_power) == repr(o2.baseline_power)
+
+
+class TestJournalGc:
+    """`lpfps checkpoint gc`: compaction of the append-only journal."""
+
+    def _fill(self, tmp_path, records):
+        with CheckpointJournal(tmp_path) as journal:
+            for fp, value in records:
+                assert journal.record(fp, value)
+
+    def test_superseded_duplicates_drop_later_wins(self, tmp_path):
+        self._fill(
+            tmp_path,
+            [("fp-a", {"v": 1}), ("fp-b", {"v": 2}), ("fp-a", {"v": 3})],
+        )
+        report = gc_journal(tmp_path)
+        assert (report.lines_total, report.kept) == (3, 2)
+        assert (report.superseded, report.corrupt) == (1, 0)
+        loaded = CheckpointJournal(tmp_path).load()
+        assert loaded == {"fp-a": {"v": 3}, "fp-b": {"v": 2}}
+        # Compaction is idempotent.
+        again = gc_journal(tmp_path)
+        assert again.dropped == 0 and again.kept == 2
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        self._fill(tmp_path, [("fp-a", {"v": 1}), ("fp-b", {"v": 2})])
+        path = tmp_path / JOURNAL_NAME
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(lines) + lines[0][: len(lines[0]) // 2])
+        report = gc_journal(tmp_path)
+        assert report.corrupt == 1
+        assert report.kept == 2
+        assert set(CheckpointJournal(tmp_path).load()) == {"fp-a", "fp-b"}
+
+    def test_gc_preserves_what_load_returns(self, tmp_path):
+        spec = _spec()
+        (result,) = run_many([spec], jobs=1)
+        fp = spec_fingerprint(spec)
+        with CheckpointJournal(tmp_path) as journal:
+            journal.record(fp, result)
+            journal.record(fp, result)  # overlapping-campaign duplicate
+        before = CheckpointJournal(tmp_path).load()
+        gc_journal(tmp_path)
+        after = CheckpointJournal(tmp_path).load()
+        assert set(after) == set(before) == {fp}
+        assert _sig(after[fp]) == _sig(result)
+
+    def test_dry_run_touches_nothing(self, tmp_path):
+        self._fill(tmp_path, [("fp-a", {"v": 1}), ("fp-a", {"v": 2})])
+        path = tmp_path / JOURNAL_NAME
+        raw = path.read_bytes()
+        report = gc_journal(tmp_path, dry_run=True)
+        assert report.dry_run
+        assert report.superseded == 1
+        assert report.bytes_after < report.bytes_before
+        assert path.read_bytes() == raw
+
+    def test_missing_journal_reports_empty(self, tmp_path):
+        report = gc_journal(tmp_path)
+        assert report.lines_total == 0
+        assert not (tmp_path / JOURNAL_NAME).exists()
+
+    def test_not_a_directory_is_a_configuration_error(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            gc_journal(tmp_path / "nowhere")
+
+    def test_cli_gc_and_dry_run(self, tmp_path, capsys):
+        from repro.cli import main
+
+        self._fill(
+            tmp_path,
+            [("fp-a", {"v": 1}), ("fp-a", {"v": 2}), ("fp-b", {"v": 3})],
+        )
+        path = tmp_path / JOURNAL_NAME
+        raw = path.read_bytes()
+        assert main(["checkpoint", "gc", str(tmp_path), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "dry run" in out
+        assert path.read_bytes() == raw
+        assert main(["checkpoint", "gc", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "kept:               2" in out
+        assert CheckpointJournal(tmp_path).load() == {
+            "fp-a": {"v": 2}, "fp-b": {"v": 3},
+        }
+
+    def test_cli_gc_bad_directory_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["checkpoint", "gc", str(tmp_path / "nope")]) == 1
 
 
 class TestCliWiring:

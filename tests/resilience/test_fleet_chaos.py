@@ -1,0 +1,108 @@
+"""Fleet chaos: SIGKILL a real replica under live client load.
+
+The headline robustness claim of the fleet layer, exercised for real:
+three ``lpfps serve`` subprocesses behind a :class:`FleetClient`, one of
+them SIGKILLed mid-run.  The contract is *zero failed client requests*
+(failover re-issues the idempotent, content-addressed query elsewhere),
+the supervisor restores the dead replica, answers stay bit-identical
+across replicas, and a crash-looping replica is quarantined instead of
+restarted forever.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+
+import pytest
+
+from repro.service.fleet import FleetClient
+from repro.service.supervisor import FleetSupervisor, RestartBudget
+
+pytestmark = pytest.mark.chaos
+
+QUERY = {"kind": "energy", "app": "example", "duration": 400.0}
+
+
+def _fast_supervisor(tmp_path, replicas=3, **kwargs):
+    kwargs.setdefault(
+        "budget_factory",
+        lambda: RestartBudget(base_s=0.1, cap_s=0.5, max_restarts=10),
+    )
+    return FleetSupervisor(
+        replicas=replicas,
+        cache_dir=tmp_path / "cache",
+        jobs=1,
+        poll_interval_s=0.05,
+        probe_interval_s=0.2,
+        log_dir=tmp_path / "logs",
+        **kwargs,
+    )
+
+
+def _sigkill(supervisor, index):
+    pid = supervisor.status()[index]["pid"]
+    assert pid is not None
+    os.kill(pid, signal.SIGKILL)
+
+
+class TestReplicaKillUnderLoad:
+    def test_zero_failed_requests_and_replica_restored(self, tmp_path):
+        supervisor = _fast_supervisor(tmp_path)
+        with supervisor:
+            client = FleetClient(supervisor.urls(), rng=random.Random(1))
+            by_seed = {}
+            for i in range(40):
+                if i == 10:
+                    _sigkill(supervisor, 1)
+                status, payload = client({**QUERY, "seed": i % 4})
+                assert status == 200, payload
+                assert payload["ok"] is True
+                # Bit-identity across replicas: whichever replica answers
+                # (cache hit or fresh simulation), the payload is the same.
+                seen = by_seed.setdefault(i % 4, payload)
+                assert payload == seen
+            assert client.failovers >= 1
+            assert supervisor.counter("fleet.deaths") >= 1
+            assert supervisor.wait_serving(3, timeout_s=30.0)
+            assert supervisor.counter("fleet.restarts") >= 1
+        # SIGTERM drain on the way out: every replica (including the
+        # respawned one) exited cleanly, none needed a SIGKILL.
+        assert [row["state"] for row in supervisor.status()] == ["stopped"] * 3
+        assert all(r.process.returncode == 0 for r in supervisor._replicas)
+        assert supervisor.counter("fleet.drain_kills") == 0
+
+    def test_crash_looping_replica_is_quarantined_not_thrashed(self, tmp_path):
+        budget = lambda: RestartBudget(  # noqa: E731
+            base_s=0.1, cap_s=0.2, max_restarts=1, window_s=60.0
+        )
+        supervisor = _fast_supervisor(tmp_path, replicas=2, budget_factory=budget)
+        with supervisor:
+            client = FleetClient(supervisor.urls(), rng=random.Random(1))
+            _sigkill(supervisor, 0)          # death 1: restarts
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                row = supervisor.status()[0]
+                if row["spawns"] == 2 and row["state"] == "serving":
+                    break
+                time.sleep(0.05)
+            assert supervisor.status()[0]["spawns"] == 2
+            assert supervisor.wait_serving(2, timeout_s=30.0)
+            _sigkill(supervisor, 0)          # death 2: budget exhausted
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                if supervisor.status()[0]["state"] == "quarantined":
+                    break
+                time.sleep(0.05)
+            assert supervisor.status()[0]["state"] == "quarantined"
+            assert supervisor.counter("fleet.quarantines") == 1
+            spawns_at_quarantine = supervisor.status()[0]["spawns"]
+            # Degraded but serving: the surviving replica answers, the
+            # client ejects the dead endpoint after a few refusals.
+            for i in range(10):
+                status, payload = client({**QUERY, "seed": i})
+                assert status == 200, payload
+            time.sleep(1.0)  # would-be thrash window
+            assert supervisor.status()[0]["spawns"] == spawns_at_quarantine

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 
+from repro.obs.registry import Registry
 from repro.service.cache import ResultCache
 
 PAYLOAD = {"ok": True, "kind": "energy", "average_power": 0.5}
@@ -103,3 +104,23 @@ def test_counters_snapshot():
     assert counters["cache_hits_memory"] == 1
     assert counters["cache_misses"] == 1
     assert counters["cache_memory_entries"] == 1
+
+
+def test_memory_evictions_reach_obs_registry():
+    registry = Registry()
+    cache = ResultCache(memory_items=2, obs=registry)
+    cache.put(_key(1), {"v": 1})
+    cache.put(_key(2), {"v": 2})
+    assert registry.counter_value("cache.mem_evictions") == 0
+    cache.put(_key(3), {"v": 3})
+    assert registry.counter_value("cache.mem_evictions") == 1
+    assert cache.counters()["cache_evictions"] == 1
+
+
+def test_no_registry_means_no_obs_traffic():
+    # The default sink is the DISABLED singleton: evictions still count
+    # locally but nothing escapes the cache object.
+    cache = ResultCache(memory_items=1)
+    cache.put(_key(1), {"v": 1})
+    cache.put(_key(2), {"v": 2})
+    assert cache.evictions == 1

@@ -1,0 +1,264 @@
+"""Fleet failover client + restart budget: deterministic unit coverage.
+
+Everything here runs in-memory and on hand-cranked clocks/RNGs — the
+satellite contract from ISSUE 6: retry/failover behaviour must be a
+pure function of the injected ``random.Random`` and scripted
+transports, never of wall-clock timing.  The subprocess fleet is
+exercised separately in ``tests/resilience/test_fleet_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import Registry, installed
+from repro.service.fleet import FleetClient
+from repro.service.retry import CircuitBreaker, CircuitOpenError, RetryPolicy
+from repro.service.supervisor import RestartBudget
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class _Replica:
+    """An in-memory replica: scripted answers, or dead (raises)."""
+
+    def __init__(self, name, dead=False):
+        self.name = name
+        self.dead = dead
+        self.calls = 0
+
+    def __call__(self, request):
+        self.calls += 1
+        if self.dead:
+            raise ConnectionError(f"{self.name} is dead")
+        return 200, {"ok": True, "replica": self.name}
+
+
+def _fleet(replicas, **kwargs):
+    sleeps = []
+    transports = {f"http://{r.name}": r for r in replicas}
+    client = FleetClient(
+        list(transports),
+        policy=kwargs.pop("policy", RetryPolicy(max_attempts=4)),
+        rng=kwargs.pop("rng", random.Random(1)),
+        sleep=sleeps.append,
+        transport_factory=transports.__getitem__,
+        **kwargs,
+    )
+    return client, sleeps
+
+
+class TestRoundRobin:
+    def test_requests_spread_over_replicas(self):
+        replicas = [_Replica("a"), _Replica("b"), _Replica("c")]
+        client, _ = _fleet(replicas)
+        answered = [client({})[1]["replica"] for _ in range(6)]
+        assert answered == ["a", "b", "c", "a", "b", "c"]
+        assert [r.calls for r in replicas] == [2, 2, 2]
+
+    def test_rejects_empty_endpoint_list(self):
+        with pytest.raises(ConfigurationError):
+            FleetClient([])
+
+
+class TestFailover:
+    def test_dead_replica_fails_over_with_zero_client_failures(self):
+        replicas = [_Replica("a", dead=True), _Replica("b")]
+        client, sleeps = _fleet(replicas)
+        for _ in range(4):
+            status, payload = client({})
+            assert status == 200
+            assert payload["replica"] == "b"
+        # Failover is immediate re-issue, never a backoff sleep.
+        assert sleeps == []
+        assert client.failovers > 0
+
+    def test_dead_replica_is_ejected_by_its_breaker(self):
+        replicas = [_Replica("a", dead=True), _Replica("b")]
+        client, _ = _fleet(replicas)
+        for _ in range(10):
+            assert client({})[0] == 200
+        # Breaker default threshold is 3: after ejection the dead
+        # replica stops being dialled at all.
+        assert replicas[0].calls == 3
+        assert client.breaker_states()["http://a"] == "open"
+
+    def test_recovered_replica_rejoins_after_half_open_probe(self):
+        clock = _FakeClock()
+        replicas = [_Replica("a", dead=True), _Replica("b")]
+        client, _ = _fleet(
+            replicas,
+            breaker_factory=lambda: CircuitBreaker(
+                failure_threshold=1, reset_timeout_s=5.0, clock=clock
+            ),
+        )
+        assert client({})[0] == 200      # ejects a
+        replicas[0].dead = False          # the supervisor restarted it
+        clock.advance(5.0)                # breaker half-opens
+        served = {client({})[1]["replica"] for _ in range(4)}
+        assert served == {"a", "b"}       # back in the rotation
+
+    def test_all_replicas_dead_raises_last_transport_error(self):
+        replicas = [_Replica("a", dead=True), _Replica("b", dead=True)]
+        client, _ = _fleet(replicas, policy=RetryPolicy(max_attempts=2))
+        with pytest.raises(ConnectionError):
+            client({})
+
+    def test_every_breaker_open_raises_circuit_open(self):
+        replicas = [_Replica("a", dead=True), _Replica("b", dead=True)]
+        breakers = {}
+
+        def factory():
+            breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=60.0)
+            breakers[len(breakers)] = breaker
+            return breaker
+
+        client, _ = _fleet(
+            replicas,
+            policy=RetryPolicy(max_attempts=2),
+            breaker_factory=factory,
+        )
+        with pytest.raises(ConnectionError):
+            client({})                   # trips both breakers
+        with pytest.raises(CircuitOpenError):
+            client({})                   # nothing left to dial
+
+
+class TestFlowControl:
+    def test_503_backs_off_then_retries(self):
+        class _Shedding:
+            def __init__(self):
+                self.calls = 0
+
+            def __call__(self, request):
+                self.calls += 1
+                if self.calls == 1:
+                    return 503, {"ok": False, "queue_depth": 9}
+                return 200, {"ok": True, "replica": "a"}
+
+        shedding = _Shedding()
+        client = FleetClient(
+            ["http://a"],
+            policy=RetryPolicy(max_attempts=3),
+            rng=random.Random(1),
+            sleep=lambda d: None,
+            transport_factory=lambda url: shedding,
+        )
+        status, _ = client({})
+        assert status == 200
+        assert client.shed_seen == 1
+        assert client.retries == 1
+
+    def test_exhaustion_returns_last_flow_control_answer(self):
+        client, sleeps = _fleet(
+            [_Replica("a")], policy=RetryPolicy(max_attempts=3)
+        )
+        client._targets[0].send = lambda request: (503, {"ok": False})
+        status, payload = client({})
+        assert status == 503
+        assert len(sleeps) == 2  # never sleeps after the final pass
+
+    def test_counters_land_in_installed_registry(self):
+        registry = Registry()
+        replicas = [_Replica("a", dead=True), _Replica("b")]
+        client, _ = _fleet(replicas)
+        with installed(registry):
+            client({})
+        assert registry.counter_value("fleet.attempts") == 2
+        assert registry.counter_value("fleet.failovers") == 1
+
+
+class TestDeterminism:
+    """The satellite pin: backoff is a pure function of the seeded RNG."""
+
+    def test_same_seed_same_backoff_schedule(self):
+        def run(seed):
+            sleeps = []
+            shed = lambda request: (503, {"ok": False})  # noqa: E731
+            client = FleetClient(
+                ["http://a"],
+                policy=RetryPolicy(max_attempts=6),
+                rng=random.Random(seed),
+                sleep=sleeps.append,
+                transport_factory=lambda url: shed,
+            )
+            client({})
+            return sleeps
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+
+class TestRestartBudget:
+    def test_backoff_doubles_up_to_cap(self):
+        clock = _FakeClock()
+        budget = RestartBudget(
+            base_s=1.0, cap_s=8.0, max_restarts=10, window_s=1000.0, clock=clock
+        )
+        delays = [budget.next_restart() for _ in range(5)]
+        assert delays == [1.0, 2.0, 4.0, 8.0, 8.0]
+
+    def test_recovery_resets_the_backoff_streak(self):
+        clock = _FakeClock()
+        budget = RestartBudget(
+            base_s=1.0, cap_s=8.0, max_restarts=10, window_s=1000.0, clock=clock
+        )
+        assert budget.next_restart() == 1.0
+        assert budget.next_restart() == 2.0
+        budget.record_recovery()
+        assert budget.next_restart() == 1.0
+
+    def test_budget_exhaustion_quarantines(self):
+        clock = _FakeClock()
+        budget = RestartBudget(
+            base_s=0.1, cap_s=0.1, max_restarts=3, window_s=60.0, clock=clock
+        )
+        assert budget.next_restart() is not None
+        assert budget.next_restart() is not None
+        assert budget.next_restart() is not None
+        assert budget.next_restart() is None  # the circuit: stop thrashing
+
+    def test_window_expiry_restores_budget(self):
+        clock = _FakeClock()
+        budget = RestartBudget(
+            base_s=0.1, cap_s=0.1, max_restarts=2, window_s=60.0, clock=clock
+        )
+        budget.next_restart()
+        budget.next_restart()
+        assert budget.next_restart() is None
+        clock.advance(61.0)
+        assert budget.next_restart() is not None
+
+    def test_recovery_does_not_reset_the_window(self):
+        # A crash-looper with brief healthy periods still quarantines.
+        clock = _FakeClock()
+        budget = RestartBudget(
+            base_s=0.1, cap_s=0.1, max_restarts=2, window_s=60.0, clock=clock
+        )
+        budget.next_restart()
+        budget.record_recovery()
+        budget.next_restart()
+        budget.record_recovery()
+        assert budget.next_restart() is None
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RestartBudget(base_s=0.0)
+        with pytest.raises(ConfigurationError):
+            RestartBudget(base_s=1.0, cap_s=0.5)
+        with pytest.raises(ConfigurationError):
+            RestartBudget(max_restarts=0)
+        with pytest.raises(ConfigurationError):
+            RestartBudget(window_s=0.0)

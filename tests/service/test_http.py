@@ -164,6 +164,40 @@ def test_admission_overflow_returns_503_with_retry_after():
             assert info.value.headers["Retry-After"] == "1"
             shed = json.loads(info.value.read().decode("utf-8"))
             assert shed["error_kind"] == "overload"
+            # Degradation is informative: the shed answer reports how
+            # deep the queue was so clients can pace themselves.
+            assert shed["queue_depth"] == 1
+        finally:
+            service.close()
+
+
+def test_cached_answers_survive_overload():
+    """Guarantee-preserving degradation: only *fresh* work is shed.
+
+    With the one pending slot occupied by a stuck simulation, a query
+    whose answer is already cached must still be served 200 — cache hits
+    never touch admission control.
+    """
+    guards = ServiceGuards(max_pending=1, batch_window_s=0.5)
+    service = ScheduleService(guards=guards, jobs=1)
+    with running_server(service) as server:
+        client = ServiceClient(server.url, timeout_s=60.0)
+        try:
+            warm = {"kind": "energy", "app": "example", "duration": 400.0,
+                    "seed": 201}
+            status, cached = client.query(warm)
+            assert status == 200
+            stuck = {"kind": "energy", "app": "cnc", "duration": 50_000.0,
+                     "seed": 202, "timeout_s": 1e-4}
+            assert client.query(stuck)[0] == 504  # occupy the pending slot
+            fresh = {"kind": "energy", "app": "example", "duration": 400.0,
+                     "seed": 203}
+            status, shed = client.query(fresh)
+            assert status == 503
+            assert shed["error_kind"] == "overload"
+            status, again = client.query(warm)
+            assert status == 200
+            assert again == cached
         finally:
             service.close()
 

@@ -94,6 +94,48 @@ class TestServe:
         process.send_signal(signal.SIGINT)
         assert process.wait(timeout=30) == 0
 
+    def test_sigterm_drains_in_flight_query(self, server):
+        """Graceful drain: SIGTERM mid-query lets the answer land.
+
+        A ~2 s simulation is in flight when SIGTERM arrives; the
+        contract is (a) that request still completes with its answer,
+        (b) the listener stops taking new connections while it drains,
+        (c) the process then exits 0.
+        """
+        import threading
+
+        process, url = server
+        slow = {"kind": "energy", "app": "cnc", "duration": 30_000_000.0}
+        answers = []
+        worker = threading.Thread(
+            target=lambda: answers.append(_post(url, slow, timeout=120.0))
+        )
+        worker.start()
+        time.sleep(0.5)  # let the query reach the broker
+        process.send_signal(signal.SIGTERM)
+
+        # The listening socket closes before the drain wait: new
+        # connections are refused while the old request finishes.
+        refused = False
+        for _ in range(100):
+            try:
+                urllib.request.urlopen(url + "/v1/health", timeout=1)
+            except OSError:
+                refused = True
+                break
+            time.sleep(0.05)
+        assert refused, "listener kept accepting during drain"
+
+        worker.join(timeout=60)
+        assert not worker.is_alive()
+        assert answers and answers[0]["ok"] is True
+        assert answers[0]["average_power"] > 0
+
+        assert process.wait(timeout=30) == 0
+        output = process.stdout.read()
+        assert "draining" in output
+        assert "shutdown complete" in output
+
 
 class TestQueryCommand:
     def test_in_process_query(self, capsys):
