@@ -1,0 +1,322 @@
+"""Weakly-hard (m,k) constraints: model, validator, and JCL feasibility.
+
+A weakly-hard constraint ``(m, k)`` on a task requires that **at least
+``m`` of any ``k`` consecutive jobs meet their deadlines** (Bernat,
+Burns & Llamosí's ``(m, k)``-firm model).  ``m = k`` degenerates to the
+hard constraint (every job must hit); ``m = 0`` imposes nothing.
+
+Job-class-level scheduling (Choi, Kim & Zhu) exploits these constraints:
+a task that has just missed is *urgent* (its window budget is partly
+spent) while a task on a long hit streak can afford to yield.  The
+mapping from a hit streak to "can afford to miss" is the **demotion
+threshold** ``h``: after ``h`` consecutive hits the task's next job is
+demoted to the background tier.  The threshold is the smallest ``h``
+for which the worst periodic pattern — one miss every ``h + 1`` jobs —
+still satisfies ``(m, k)``::
+
+    ceil(k / (h + 1)) <= k - m
+
+so a demoted job may miss without ever over-drawing any window, provided
+urgent-tier jobs always hit (which :func:`jcl_schedulability` checks).
+
+This module is pure analysis — no kernel state — so both the scheduler
+(:mod:`repro.schedulers.jcl`) and the scenario validator import it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..sim.metrics import SimulationResult
+from ..tasks.task import TaskSet
+
+_TIME_EPS = 1e-9
+
+#: Anything accepted where a constraint is expected: a ready
+#: :class:`WeaklyHard` or a bare ``(m, k)`` pair.
+ConstraintLike = Union["WeaklyHard", Tuple[int, int], Sequence[int]]
+
+
+@dataclass(frozen=True)
+class WeaklyHard:
+    """One ``(m, k)`` constraint: >= *m* hits in any *k* consecutive jobs."""
+
+    m: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.k, int) or isinstance(self.k, bool) or self.k < 1:
+            raise ConfigurationError(
+                f"weakly_hard k must be an integer >= 1, got {self.k!r}"
+            )
+        if not isinstance(self.m, int) or isinstance(self.m, bool) or self.m < 0:
+            raise ConfigurationError(
+                f"weakly_hard m must be an integer >= 0, got {self.m!r}"
+            )
+        if self.m > self.k:
+            raise ConfigurationError(
+                f"weakly_hard m must be <= k, got ({self.m}, {self.k})"
+            )
+
+    @property
+    def hard(self) -> bool:
+        """True when every job must meet its deadline (``m == k``)."""
+        return self.m == self.k
+
+    @property
+    def trivial(self) -> bool:
+        """True when the constraint allows any outcome (``m == 0``)."""
+        return self.m == 0
+
+    def demotion_threshold(self) -> Optional[int]:
+        """Consecutive hits after which the next job may be demoted.
+
+        ``None`` means *never* (hard constraint).  For ``m < k`` this is
+        the smallest ``h >= 1`` with ``ceil(k / (h + 1)) <= k - m``; a
+        trivial constraint returns 0 (always demotable).
+        """
+        if self.hard:
+            return None
+        if self.trivial:
+            return 0
+        slack = self.k - self.m
+        h = 1
+        while math.ceil(self.k / (h + 1)) > slack:
+            h += 1
+        return h
+
+    def first_violation(self, outcomes: Sequence[bool]) -> Optional[int]:
+        """Index of the first violating *k*-window in *outcomes*, or None.
+
+        *outcomes* is a job-ordered hit (True) / miss (False) sequence.
+        Only full windows are examined; callers wanting windows that span
+        a hyperperiod boundary simply pass a sequence covering more than
+        one hyperperiod.
+        """
+        m, k = self.m, self.k
+        if m == 0 or len(outcomes) < k:
+            return None
+        hits = sum(outcomes[:k])
+        if hits < m:
+            return 0
+        for start in range(1, len(outcomes) - k + 1):
+            hits += outcomes[start + k - 1] - outcomes[start - 1]
+            if hits < m:
+                return start
+        return None
+
+    def satisfied(self, outcomes: Sequence[bool]) -> bool:
+        """True when no *k*-window of *outcomes* has fewer than *m* hits."""
+        return self.first_violation(outcomes) is None
+
+    def as_pair(self) -> Tuple[int, int]:
+        return (self.m, self.k)
+
+
+def coerce_constraint(value: ConstraintLike, where: str = "weakly_hard") -> WeaklyHard:
+    """Build a :class:`WeaklyHard` from *value*, naming *where* on errors."""
+    if isinstance(value, WeaklyHard):
+        return value
+    try:
+        m, k = value  # type: ignore[misc]
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"{where}: expected an (m, k) pair, got {value!r}"
+        ) from None
+    try:
+        return WeaklyHard(m, k)
+    except ConfigurationError as exc:
+        raise ConfigurationError(f"{where}: {exc}") from None
+
+
+def coerce_constraints(
+    constraints: Optional[Mapping[str, ConstraintLike]],
+    taskset: Optional[TaskSet] = None,
+) -> Dict[str, WeaklyHard]:
+    """Normalise a name -> constraint mapping, validating task names."""
+    resolved: Dict[str, WeaklyHard] = {}
+    if constraints:
+        for name, value in constraints.items():
+            resolved[name] = coerce_constraint(value, where=f"weakly_hard[{name}]")
+    if taskset is not None:
+        known = {t.name for t in taskset}
+        unknown = sorted(set(resolved) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"weakly_hard constraints name unknown tasks: {unknown}; "
+                f"task set has {sorted(known)}"
+            )
+    return resolved
+
+
+def weakly_hard_demand(
+    taskset: TaskSet, constraints: Mapping[str, WeaklyHard]
+) -> float:
+    """Long-run processor demand ``sum((m_i / k_i) * C_i / T_i)``.
+
+    Every feasible schedule must complete at least ``m`` jobs of each
+    task per ``k`` releases, so this lower bound exceeding 1.0 proves
+    infeasibility under *any* scheduler (unconstrained tasks count as
+    hard, ``m/k = 1``).
+    """
+    demand = 0.0
+    for task in taskset:
+        constraint = constraints.get(task.name)
+        share = 1.0 if constraint is None else constraint.m / constraint.k
+        demand += share * task.utilization
+    return demand
+
+
+def outcome_sequences(
+    result: SimulationResult,
+    taskset: TaskSet,
+    horizon: Optional[float] = None,
+) -> Dict[str, List[bool]]:
+    """Per-task hit/miss sequences reconstructed from a simulation result.
+
+    Only *decided* jobs appear: a job is decided once its absolute
+    deadline lies inside the horizon (the engine records a miss for every
+    such job that did not complete in time, whatever the containment
+    policy), or once it shows up in the miss list.  Jobs still pending
+    with deadlines at or past the horizon are excluded — their outcome is
+    unknowable from this run.
+    """
+    horizon = float(horizon if horizon is not None else result.duration)
+    missed: Dict[str, set] = {t.name: set() for t in taskset}
+    for miss in result.deadline_misses:
+        if miss.task_name not in missed:
+            continue
+        _, _, index_text = miss.job_name.rpartition("#")
+        try:
+            missed[miss.task_name].add(int(index_text))
+        except ValueError:
+            continue
+    sequences: Dict[str, List[bool]] = {}
+    for task in taskset:
+        stats = result.task_stats.get(task.name)
+        released = stats.jobs_released if stats is not None else 0
+        outcomes: List[bool] = []
+        for index in range(released):
+            deadline = task.phase + index * task.period + task.deadline
+            if index in missed[task.name]:
+                outcomes.append(False)
+            elif deadline < horizon - _TIME_EPS:
+                outcomes.append(True)
+            else:
+                break  # later jobs are undecided too
+        sequences[task.name] = outcomes
+    return sequences
+
+
+def check_result(
+    result: SimulationResult,
+    taskset: TaskSet,
+    constraints: Mapping[str, ConstraintLike],
+    horizon: Optional[float] = None,
+) -> Dict[str, Optional[int]]:
+    """First violating window per constrained task (None = satisfied)."""
+    resolved = coerce_constraints(dict(constraints), taskset)
+    sequences = outcome_sequences(result, taskset, horizon)
+    return {
+        name: constraint.first_violation(sequences.get(name, []))
+        for name, constraint in resolved.items()
+    }
+
+
+@dataclass(frozen=True)
+class JclVerdict:
+    """Outcome of :func:`jcl_schedulability`."""
+
+    schedulable: bool
+    reason: str
+    demand: float
+    #: First violating window index per constrained task (simulation pass).
+    violations: Dict[str, int]
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.schedulable
+
+
+def jcl_schedulability(
+    taskset: TaskSet,
+    constraints: Mapping[str, ConstraintLike],
+    hyperperiods: int = 2,
+) -> JclVerdict:
+    """Is *taskset* (m,k)-schedulable under the JCL policy?
+
+    Two stages:
+
+    1. the **necessary** demand bound ``sum((m_i/k_i) * u_i) <= 1`` —
+       failing it proves infeasibility under any scheduler;
+    2. an **exact worst-case simulation**: every job at WCET, deadline
+       misses contained by abort, run for *hyperperiods* hyperperiods so
+       constraint windows spanning the hyperperiod boundary are checked,
+       then every ``(m, k)`` window validated against the outcome trace.
+
+    The task set must carry priorities (the urgent tier dispatches by
+    them); unconstrained tasks are treated as hard.
+    """
+    if hyperperiods < 1:
+        raise ConfigurationError(
+            f"hyperperiods must be >= 1, got {hyperperiods}"
+        )
+    resolved = coerce_constraints(dict(constraints), taskset)
+    demand = weakly_hard_demand(taskset, resolved)
+    if demand > 1.0 + 1e-9:
+        return JclVerdict(
+            schedulable=False,
+            reason=(
+                f"weakly-hard demand {demand:.3f} exceeds the processor "
+                "(sum of (m/k) * utilization must be <= 1); infeasible "
+                "under any scheduler"
+            ),
+            demand=demand,
+            violations={},
+        )
+    # Imported here: the scheduler module imports this one for the model.
+    from ..faults.guards import GuardConfig
+    from ..faults.layer import FaultLayer
+    from ..schedulers.jcl import JclScheduler
+    from ..sim.engine import simulate
+    from ..tasks.generation import WcetModel
+
+    duration = taskset.hyperperiod * hyperperiods
+    result = simulate(
+        taskset,
+        JclScheduler(constraints=resolved),
+        execution_model=WcetModel(),
+        duration=duration,
+        on_miss="record",
+        faults=FaultLayer(guards=GuardConfig(miss_policy="abort")),
+    )
+    sequences = outcome_sequences(result, taskset, duration)
+    violations: Dict[str, int] = {}
+    for task in taskset:
+        constraint = resolved.get(task.name, None)
+        if constraint is None:
+            constraint = WeaklyHard(1, 1)  # unconstrained tasks are hard
+        window = constraint.first_violation(sequences.get(task.name, []))
+        if window is not None:
+            violations[task.name] = window
+    if violations:
+        worst = ", ".join(
+            f"{name} (window {index})" for name, index in sorted(violations.items())
+        )
+        return JclVerdict(
+            schedulable=False,
+            reason=f"JCL worst-case simulation violates (m,k) for: {worst}",
+            demand=demand,
+            violations=violations,
+        )
+    return JclVerdict(
+        schedulable=True,
+        reason=(
+            f"demand {demand:.3f} <= 1 and the WCET simulation over "
+            f"{hyperperiods} hyperperiod(s) satisfies every (m,k) window"
+        ),
+        demand=demand,
+        violations={},
+    )

@@ -12,6 +12,8 @@ Examples
     lpfps profile lpfps example_dac99
     lpfps serve --port 8080 --cache-dir /tmp/lpfps-cache
     lpfps query --kind energy --app ins --scheduler lpfps --bcet-ratio 0.5
+    lpfps schedulers --json
+    lpfps scenario run weakly_hard --jobs 0
     python -m repro figure1
 """
 
@@ -32,6 +34,7 @@ from .experiments.extensions import (
     run_overhead_tradeoff,
     run_predictive_failure,
 )
+from .experiments.weakly_hard import run_weakly_hard
 from .experiments.figure1 import run_figure1
 from .experiments.figure7 import run_figure7
 from .experiments.figure8 import run_figure8, run_figure8_all
@@ -101,7 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ext.add_argument(
         "--which",
-        choices=["overhead", "oracle", "predictive", "all"],
+        choices=["overhead", "oracle", "predictive", "weaklyhard", "all"],
         default="all",
     )
 
@@ -272,6 +275,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="report what would be dropped without rewriting the journal",
     )
 
+    sched_list = sub.add_parser(
+        "schedulers", help="list registered schedulers and their capabilities"
+    )
+    sched_list.add_argument(
+        "--json", action="store_true", help="machine-readable capability table"
+    )
+
+    wl_list = sub.add_parser(
+        "workloads", help="list canonical workloads and their shapes"
+    )
+    wl_list.add_argument(
+        "--json", action="store_true", help="machine-readable workload table"
+    )
+
+    scn = sub.add_parser(
+        "scenario", help="declarative scenario packs: list / validate / run"
+    )
+    scn_sub = scn.add_subparsers(dest="scenario_command", required=True)
+    scn_list = scn_sub.add_parser("list", help="bundled scenario packs")
+    scn_list.add_argument(
+        "--json", action="store_true",
+        help="per-pack detail (tasks, schedulers, fingerprint)",
+    )
+    scn_val = scn_sub.add_parser(
+        "validate", help="parse, normalise, and fingerprint scenario documents"
+    )
+    scn_val.add_argument(
+        "scenarios", nargs="+", metavar="SCENARIO",
+        help="bundled pack name or path to a scenario JSON file",
+    )
+    scn_run = scn_sub.add_parser(
+        "run", help="execute a scenario's whole campaign grid"
+    )
+    scn_run.add_argument(
+        "scenario", metavar="SCENARIO",
+        help="bundled pack name or path to a scenario JSON file",
+    )
+    scn_run.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the campaign grid; 0 = one per CPU",
+    )
+    scn_run.add_argument(
+        "--json", action="store_true",
+        help="stream one JSON progress event per finished cell",
+    )
+    scn_sub.add_parser(
+        "check",
+        help="CI gate: round-trip every bundled pack and validate (m,k) "
+        "feasibility of the weakly-hard ones",
+    )
+
     qry = sub.add_parser(
         "query", help="ask the service one question (in-process or --url)"
     )
@@ -291,6 +345,11 @@ def build_parser() -> argparse.ArgumentParser:
     qry.add_argument(
         "--url", default=None,
         help="base URL of a running `lpfps serve`; omit to answer in-process",
+    )
+    qry.add_argument(
+        "--max-attempts", type=int, default=5,
+        help="retry budget for --url queries (503/504 retried with backoff, "
+        "honoring the server's Retry-After pacing hint); 1 disables retries",
     )
     qry.add_argument(
         "--cache-dir", default=None,
@@ -357,6 +416,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "overhead": run_overhead_tradeoff,
             "oracle": run_oracle_gap,
             "predictive": run_predictive_failure,
+            "weaklyhard": run_weakly_hard,
         }
         which = list(runs) if args.which == "all" else [args.which]
         for key in which:
@@ -448,6 +508,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_fleet(args)
     elif args.command == "checkpoint":
         return _run_checkpoint_gc(args)
+    elif args.command == "schedulers":
+        return _run_schedulers(args)
+    elif args.command == "workloads":
+        return _run_workloads(args)
+    elif args.command == "scenario":
+        return _run_scenario(args)
     elif args.command == "query":
         return _run_query(args)
     return 0
@@ -595,6 +661,174 @@ def _run_checkpoint_gc(args) -> int:
     return 0
 
 
+def _run_schedulers(args) -> int:
+    """``lpfps schedulers``: the registry with capability flags."""
+    import json
+
+    from .schedulers.registry import scheduler_capabilities
+
+    rows = scheduler_capabilities()
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{'name':<16} {'policy':<28} {'priorities':>10} "
+        f"{'tick':>5} {'(m,k)':>6} {'oracle':>7}"
+    )
+    for row in rows:
+        print(
+            f"{row['name']:<16} {row['policy']:<28} "
+            f"{'yes' if row['requires_priorities'] else 'no':>10} "
+            f"{'yes' if row['tick_driven'] else 'no':>5} "
+            f"{'yes' if row['weakly_hard'] else 'no':>6} "
+            f"{'yes' if row['oracle'] else 'no':>7}"
+        )
+    return 0
+
+
+def _run_workloads(args) -> int:
+    """``lpfps workloads``: canonical workload shapes."""
+    import json
+
+    from .workloads.registry import workload_capabilities
+
+    rows = workload_capabilities()
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{'name':<12} {'tasks':>5} {'util':>7} {'hyperperiod_us':>15} "
+        f"{'reconstructed':>13}"
+    )
+    for row in rows:
+        print(
+            f"{row['name']:<12} {row['tasks']:>5} {row['utilization']:>7.3f} "
+            f"{row['hyperperiod_us']:>15.0f} "
+            f"{'yes' if row['reconstructed'] else 'no':>13}"
+        )
+    return 0
+
+
+def _resolve_scenario(name_or_path: str):
+    """A scenario from a bundled pack name or a JSON file path."""
+    import pathlib
+
+    from .scenarios import load_pack, load_scenario
+
+    path = pathlib.Path(name_or_path)
+    if path.suffix == ".json" or path.is_file():
+        return load_scenario(path)
+    return load_pack(name_or_path)
+
+
+def _run_scenario(args) -> int:
+    """``lpfps scenario list|validate|run|check``."""
+    import json
+
+    from .errors import ReproError
+    from .scenarios import available_packs, load_pack, run_scenario
+
+    if args.scenario_command == "list":
+        if args.json:
+            rows = []
+            for name in available_packs():
+                scenario = load_pack(name)
+                rows.append(
+                    {
+                        "name": name,
+                        "tasks": len(scenario.taskset.tasks),
+                        "utilization": round(scenario.taskset.utilization, 6),
+                        "schedulers": list(scenario.campaign.schedulers),
+                        "seeds": list(scenario.campaign.seeds),
+                        "weakly_hard": {
+                            task: list(constraint.as_pair())
+                            for task, constraint in sorted(
+                                scenario.constraints.items()
+                            )
+                        },
+                        "fingerprint": scenario.fingerprint(),
+                    }
+                )
+            print(json.dumps(rows, indent=2, sort_keys=True))
+        else:
+            for name in available_packs():
+                print(name)
+        return 0
+    if args.scenario_command == "validate":
+        status = 0
+        for entry in args.scenarios:
+            try:
+                scenario = _resolve_scenario(entry)
+            except ReproError as exc:
+                print(f"{entry}: INVALID: {exc}", file=sys.stderr)
+                status = 1
+                continue
+            print(f"{entry}: ok  fingerprint {scenario.fingerprint()}")
+        return status
+    if args.scenario_command == "run":
+        try:
+            scenario = _resolve_scenario(args.scenario)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        progress = None
+        if args.json:
+            progress = lambda event: print(  # noqa: E731 - tiny adapter
+                json.dumps(event, sort_keys=True), flush=True
+            )
+        report = run_scenario(scenario, jobs=args.jobs, progress=progress)
+        print(report.render())
+        failed = any(cell.failed for cell in report.cells)
+        violated = scenario.constraints and any(
+            cell.satisfied is False for cell in report.cells
+        )
+        return 1 if failed or violated else 0
+    if args.scenario_command == "check":
+        return _run_scenario_check()
+    return 0
+
+
+def _run_scenario_check() -> int:
+    """The CI gate: every pack parses, round-trips, and is (m,k)-feasible."""
+    from .analysis.weakly_hard import jcl_schedulability
+    from .errors import ReproError
+    from .scenarios import available_packs, load_pack, parse_scenario
+
+    packs = available_packs()
+    if not packs:
+        print("error: no bundled packs found", file=sys.stderr)
+        return 1
+    status = 0
+    for name in packs:
+        try:
+            scenario = load_pack(name)
+            fingerprint = scenario.fingerprint()
+            reparsed = parse_scenario(scenario.canonical_document())
+            if reparsed.fingerprint() != fingerprint:
+                print(
+                    f"{name}: FAIL: canonical round-trip changed the "
+                    f"fingerprint ({fingerprint[:12]} -> "
+                    f"{reparsed.fingerprint()[:12]})",
+                    file=sys.stderr,
+                )
+                status = 1
+                continue
+        except ReproError as exc:
+            print(f"{name}: FAIL: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        line = f"{name}: round-trip ok  fingerprint {fingerprint[:12]}"
+        if scenario.constraints:
+            verdict = jcl_schedulability(scenario.taskset, scenario.constraints)
+            if not verdict.schedulable:
+                print(f"{name}: FAIL: {verdict.reason}", file=sys.stderr)
+                status = 1
+                continue
+            line += f"  (m,k) schedulable (demand {verdict.demand:.3f})"
+        print(line)
+    return status
+
+
 def _run_query(args) -> int:
     """Answer one query — against a remote server or in-process."""
     import json
@@ -611,9 +845,20 @@ def _run_query(args) -> int:
     if args.duration is not None:
         request["duration"] = args.duration
     if args.url is not None:
+        from .errors import ReproError
         from .service.client import ServiceClient
+        from .service.retry import RetryingClient, RetryPolicy
 
-        status, payload = ServiceClient(args.url).query(request)
+        send = ServiceClient(args.url).query
+        if args.max_attempts > 1:
+            send = RetryingClient(
+                send, policy=RetryPolicy(max_attempts=args.max_attempts)
+            )
+        try:
+            status, payload = send(request)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0 if status == 200 and payload.get("ok", False) else 1
     from .errors import ServiceError

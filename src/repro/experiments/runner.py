@@ -276,12 +276,15 @@ def _commit_result(
     journal: Optional[CheckpointJournal],
     fingerprints: Optional[List[Optional[str]]],
     stats: _CampaignStats,
+    progress: Optional[Callable[[int, Any], None]] = None,
 ) -> None:
     """Store one finished cell and journal it if checkpointing is on.
 
     The journal write happens *before* the checkpoint-provenance stamp,
     so the durable blob is the pristine result; only successful cells
-    are journaled — failures must recompute on resume.
+    are journaled — failures must recompute on resume.  *progress*, when
+    given, observes every commit — it runs supervisor-side (never in a
+    worker process), after the result is durable.
     """
     if isinstance(result, CellFailure):
         result.index = index
@@ -292,6 +295,8 @@ def _commit_result(
             stats.checkpoint_stored += 1
             result.metadata["checkpoint"] = "stored"
     results[index] = result
+    if progress is not None:
+        progress(index, result)
 
 
 def _run_serial(
@@ -302,6 +307,7 @@ def _run_serial(
     journal: Optional[CheckpointJournal],
     fingerprints: Optional[List[Optional[str]]],
     stats: _CampaignStats,
+    progress: Optional[Callable[[int, Any], None]] = None,
 ) -> None:
     """In-process execution of *indices*, committing each as it lands."""
     for i in indices:
@@ -311,7 +317,7 @@ def _run_serial(
                 result.attempts = 1
         else:
             result = _run_spec(spec_list[i])
-        _commit_result(results, i, result, journal, fingerprints, stats)
+        _commit_result(results, i, result, journal, fingerprints, stats, progress)
 
 
 def _pool_generation(
@@ -323,6 +329,7 @@ def _pool_generation(
     journal: Optional[CheckpointJournal],
     fingerprints: Optional[List[Optional[str]]],
     stats: _CampaignStats,
+    progress: Optional[Callable[[int, Any], None]] = None,
 ) -> Tuple[bool, List[int], List[int]]:
     """Run *indices* through one process pool until done or it breaks.
 
@@ -363,7 +370,8 @@ def _pool_generation(
                 exc = future.exception()
                 if exc is None:
                     _commit_result(
-                        results, i, future.result(), journal, fingerprints, stats
+                        results, i, future.result(), journal, fingerprints,
+                        stats, progress,
                     )
                 elif isinstance(exc, BrokenProcessPool):
                     broken = True
@@ -382,7 +390,8 @@ def _pool_generation(
             for future, i in inflight.items():
                 if future.exception() is None and not future.cancelled():
                     _commit_result(
-                        results, i, future.result(), journal, fingerprints, stats
+                        results, i, future.result(), journal, fingerprints,
+                        stats, progress,
                     )
                 else:
                     suspects.append(i)
@@ -401,6 +410,7 @@ def _run_pool_supervised(
     journal: Optional[CheckpointJournal],
     fingerprints: Optional[List[Optional[str]]],
     stats: _CampaignStats,
+    progress: Optional[Callable[[int, Any], None]] = None,
 ) -> None:
     """Supervise pool execution across worker deaths.
 
@@ -425,7 +435,7 @@ def _run_pool_supervised(
             width = min(workers, len(batch))
         broken, suspects, leftover = _pool_generation(
             spec_list, batch, width, failures, results, journal,
-            fingerprints, stats,
+            fingerprints, stats, progress,
         )
         pending.extend(leftover)
         completed_any = completed_any or any(
@@ -453,6 +463,7 @@ def _run_pool_supervised(
                     journal,
                     fingerprints,
                     stats,
+                    progress,
                 )
             else:
                 raise ExecutionError(
@@ -470,6 +481,7 @@ def run_many(
     failures: str = "raise",
     retries: int = 2,
     checkpoint: Union[None, str, Path] = None,
+    progress: Optional[Callable[[int, Any], None]] = None,
 ) -> List[Union[SimulationResult, CellFailure]]:
     """Execute a campaign of :class:`RunSpec` cells, optionally in parallel.
 
@@ -496,6 +508,12 @@ def run_many(
     :func:`~repro.experiments.checkpoint.spec_fingerprint`), and a rerun
     pointed at the same directory resumes — journaled cells are restored
     (``metadata["checkpoint"] == "hit"``) instead of recomputed.
+
+    ``progress``, when given, is called as ``progress(index, result)``
+    for every cell as it finishes — including checkpoint restores and
+    contained :class:`CellFailure` cells — always in *this* process (the
+    supervisor side), in completion order, after the result is committed.
+    Live observers (the service's campaign streaming) hang off this hook.
 
     The serial path is also the fallback: spec lists that cannot be
     pickled (e.g. closure-based scheduler factories) and environments
@@ -537,6 +555,8 @@ def run_many(
                 hit.metadata["checkpoint"] = "hit"
                 results[i] = hit
                 stats.checkpoint_hits += 1
+                if progress is not None:
+                    progress(i, hit)
             else:
                 remaining.append(i)
         pending = remaining
@@ -545,7 +565,7 @@ def run_many(
             executor, workers = "serial", 1
             _run_serial(
                 spec_list, pending, results, failures, journal,
-                fingerprints, stats,
+                fingerprints, stats, progress,
             )
         else:
             try:
@@ -557,14 +577,14 @@ def run_many(
                 executor, workers = "serial-fallback-unpicklable", 1
                 _run_serial(
                     spec_list, pending, results, failures, journal,
-                    fingerprints, stats,
+                    fingerprints, stats, progress,
                 )
             else:
                 workers = min(resolved, len(pending))
                 try:
                     _run_pool_supervised(
                         spec_list, pending, workers, failures, retries,
-                        results, journal, fingerprints, stats,
+                        results, journal, fingerprints, stats, progress,
                     )
                     executor = "process-pool"
                 except _PoolUnavailable:
@@ -573,7 +593,7 @@ def run_many(
                     executor, workers = "serial-fallback-broken-pool", 1
                     _run_serial(
                         spec_list, pending, results, failures, journal,
-                        fingerprints, stats,
+                        fingerprints, stats, progress,
                     )
     finally:
         if journal is not None:

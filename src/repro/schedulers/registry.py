@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Any, Callable, Dict, List
 
 from ..core.lpfps import LpfpsScheduler
 from ..errors import ConfigurationError
@@ -11,6 +11,7 @@ from .cycle_conserving import CcEdfScheduler
 from .edf import AvrScheduler, EdfScheduler
 from .fps import FpsScheduler
 from .interval import PastScheduler
+from .jcl import JclScheduler
 from .powerdown import ThresholdPowerDownFps, TimerPowerDownFps
 from .static_dvs import StaticDvsFps
 from .yds import YdsOracleScheduler
@@ -30,7 +31,16 @@ _FACTORIES: Dict[str, Callable[[], Scheduler]] = {
     "yds": YdsOracleScheduler,
     "ccedf": CcEdfScheduler,
     "past": PastScheduler,
+    "jcl": JclScheduler,
 }
+
+#: Registry names whose policy accepts per-task weakly-hard (m,k)
+#: constraints (scenario packs route their ``weakly_hard`` fields here).
+WEAKLY_HARD_SCHEDULERS = frozenset({"jcl"})
+
+#: Registry names of clairvoyant policies excluded from causal
+#: comparisons (they read the whole job trace up front).
+ORACLE_SCHEDULERS = frozenset({"yds"})
 
 
 def available_schedulers() -> List[str]:
@@ -48,3 +58,27 @@ def make_scheduler(name: str) -> Scheduler:
             f"available: {', '.join(available_schedulers())}"
         ) from None
     return factory()
+
+
+def scheduler_capabilities() -> List[Dict[str, Any]]:
+    """Machine-readable capability flags for every registered scheduler.
+
+    One entry per registry name, sorted, each carrying the policy's
+    display name and the flags tooling needs to pick or exclude it
+    (tick-driven policies cost kernel wakeups; oracle policies are
+    non-causal; ``weakly_hard`` marks (m,k)-aware dispatch).
+    """
+    entries: List[Dict[str, Any]] = []
+    for key in available_schedulers():
+        scheduler = _FACTORIES[key]()
+        entries.append(
+            {
+                "name": key,
+                "policy": scheduler.name,
+                "requires_priorities": bool(scheduler.requires_priorities),
+                "tick_driven": scheduler.tick_interval is not None,
+                "weakly_hard": key in WEAKLY_HARD_SCHEDULERS,
+                "oracle": key in ORACLE_SCHEDULERS,
+            }
+        )
+    return entries

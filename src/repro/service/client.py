@@ -22,9 +22,10 @@ import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple
 
 from .stats import percentile
+from .stream import parse_sse
 
 #: A transport: JSON request dict in, (HTTP-like status, payload) out.
 SendFn = Callable[[Dict[str, Any]], Tuple[int, Dict[str, Any]]]
@@ -70,12 +71,68 @@ class ServiceClient:
     def metrics(self) -> Tuple[int, Dict[str, Any]]:
         return self._get("/v1/metrics")
 
+    def submit_scenario(
+        self, request: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """POST a scenario campaign (``{"pack": name}`` or inline doc)."""
+        body = json.dumps(request).encode("utf-8")
+        http_request = urllib.request.Request(
+            self.url + "/v1/scenario",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(
+                http_request, timeout=self.timeout_s
+            ) as response:
+                return response.status, json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            return exc.code, _body_of(exc)
+
+    def stream(
+        self, campaign_id: str, after: int = 0
+    ) -> Iterator[Dict[str, Any]]:
+        """Follow ``/v1/stream/{campaign_id}`` as parsed SSE events.
+
+        Yields hub-shaped events (``{"seq", "kind", "data"}``) until the
+        server closes the stream after the terminal ``done``/``error``
+        event.  Raises :class:`urllib.error.HTTPError` on non-200 (e.g.
+        an unknown campaign id).
+        """
+        response = urllib.request.urlopen(
+            f"{self.url}/v1/stream/{campaign_id}?after={int(after)}",
+            timeout=self.timeout_s,
+        )
+        try:
+            lines = (line.decode("utf-8") for line in response)
+            for event in parse_sse(lines):
+                yield event
+        finally:
+            response.close()
+
 
 def _body_of(exc: urllib.error.HTTPError) -> Dict[str, Any]:
+    """Decode an error response, folding useful headers into the payload.
+
+    A shed response's ``Retry-After`` header is mirrored into the body
+    as ``retry_after_s`` when the server did not already include it, so
+    transports that only surface ``(status, payload)`` — the load
+    generators, :class:`~repro.service.retry.RetryingClient` — still see
+    the server's pacing hint.
+    """
     try:
-        return json.loads(exc.read().decode("utf-8"))
+        payload = json.loads(exc.read().decode("utf-8"))
     except (ValueError, UnicodeDecodeError, OSError):
-        return {"ok": False, "error": str(exc)}
+        payload = {"ok": False, "error": str(exc)}
+    if isinstance(payload, dict) and "retry_after_s" not in payload:
+        header = exc.headers.get("Retry-After") if exc.headers else None
+        if header is not None:
+            try:
+                payload["retry_after_s"] = float(header)
+            except ValueError:
+                pass  # RFC also allows HTTP-dates; ignore those
+    return payload
 
 
 @dataclass
@@ -230,6 +287,8 @@ def broker_send(service) -> SendFn:
             shed = {"ok": False, "error": str(exc)}
             if exc.queue_depth is not None:
                 shed["queue_depth"] = exc.queue_depth
+            if exc.retry_after_s is not None:
+                shed["retry_after_s"] = exc.retry_after_s
             return 503, shed
         except RequestTimeout as exc:
             return 504, {"ok": False, "error": str(exc)}

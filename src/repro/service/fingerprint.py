@@ -37,10 +37,16 @@ def _num(value: float) -> str:
     return repr(float(value))
 
 
-def canonical_payload(query: Query) -> Dict[str, Any]:
-    """The canonical, JSON-ready payload the fingerprint hashes."""
+def canonical_tasks(taskset) -> List[Dict[str, Any]]:
+    """Canonical, JSON-ready task list shared by every fingerprint layer.
+
+    Sorted by name, every time parameter in shortest round-trip float
+    form — the exact encoding :func:`canonical_payload` has always used,
+    extracted so scenario fingerprints compose with query fingerprints
+    (identical tasks hash through identical bytes in both).
+    """
     tasks: List[Dict[str, Any]] = []
-    for task in sorted(query.taskset, key=lambda t: t.name):
+    for task in sorted(taskset, key=lambda t: t.name):
         tasks.append(
             {
                 "name": task.name,
@@ -52,10 +58,25 @@ def canonical_payload(query: Query) -> Dict[str, Any]:
                 "priority": int(task.priority),
             }
         )
+    return tasks
+
+
+def taskset_fingerprint(taskset) -> str:
+    """SHA-256 over the canonical task list alone (the workload identity)."""
+    canonical = json.dumps(
+        {"v": FINGERPRINT_VERSION, "tasks": canonical_tasks(taskset)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def canonical_payload(query: Query) -> Dict[str, Any]:
+    """The canonical, JSON-ready payload the fingerprint hashes."""
     return {
         "v": FINGERPRINT_VERSION,
         "kind": query.kind,
-        "tasks": tasks,
+        "tasks": canonical_tasks(query.taskset),
         "scheduler": query.scheduler,
         "seed": int(query.seed),
         "duration": None if query.duration is None else _num(query.duration),

@@ -58,12 +58,21 @@ class RetryPolicy:
     two flow-control answers (503 shed, 504 late-answer-cached).  Real
     errors (400, 500) and refusals return immediately — retrying a
     deterministic answer wastes everyone's time.
+
+    ``honor_retry_after`` makes the client respect the server's pacing
+    hint: when a retryable payload carries ``retry_after_s`` (the
+    broker's drain estimate, mirrored from the ``Retry-After`` header),
+    the next delay is at least that long — jitter still applies on top
+    (the maximum of the two is used) and ``cap_s`` still bounds it, so
+    the proven total-backoff bound ``(max_attempts - 1) * cap_s`` is
+    unchanged.
     """
 
     max_attempts: int = 5
     base_s: float = 0.05
     cap_s: float = 5.0
     retry_on: Tuple[int, ...] = (503, 504)
+    honor_retry_after: bool = True
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -169,6 +178,23 @@ class CircuitBreaker:
                 self._opened_at = self._clock()
 
 
+def _retry_after_hint(
+    response: Optional[Tuple[int, Dict[str, Any]]]
+) -> Optional[float]:
+    """The server's ``retry_after_s`` pacing hint, if the payload has one."""
+    if response is None:
+        return None
+    _, payload = response
+    if not isinstance(payload, dict):
+        return None
+    hint = payload.get("retry_after_s")
+    if isinstance(hint, bool) or not isinstance(hint, (int, float)):
+        return None
+    if hint <= 0:
+        return None
+    return float(hint)
+
+
 class RetryingClient:
     """Wrap a transport with backoff retries and a circuit breaker.
 
@@ -176,8 +202,8 @@ class RetryingClient:
     ``send`` — drop one straight into ``run_closed_loop`` /
     ``run_open_loop``.  Counters land in the thread-locally installed
     obs registry (``client.retries``, ``client.transport_failures``,
-    ``client.breaker_trips``, ``client.fast_fails``) unless one is
-    passed explicitly.
+    ``client.breaker_trips``, ``client.fast_fails``,
+    ``client.retry_after_honored``) unless one is passed explicitly.
     """
 
     def __init__(
@@ -246,6 +272,10 @@ class RetryingClient:
             if attempt + 1 >= policy.max_attempts:
                 break
             delay = next(delays)
+            hint = _retry_after_hint(last_response) if policy.honor_retry_after else None
+            if hint is not None and hint > delay:
+                delay = min(policy.cap_s, hint)
+                obs.count("client.retry_after_honored")
             self.retries += 1
             self.slept_s += delay
             obs.count("client.retries")

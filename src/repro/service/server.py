@@ -20,6 +20,12 @@ transport in the broker.  Endpoints:
   broker's stage spans and campaign gauges, in the bench-metrics/v1
   schema (``tests.service`` and ``tests.obs`` respectively).
 * ``GET /v1/schedulers`` / ``GET /v1/workloads`` — registry listings.
+* ``GET /v1/scenarios`` — bundled scenario pack names.
+* ``POST /v1/scenario`` — validate a scenario (``{"pack": name}`` or
+  ``{"scenario": {...}}``) and launch its campaign on a background
+  thread; answers with the campaign id and its stream path.
+* ``GET /v1/stream/{campaign_id}`` — Server-Sent Events: replays the
+  campaign's buffered progress events, then tails live until done.
 """
 
 from __future__ import annotations
@@ -32,13 +38,15 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, Iterator, Mapping, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlparse
 
-from ..errors import ServiceError, error_kind
-from ..obs.registry import Registry
+from ..errors import ConfigurationError, ServiceError, error_kind
+from ..obs.registry import Registry, install
 from .broker import AdmissionError, Broker, RequestTimeout, ServiceGuards
 from .cache import ResultCache
 from .query import Query, QueryError, parse_query
 from .stats import ServiceStats
+from .stream import CampaignHub, sse_render
 
 #: Largest accepted request body, bytes — queries are small; anything
 #: bigger is a mistake or abuse.
@@ -80,6 +88,8 @@ class ScheduleService:
             stats=self.stats,
             obs=self.obs,
         )
+        #: Live scenario-campaign event logs, served by ``/v1/stream``.
+        self.campaigns = CampaignHub(obs=self.obs)
 
     def query(self, query: Query, timeout: Optional[float] = None) -> Dict[str, Any]:
         """Answer one parsed :class:`Query`."""
@@ -104,6 +114,78 @@ class ScheduleService:
             if timeout <= 0:
                 raise QueryError(f"timeout_s must be > 0, got {timeout}")
         return self.query(parse_query(request), timeout=timeout)
+
+    def submit_scenario(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        """Validate a scenario request and launch its campaign.
+
+        The body names a bundled pack (``{"pack": "cnc"}``) or inlines a
+        document (``{"scenario": {...}}``), plus an optional ``jobs``
+        worker count.  Validation is synchronous — a malformed scenario
+        is rejected here with a field-level error — but the campaign
+        itself runs on a daemon thread, publishing one ``cell`` event
+        per finished cell into :attr:`campaigns` and a terminal ``done``
+        (or ``error``) event, so ``GET /v1/stream/{campaign_id}`` can
+        follow it live.
+        """
+        from ..scenarios import load_pack, parse_scenario
+        from ..scenarios.runner import run_scenario
+
+        request = dict(request)
+        pack = request.pop("pack", None)
+        document = request.pop("scenario", None)
+        jobs = request.pop("jobs", 1)
+        if request:
+            raise QueryError(f"unknown fields: {sorted(request)}")
+        if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1:
+            raise QueryError(f"jobs must be an integer >= 1, got {jobs!r}")
+        if (pack is None) == (document is None):
+            raise QueryError("give exactly one of 'pack' or 'scenario'")
+        if pack is not None:
+            if not isinstance(pack, str):
+                raise QueryError(f"pack must be a string, got {pack!r}")
+            scenario = load_pack(pack)
+        else:
+            if not isinstance(document, Mapping):
+                raise QueryError(f"scenario must be an object, got {document!r}")
+            scenario = parse_scenario(document)
+        cells = len(scenario.campaign.schedulers) * len(scenario.campaign.seeds)
+        fingerprint = scenario.fingerprint()
+        campaign_id = self.campaigns.create(
+            {"scenario": scenario.name, "fingerprint": fingerprint, "cells": cells}
+        )
+        hub, obs = self.campaigns, self.obs
+
+        def work() -> None:
+            install(obs)  # campaign gauges land in /v1/metrics, like queries
+            try:
+                report = run_scenario(
+                    scenario,
+                    jobs=jobs,
+                    progress=lambda event: hub.publish(campaign_id, "cell", event),
+                )
+                summary: Dict[str, Any] = {
+                    "scenario": scenario.name,
+                    "fingerprint": report.fingerprint,
+                    "cells": len(report.cells),
+                    "failed": sum(1 for cell in report.cells if cell.failed),
+                }
+                if scenario.constraints:
+                    summary["weakly_hard"] = report.satisfied_by_scheduler()
+                hub.finish(campaign_id, summary)
+            except Exception as exc:  # terminal event, never a dead stream
+                hub.fail(campaign_id, str(exc))
+
+        threading.Thread(
+            target=work, name=f"lpfps-campaign-{campaign_id}", daemon=True
+        ).start()
+        return {
+            "ok": True,
+            "campaign_id": campaign_id,
+            "scenario": scenario.name,
+            "fingerprint": fingerprint,
+            "cells": cells,
+            "stream": f"/v1/stream/{campaign_id}",
+        }
 
     def metrics(self) -> Dict[str, Any]:
         """bench-metrics/v1 snapshot of the whole stack.
@@ -171,11 +253,62 @@ class _Handler(BaseHTTPRequestHandler):
             from ..workloads.registry import available_workloads
 
             self._reply(200, {"ok": True, "workloads": available_workloads()})
+        elif self.path == "/v1/scenarios":
+            from ..scenarios import available_packs
+
+            self._reply(200, {"ok": True, "scenarios": available_packs()})
+        elif self.path.startswith("/v1/stream/"):
+            self._stream()
         else:
             self._error(404, f"unknown path {self.path!r}")
 
+    def _stream(self) -> None:
+        """Serve one campaign's event log as Server-Sent Events.
+
+        The response is EOF-delimited (``Connection: close``, no
+        Content-Length): buffered events replay immediately, live events
+        follow as the executor commits cells, and the stream ends after
+        the terminal ``done``/``error`` event.  ``?after=N`` resumes
+        past the first N events, so a dropped consumer can reconnect
+        without re-reading what it already has.
+        """
+        parsed = urlparse(self.path)
+        campaign_id = parsed.path[len("/v1/stream/"):]
+        after = 0
+        raw_after = parse_qs(parsed.query).get("after", ["0"])[0]
+        try:
+            after = int(raw_after)
+        except ValueError:
+            self._error(400, f"after must be an integer, got {raw_after!r}")
+            return
+        if after < 0:
+            self._error(400, f"after must be >= 0, got {after}")
+            return
+        hub = self.server.service.campaigns
+        try:
+            hub.snapshot(campaign_id)
+        except KeyError:
+            self._error(404, f"unknown campaign {campaign_id!r}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        try:
+            for event in hub.subscribe(campaign_id, after=after):
+                self.wfile.write(sse_render(event))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # the subscriber left; the campaign keeps running
+
     def _post(self) -> None:
-        if self.path not in ("/v1/query", "/query"):
+        if self.path in ("/v1/query", "/query"):
+            handler = self.server.service.query_dict
+        elif self.path == "/v1/scenario":
+            handler = self.server.service.submit_scenario
+        else:
             self._error(404, f"unknown path {self.path!r}")
             return
         try:
@@ -192,13 +325,19 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, "body must be valid JSON")
             return
         try:
-            payload = self.server.service.query_dict(request)
+            payload = handler(request)
         except QueryError as exc:
             self._error(400, str(exc), error_kind=error_kind(exc))
+        except ConfigurationError as exc:
+            # Scenario validation failures carry their field path in the
+            # message; they are the caller's to fix, hence 400.
+            self._error(400, str(exc), error_kind="bad-request")
         except AdmissionError as exc:
             # Guarantee-preserving degradation: the shed answer tells the
             # client how loaded the fleet is (queue depth) and when to
-            # come back (Retry-After from the broker's drain estimate).
+            # come back (Retry-After from the broker's drain estimate,
+            # mirrored into the payload so retrying clients that never
+            # see headers can honor the same hint).
             shed: Dict[str, Any] = {
                 "ok": False, "error": str(exc), "error_kind": error_kind(exc),
             }
@@ -207,6 +346,7 @@ class _Handler(BaseHTTPRequestHandler):
                 shed["queue_depth"] = exc.queue_depth
             if exc.retry_after_s is not None:
                 retry_after = max(1, int(math.ceil(exc.retry_after_s)))
+                shed["retry_after_s"] = exc.retry_after_s
             self._reply(
                 503, shed, headers=(("Retry-After", str(retry_after)),)
             )

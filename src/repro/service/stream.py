@@ -1,0 +1,226 @@
+"""Live campaign streaming: an in-process event hub behind ``/v1/stream``.
+
+A scenario campaign submitted to the service runs on a background
+thread; every cell the executor commits becomes one sequenced event in
+this hub.  Subscribers (the SSE endpoint, in-process observers, tests)
+read the same ordered log: a late subscriber first *replays* the buffered
+prefix, then *tails* live until the terminal event — so the stream is a
+replayable record, not a lossy broadcast.
+
+The hub is deliberately transport-free: it knows nothing about HTTP.
+``/v1/stream/{campaign_id}`` renders its events as Server-Sent Events;
+anything else (a CLI follower, a test) iterates :meth:`CampaignHub.subscribe`
+directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..obs.registry import Registry
+
+#: Terminal event kinds: once one is published, a campaign is closed and
+#: subscribers drain and stop.
+TERMINAL_KINDS = ("done", "error")
+
+#: Finished campaigns kept for replay before the oldest is evicted.
+MAX_FINISHED = 64
+
+
+class _Campaign:
+    """One campaign's ordered event log plus its lifecycle state."""
+
+    __slots__ = ("id", "meta", "events", "state", "created_s")
+
+    def __init__(self, campaign_id: str, meta: Dict[str, Any]):
+        self.id = campaign_id
+        self.meta = meta
+        self.events: List[Dict[str, Any]] = []
+        self.state = "running"
+        self.created_s = time.time()
+
+    @property
+    def done(self) -> bool:
+        return self.state != "running"
+
+
+class CampaignHub:
+    """Thread-safe registry of streaming campaigns.
+
+    One condition variable serialises publishes and wakes every waiting
+    subscriber; events are small dicts and campaigns are cell-bounded,
+    so the whole log is kept for replay (``?after=N`` resumption).
+    """
+
+    def __init__(self, obs: Optional[Registry] = None):
+        self._lock = threading.Condition()
+        self._campaigns: Dict[str, _Campaign] = {}
+        self._ids = itertools.count(1)
+        self._obs = obs if obs is not None else Registry()
+
+    # -- lifecycle -----------------------------------------------------------
+    def create(self, meta: Dict[str, Any]) -> str:
+        """Register a new campaign; returns its id (``c1``, ``c2``, ...)."""
+        with self._lock:
+            campaign_id = f"c{next(self._ids)}"
+            self._campaigns[campaign_id] = _Campaign(campaign_id, dict(meta))
+            self._evict_finished()
+            self._obs.count("stream.campaigns")
+        return campaign_id
+
+    def publish(self, campaign_id: str, kind: str, data: Dict[str, Any]) -> int:
+        """Append one event; returns its sequence number (1-based)."""
+        with self._lock:
+            campaign = self._require(campaign_id)
+            if campaign.done:
+                raise ConfigurationError(
+                    f"campaign {campaign_id!r} is already {campaign.state}"
+                )
+            seq = len(campaign.events) + 1
+            campaign.events.append({"seq": seq, "kind": kind, "data": dict(data)})
+            if kind in TERMINAL_KINDS:
+                campaign.state = kind
+            self._obs.count("stream.events")
+            self._lock.notify_all()
+            return seq
+
+    def finish(self, campaign_id: str, summary: Optional[Dict[str, Any]] = None) -> None:
+        """Publish the terminal ``done`` event."""
+        self.publish(campaign_id, "done", summary or {})
+
+    def fail(self, campaign_id: str, message: str) -> None:
+        """Publish the terminal ``error`` event."""
+        self.publish(campaign_id, "error", {"error": message})
+
+    # -- reads ---------------------------------------------------------------
+    def snapshot(self, campaign_id: str) -> Dict[str, Any]:
+        """Current state of one campaign (meta + progress), JSON-ready."""
+        with self._lock:
+            campaign = self._require(campaign_id)
+            return {
+                "campaign_id": campaign.id,
+                "state": campaign.state,
+                "events": len(campaign.events),
+                "meta": dict(campaign.meta),
+            }
+
+    def list(self) -> List[Dict[str, Any]]:
+        """Snapshots of every known campaign, oldest first."""
+        with self._lock:
+            return [
+                {
+                    "campaign_id": campaign.id,
+                    "state": campaign.state,
+                    "events": len(campaign.events),
+                    "meta": dict(campaign.meta),
+                }
+                for campaign in self._campaigns.values()
+            ]
+
+    def events_since(
+        self, campaign_id: str, after: int = 0
+    ) -> Tuple[List[Dict[str, Any]], bool]:
+        """Buffered events with ``seq > after`` and whether the campaign is done."""
+        with self._lock:
+            campaign = self._require(campaign_id)
+            return list(campaign.events[after:]), campaign.done
+
+    def subscribe(
+        self,
+        campaign_id: str,
+        after: int = 0,
+        poll_s: float = 0.25,
+        idle_timeout_s: float = 300.0,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield events in order: replay the buffer, then tail until done.
+
+        Ends after the terminal event, or after *idle_timeout_s* without
+        any new event (a safety valve so an abandoned campaign cannot
+        pin a subscriber thread forever).
+        """
+        cursor = after
+        deadline = time.monotonic() + idle_timeout_s
+        while True:
+            with self._lock:
+                campaign = self._require(campaign_id)
+                fresh = list(campaign.events[cursor:])
+                done = campaign.done
+                if not fresh and not done:
+                    self._lock.wait(timeout=poll_s)
+                    fresh = list(campaign.events[cursor:])
+                    done = campaign.done
+            for event in fresh:
+                yield event
+            cursor += len(fresh)
+            if fresh:
+                deadline = time.monotonic() + idle_timeout_s
+            if done and not fresh:
+                return
+            if time.monotonic() > deadline:
+                return
+
+    # -- internals -----------------------------------------------------------
+    def _require(self, campaign_id: str) -> _Campaign:
+        campaign = self._campaigns.get(campaign_id)
+        if campaign is None:
+            raise KeyError(campaign_id)
+        return campaign
+
+    def _evict_finished(self) -> None:
+        finished = [c.id for c in self._campaigns.values() if c.done]
+        while len(finished) > MAX_FINISHED:
+            del self._campaigns[finished.pop(0)]
+
+
+def sse_render(event: Dict[str, Any]) -> bytes:
+    """One hub event as a Server-Sent Events frame."""
+    import json
+
+    return (
+        f"id: {event['seq']}\n"
+        f"event: {event['kind']}\n"
+        f"data: {json.dumps(event['data'], sort_keys=True)}\n\n"
+    ).encode("utf-8")
+
+
+def parse_sse(lines: Iterator[str]) -> Iterator[Dict[str, Any]]:
+    """Parse an SSE byte-line stream back into hub-shaped events.
+
+    The inverse of :func:`sse_render` for the fields it emits; used by
+    the client's ``stream`` helper and the tests.
+    """
+    import json
+
+    seq: Optional[int] = None
+    kind = "message"
+    data_lines: List[str] = []
+    for raw in lines:
+        line = raw.rstrip("\n").rstrip("\r")
+        if line == "":
+            if data_lines:
+                yield {
+                    "seq": seq,
+                    "kind": kind,
+                    "data": json.loads("\n".join(data_lines)),
+                }
+            seq, kind, data_lines = None, "message", []
+            continue
+        if line.startswith(":"):
+            continue  # comment / keep-alive
+        field, _, value = line.partition(":")
+        value = value[1:] if value.startswith(" ") else value
+        if field == "id":
+            try:
+                seq = int(value)
+            except ValueError:
+                seq = None
+        elif field == "event":
+            kind = value
+        elif field == "data":
+            data_lines.append(value)
+    if data_lines:
+        yield {"seq": seq, "kind": kind, "data": json.loads("\n".join(data_lines))}

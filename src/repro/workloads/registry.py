@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Any, Callable, Dict, List
 
 from ..errors import ConfigurationError
 from .avionics import avionics_workload
@@ -55,3 +55,27 @@ def get_workload(name: str) -> Workload:
 def table2_workloads() -> List[Workload]:
     """The four Table 2 applications, in the paper's order."""
     return [get_workload(name) for name in TABLE2_NAMES]
+
+
+def workload_capabilities() -> List[Dict[str, Any]]:
+    """Machine-readable metadata for every registered workload.
+
+    One entry per canonical name, sorted, carrying the facts dashboards
+    and scenario validators need without scraping the Table 2 rendering.
+    """
+    entries: List[Dict[str, Any]] = []
+    for key in available_workloads():
+        workload = get_workload(key)
+        lo, hi = workload.wcet_range
+        entries.append(
+            {
+                "name": key,
+                "tasks": workload.task_count,
+                "utilization": round(workload.utilization, 6),
+                "wcet_range_us": [lo, hi],
+                "hyperperiod_us": workload.taskset.hyperperiod,
+                "reconstructed": workload.reconstructed,
+                "citation": workload.citation,
+            }
+        )
+    return entries

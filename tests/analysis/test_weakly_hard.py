@@ -1,0 +1,178 @@
+"""Weakly-hard (m,k) model: edge cases, windows, and feasibility.
+
+The edge cases the scenario platform leans on: ``m = k`` collapses to
+the hard constraint, ``k = 1`` is either hard or trivial, windows that
+span a hyperperiod boundary are still checked, and a pack whose demand
+bound exceeds the processor is rejected with a message naming the bound.
+"""
+
+import pytest
+
+from repro.analysis.weakly_hard import (
+    WeaklyHard,
+    check_result,
+    coerce_constraint,
+    coerce_constraints,
+    jcl_schedulability,
+    outcome_sequences,
+    weakly_hard_demand,
+)
+from repro.errors import ConfigurationError
+from repro.tasks.priority import rate_monotonic
+from repro.tasks.task import Task, TaskSet
+
+
+def _overloaded_pair():
+    """Two 0.6-utilisation streams: hard-infeasible, (1,2)-feasible.
+
+    Both streams carry the constraint — the JCL alternation needs each
+    stream to yield every other window; one hard stream at 0.6 would pin
+    the processor and leave the other only 400 µs per 600 µs job.
+    """
+    taskset = TaskSet(
+        [
+            Task("stream_a", wcet=600.0, period=1000.0),
+            Task("stream_b", wcet=600.0, period=1000.0),
+        ],
+        name="pair",
+    )
+    constraints = {"stream_a": WeaklyHard(1, 2), "stream_b": WeaklyHard(1, 2)}
+    return rate_monotonic(taskset), constraints
+
+
+class TestConstraintEdges:
+    def test_m_equals_k_is_hard(self):
+        constraint = WeaklyHard(3, 3)
+        assert constraint.hard and not constraint.trivial
+        assert constraint.demotion_threshold() is None
+        # any single miss violates
+        assert constraint.first_violation([True, True, False]) == 0
+        assert constraint.satisfied([True, True, True])
+
+    def test_k_equals_one(self):
+        hard = WeaklyHard(1, 1)
+        assert hard.hard and hard.demotion_threshold() is None
+        assert hard.first_violation([True, False, True]) == 1
+        trivial = WeaklyHard(0, 1)
+        assert trivial.trivial and trivial.demotion_threshold() == 0
+        assert trivial.satisfied([False, False, False])
+
+    def test_m_zero_never_violates(self):
+        assert WeaklyHard(0, 4).first_violation([False] * 10) is None
+
+    def test_rejects_m_greater_than_k(self):
+        with pytest.raises(ConfigurationError, match="m must be <= k"):
+            WeaklyHard(3, 2)
+
+    def test_rejects_non_integer_and_bool(self):
+        with pytest.raises(ConfigurationError):
+            WeaklyHard(1.0, 2)
+        with pytest.raises(ConfigurationError):
+            WeaklyHard(True, 2)
+        with pytest.raises(ConfigurationError):
+            WeaklyHard(1, 0)
+
+    def test_demotion_threshold_examples(self):
+        # (1,2): one miss every h+1 jobs must leave >= 1 hit per 2-window.
+        assert WeaklyHard(1, 2).demotion_threshold() == 1
+        # (2,4): ceil(4/(h+1)) <= 2 first holds at h = 1.
+        assert WeaklyHard(2, 4).demotion_threshold() == 1
+        # (3,4): ceil(4/(h+1)) <= 1 first holds at h = 3.
+        assert WeaklyHard(3, 4).demotion_threshold() == 3
+
+    def test_short_sequence_has_no_full_window(self):
+        assert WeaklyHard(2, 3).first_violation([False]) is None
+
+
+class TestHyperperiodBoundary:
+    def test_violating_window_spans_the_repetition_boundary(self):
+        # One hyperperiod's outcomes never place two misses in a row...
+        pattern = [False, True, True, False]
+        assert WeaklyHard(1, 2).first_violation(pattern) is None
+        # ...but the window straddling two repetitions does.
+        assert WeaklyHard(1, 2).first_violation(pattern * 2) == 3
+
+    def test_coerce_constraint_accepts_pairs(self):
+        assert coerce_constraint((2, 4)) == WeaklyHard(2, 4)
+        assert coerce_constraint([1, 2]) == WeaklyHard(1, 2)
+        with pytest.raises(ConfigurationError, match="mk: expected"):
+            coerce_constraint("nope", where="mk")
+
+    def test_coerce_constraints_rejects_unknown_task_names(self):
+        taskset, _ = _overloaded_pair()
+        with pytest.raises(ConfigurationError, match="unknown tasks: \\['ghost'\\]"):
+            coerce_constraints({"ghost": (1, 2)}, taskset)
+
+
+class TestDemandBound:
+    def test_unconstrained_tasks_count_as_hard(self):
+        taskset, _ = _overloaded_pair()
+        # stream_a hard (0.6) + stream_b at m/k = 1/2 (0.3).
+        partial = {"stream_b": WeaklyHard(1, 2)}
+        assert weakly_hard_demand(taskset, partial) == pytest.approx(0.9)
+        assert weakly_hard_demand(taskset, {}) == pytest.approx(1.2)
+
+    def test_infeasible_demand_is_rejected_with_the_bound(self):
+        taskset = rate_monotonic(
+            TaskSet(
+                [
+                    Task("hard", wcet=900.0, period=1000.0),
+                    Task("soft", wcet=900.0, period=1000.0),
+                ],
+                name="overfull",
+            )
+        )
+        verdict = jcl_schedulability(taskset, {"soft": (1, 2)})
+        assert not verdict.schedulable
+        assert verdict.demand == pytest.approx(1.35)
+        assert "demand 1.350 exceeds the processor" in verdict.reason
+        assert "infeasible under any scheduler" in verdict.reason
+
+
+class TestSchedulability:
+    def test_feasible_weakly_hard_pair(self):
+        taskset, constraints = _overloaded_pair()
+        verdict = jcl_schedulability(taskset, constraints, hyperperiods=3)
+        assert verdict.schedulable
+        assert "3 hyperperiod(s)" in verdict.reason
+        assert verdict.violations == {}
+
+    def test_hard_overload_is_caught_by_simulation(self):
+        # No constraint: both streams hard, demand 1.2 > 1 trips stage 1.
+        taskset, _ = _overloaded_pair()
+        verdict = jcl_schedulability(taskset, {})
+        assert not verdict.schedulable
+
+    def test_rejects_bad_hyperperiods(self):
+        taskset, constraints = _overloaded_pair()
+        with pytest.raises(ConfigurationError, match="hyperperiods"):
+            jcl_schedulability(taskset, constraints, hyperperiods=0)
+
+
+class TestOutcomeSequences:
+    def test_check_result_reports_first_violating_window(self):
+        from repro.faults.guards import GuardConfig
+        from repro.faults.layer import FaultLayer
+        from repro.schedulers.registry import make_scheduler
+        from repro.sim.engine import simulate
+        from repro.tasks.generation import WcetModel
+
+        taskset, constraints = _overloaded_pair()
+        # 3 hyperperiods: the last job's deadline sits exactly at the
+        # horizon and is undecided, leaving two decided jobs per stream.
+        duration = taskset.hyperperiod * 3
+        result = simulate(
+            taskset,
+            make_scheduler("fps"),
+            execution_model=WcetModel(),
+            duration=duration,
+            on_miss="record",
+            faults=FaultLayer(guards=GuardConfig(miss_policy="abort")),
+        )
+        windows = check_result(result, taskset, constraints, duration)
+        # FPS starves stream_b every period: its very first window fails.
+        assert windows["stream_b"] == 0
+        assert windows["stream_a"] is None
+        sequences = outcome_sequences(result, taskset, duration)
+        assert sequences["stream_b"] == [False, False]
+        assert sequences["stream_a"] == [True, True]

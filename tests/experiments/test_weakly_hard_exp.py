@@ -1,0 +1,28 @@
+"""EXP-W: the weakly-hard pack demonstrates the FPS/JCL contrast."""
+
+import pytest
+
+from repro.experiments.weakly_hard import run_weakly_hard
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_weakly_hard()
+
+
+class TestExpW:
+    def test_contrast_demonstrated(self, result):
+        verdicts = result.satisfied()
+        assert verdicts == {"fps": False, "jcl": True}
+        assert result.demonstrates_contrast
+
+    def test_analytic_verdict_agrees(self, result):
+        assert result.verdict.schedulable
+        assert result.verdict.demand <= 1.0
+
+    def test_render(self, result):
+        rendered = result.render()
+        assert "EXP-W" in rendered
+        assert "VIOLATED" in rendered
+        assert "contrast demonstrated" in rendered
+        assert result.fingerprint[:12] in rendered

@@ -236,3 +236,77 @@ class TestBackoffBounds:
         client({})
         bound = (policy.max_attempts - 1) * policy.cap_s
         assert client.slept_s <= bound * (1.0 + 1e-9)
+
+
+class TestRetryAfter:
+    """The server's pacing hint: a floor on the next delay, never a storm."""
+
+    def _policy(self, **kwargs):
+        defaults = dict(max_attempts=3, base_s=0.01, cap_s=5.0)
+        defaults.update(kwargs)
+        return RetryPolicy(**defaults)
+
+    def test_hint_floors_the_jittered_delay(self):
+        client, sleeps = _client(
+            [(503, {"retry_after_s": 2.0}), (200, {"ok": True})],
+            policy=self._policy(),
+        )
+        status, _ = client({})
+        assert status == 200
+        # the jittered delay from base 0.01 is far below 2.0
+        assert sleeps == [2.0]
+
+    def test_cap_still_bounds_an_absurd_hint(self):
+        client, sleeps = _client(
+            [(503, {"retry_after_s": 100.0}), (200, {"ok": True})],
+            policy=self._policy(cap_s=0.5),
+        )
+        client({})
+        assert sleeps == [0.5]
+        bound = (client.policy.max_attempts - 1) * client.policy.cap_s
+        assert client.slept_s <= bound
+
+    def test_honor_retry_after_false_ignores_the_hint(self):
+        client, sleeps = _client(
+            [(503, {"retry_after_s": 2.0}), (200, {"ok": True})],
+            policy=self._policy(honor_retry_after=False),
+        )
+        client({})
+        assert sleeps and sleeps[0] < 1.0
+
+    def test_non_numeric_and_nonpositive_hints_are_ignored(self):
+        for bad in ("soon", True, 0, -3, None):
+            client, sleeps = _client(
+                [(503, {"retry_after_s": bad}), (200, {"ok": True})],
+                policy=self._policy(),
+            )
+            client({})
+            assert sleeps and sleeps[0] < 1.0, f"hint {bad!r} was honored"
+
+    def test_honored_hint_is_counted(self):
+        from repro.obs.registry import Registry
+
+        registry = Registry()
+        client, _ = _client(
+            [(503, {"retry_after_s": 2.0}), (200, {"ok": True})],
+            policy=self._policy(),
+            obs=registry,
+        )
+        client({})
+        counters = registry.snapshot()["counters"]
+        assert counters["client.retry_after_honored"] == 1
+
+    def test_transport_error_clears_the_stale_hint(self):
+        """A hint from attempt 1 must not pace attempt 3 after a socket error."""
+        client, sleeps = _client(
+            [
+                (503, {"retry_after_s": 2.0}),
+                ConnectionError("reset"),
+                (200, {"ok": True}),
+            ],
+            policy=self._policy(max_attempts=4),
+        )
+        status, _ = client({})
+        assert status == 200
+        assert sleeps[0] == 2.0
+        assert sleeps[1] < 1.0  # hint no longer applies

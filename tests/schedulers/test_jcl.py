@@ -1,0 +1,123 @@
+"""Job-class-level scheduler: registration, FPS equivalence, alternation.
+
+The load-bearing property: with no constraints every task is hard, no
+job is ever demoted, and JCL's dispatch is *identical* to FPS — that is
+what lets the golden fixtures pin it.  With constraints, a task on a
+full hit streak is demoted below every urgent job, which is what buys
+the (m,k) alternation on an overloaded task set.
+"""
+
+import pytest
+
+from repro.analysis.weakly_hard import check_result
+from repro.errors import ConfigurationError
+from repro.faults.guards import GuardConfig
+from repro.faults.layer import FaultLayer
+from repro.schedulers.jcl import JclScheduler
+from repro.schedulers.registry import (
+    WEAKLY_HARD_SCHEDULERS,
+    available_schedulers,
+    make_scheduler,
+    scheduler_capabilities,
+)
+from repro.sim.engine import simulate
+from repro.tasks.generation import WcetModel
+from repro.tasks.priority import rate_monotonic
+from repro.tasks.task import Task, TaskSet
+from repro.workloads.registry import get_workload
+
+
+def _pair(constraints=None):
+    taskset = rate_monotonic(
+        TaskSet(
+            [
+                Task("stream_a", wcet=600.0, period=1000.0),
+                Task("stream_b", wcet=600.0, period=1000.0),
+            ],
+            name="pair",
+        )
+    )
+    return taskset, JclScheduler(constraints=constraints)
+
+
+def _run(taskset, scheduler, duration):
+    return simulate(
+        taskset,
+        scheduler,
+        execution_model=WcetModel(),
+        duration=duration,
+        on_miss="record",
+        faults=FaultLayer(guards=GuardConfig(miss_policy="abort")),
+    )
+
+
+class TestRegistration:
+    def test_registered(self):
+        assert "jcl" in available_schedulers()
+        assert isinstance(make_scheduler("jcl"), JclScheduler)
+
+    def test_capability_flags(self):
+        assert WEAKLY_HARD_SCHEDULERS == {"jcl"}
+        by_name = {row["name"]: row for row in scheduler_capabilities()}
+        assert by_name["jcl"]["weakly_hard"] is True
+        assert by_name["jcl"]["requires_priorities"] is True
+        assert by_name["fps"]["weakly_hard"] is False
+
+    def test_rejects_unknown_constraint_names(self):
+        taskset = get_workload("example").prioritized()
+        scheduler = JclScheduler(constraints={"ghost": (1, 2)})
+        with pytest.raises(ConfigurationError, match="ghost"):
+            simulate(taskset, scheduler, duration=400.0)
+
+
+class TestFpsEquivalence:
+    @pytest.mark.parametrize("app", ["example", "ins"])
+    def test_unconstrained_jcl_matches_fps(self, app):
+        workload = get_workload(app)
+        duration = min(workload.taskset.hyperperiod, 5_000_000.0)
+        results = {}
+        for name in ("fps", "jcl"):
+            taskset = workload.prioritized().with_bcet_ratio(0.5)
+            result = simulate(
+                taskset,
+                make_scheduler(name),
+                duration=duration,
+                seed=7,
+                on_miss="record",
+            )
+            results[name] = result
+        fps, jcl = results["fps"], results["jcl"]
+        assert jcl.jobs_completed == fps.jobs_completed
+        assert jcl.preemptions == fps.preemptions
+        assert jcl.energy == pytest.approx(fps.energy)
+        assert len(jcl.deadline_misses) == len(fps.deadline_misses)
+
+
+class TestAlternation:
+    def test_overloaded_pair_alternates_misses(self):
+        constraints = {"stream_a": (1, 2), "stream_b": (1, 2)}
+        taskset, scheduler = _pair(constraints)
+        duration = taskset.hyperperiod * 6
+        result = _run(taskset, scheduler, duration)
+        windows = check_result(result, taskset, constraints, duration)
+        assert windows == {"stream_a": None, "stream_b": None}
+        # The overload is real: the processor cannot hit every deadline.
+        assert result.deadline_misses
+
+    def test_fps_on_the_same_pair_violates(self):
+        constraints = {"stream_a": (1, 2), "stream_b": (1, 2)}
+        taskset, _ = _pair()
+        duration = taskset.hyperperiod * 6
+        result = _run(taskset, make_scheduler("fps"), duration)
+        windows = check_result(result, taskset, constraints, duration)
+        assert windows["stream_b"] == 0
+
+    def test_fresh_scheduler_instances_are_independent(self):
+        constraints = {"stream_a": (1, 2), "stream_b": (1, 2)}
+        taskset, scheduler = _pair(constraints)
+        duration = taskset.hyperperiod * 4
+        first = _run(taskset, scheduler, duration)
+        taskset2, scheduler2 = _pair(constraints)
+        second = _run(taskset2, scheduler2, duration)
+        assert first.energy == pytest.approx(second.energy)
+        assert len(first.deadline_misses) == len(second.deadline_misses)

@@ -85,3 +85,113 @@ class TestMain:
     def test_extensions_parser(self):
         args = build_parser().parse_args(["extensions", "--which", "oracle"])
         assert args.which == "oracle"
+
+
+class TestCapabilityListings:
+    def test_schedulers_table(self, capsys):
+        assert main(["schedulers"]) == 0
+        out = capsys.readouterr().out
+        assert "jcl" in out and "lpfps" in out
+
+    def test_schedulers_json(self, capsys):
+        import json
+
+        assert main(["schedulers", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["jcl"]["weakly_hard"] is True
+        assert by_name["yds"]["oracle"] is True
+        assert by_name["past"]["tick_driven"] is True
+        assert by_name["fps"]["requires_priorities"] is True
+
+    def test_workloads_json(self, capsys):
+        import json
+
+        assert main(["workloads", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["ins"]["tasks"] == 6
+        assert by_name["cnc"]["hyperperiod_us"] == 7200.0
+        assert 0 < by_name["avionics"]["utilization"] < 1
+        assert by_name["example"]["reconstructed"] is False
+
+
+class TestScenarioCli:
+    def test_list_names(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "weakly_hard" in out and "cnc" in out
+
+    def test_list_json(self, capsys):
+        import json
+
+        assert main(["scenario", "list", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["weakly_hard"]["weakly_hard"] == {
+            "stream_a": [1, 2], "stream_b": [1, 2],
+        }
+        assert len(by_name["cnc"]["fingerprint"]) == 64
+
+    def test_validate_pack_prints_fingerprint(self, capsys):
+        assert main(["scenario", "validate", "weakly_hard"]) == 0
+        assert "fingerprint" in capsys.readouterr().out
+
+    def test_validate_file_path(self, tmp_path, capsys):
+        import json
+
+        from repro.scenarios import pack_path
+
+        copy = tmp_path / "copy.json"
+        copy.write_text(pack_path("cnc").read_text())
+        assert main(["scenario", "validate", str(copy)]) == 0
+
+    def test_validate_invalid_document_names_the_field(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({
+            "schema": "repro/scenario/v1",
+            "name": "bad",
+            "tasks": [{"name": "a", "wcet": 1.0, "period": 4.0, "wat": 1}],
+        }))
+        assert main(["scenario", "validate", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "tasks[0].wat: unknown key" in err
+
+    def test_unknown_pack_fails(self, capsys):
+        assert main(["scenario", "validate", "nope"]) == 1
+        assert "available" in capsys.readouterr().err
+
+    def test_run_weakly_hard_reports_the_contrast(self, capsys):
+        # exit 1: the fps cells violate their windows, by design
+        assert main(["scenario", "run", "weakly_hard"]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out and "ok" in out
+
+    def test_run_json_streams_cell_events(self, capsys):
+        import json
+
+        main(["scenario", "run", "weakly_hard", "--json"])
+        lines = capsys.readouterr().out.strip().splitlines()
+        events = [json.loads(line) for line in lines if line.startswith("{")]
+        assert len(events) == 2
+        assert all(event["event"] == "cell" for event in events)
+
+    def test_check_round_trips_the_library(self, capsys):
+        assert main(["scenario", "check"]) == 0
+        out = capsys.readouterr().out
+        assert "weakly_hard: round-trip ok" in out
+        assert "(m,k) schedulable" in out
+
+
+class TestQueryRetryArgs:
+    def test_max_attempts_default(self):
+        args = build_parser().parse_args(["query", "--app", "cnc"])
+        assert args.max_attempts == 5
+
+    def test_max_attempts_override(self):
+        args = build_parser().parse_args(
+            ["query", "--app", "cnc", "--max-attempts", "1"]
+        )
+        assert args.max_attempts == 1
