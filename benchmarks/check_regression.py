@@ -21,13 +21,20 @@ today's-clock numbers.  (The service latency check borrows the same
 reference — an approximation, since ``bench_service.json`` carries no
 probe of its own, which is one reason its tolerance is wider.)
 
+The fast-path check is different: ``fastpath_campaign_speedup`` is a
+wall ratio measured back-to-back on a single clock, so it needs no
+rescaling and is compared as-is (with its own wide tolerance — see
+:data:`FASTPATH_TOLERANCE`).
+
 Exit status 0 when everything is within tolerance, 1 on any regression
 beyond it — throughputs more than ``--tolerance`` (default 20%) slower
 than expected, or the warm-hit HTTP p50 more than
 ``--latency-tolerance`` (default 50%; network + scheduler jitter)
-slower.  The decision logic is pure (:func:`evaluate`), so the tests
-can prove the gate trips on a synthetic 2x slowdown without simulating
-anything.
+slower — and 2 when a committed baseline is unusable
+(:class:`GateInputError`: missing metric or key; the message names the
+regeneration command).  The decision logic is pure (:func:`evaluate`),
+so the tests can prove the gate trips on a synthetic slowdown without
+simulating anything.
 """
 
 from __future__ import annotations
@@ -47,14 +54,54 @@ KERNEL_BASELINE_PATH = OUT_DIR / "kernel_baseline.json"
 #: Default regression tolerances, as fractions of the expected value.
 THROUGHPUT_TOLERANCE = 0.20
 LATENCY_TOLERANCE = 0.50
+#: The fast-path speedup is a ratio of a tens-of-ms wall against a
+#: multi-second wall, so load jitter swings it by whole multiples while real
+#: rot (cells silently degrading to the exact loop) collapses it toward
+#: 1x — two orders of magnitude below the committed ~170x.  A wide
+#: tolerance separates those regimes without false alarms.
+FASTPATH_TOLERANCE = 0.75
+
+
+class GateInputError(Exception):
+    """A committed baseline payload is missing something the gate needs.
+
+    Raised instead of a bare ``KeyError`` so a stale or hand-edited
+    baseline fails with the regeneration command, not a traceback.
+    ``main`` maps it to exit status 2 — distinct from 1 (a real
+    regression), so CI can tell "fix the baseline" from "fix the code".
+    """
 
 
 def metric_value(payload: Mapping[str, Any], test: str, name: str) -> float:
     """Pull one metric value out of a bench-metrics/v1 payload."""
-    for metric in payload["tests"][test]["metrics"]:
+    benchmark = payload.get("benchmark", "<unknown>")
+    tests = payload.get("tests")
+    if not isinstance(tests, Mapping) or test not in tests:
+        raise GateInputError(
+            f"baseline payload for {benchmark!r} has no test {test!r}; "
+            f"regenerate it with: PYTHONPATH=src python -m pytest "
+            f"benchmarks/{benchmark}.py -q"
+        )
+    for metric in tests[test].get("metrics", ()):
         if metric["name"] == name:
             return float(metric["value"])
-    raise KeyError(f"metric {name!r} not found in test {test!r}")
+    raise GateInputError(
+        f"metric {name!r} not found in test {test!r} of the committed "
+        f"{benchmark!r} baseline; regenerate it with: PYTHONPATH=src "
+        f"python -m pytest benchmarks/{benchmark}.py -q"
+    )
+
+
+def baseline_value(baseline: Mapping[str, Any], key: str) -> float:
+    """Pull one key out of ``kernel_baseline.json``, with a clear failure."""
+    try:
+        return float(baseline[key])
+    except (KeyError, TypeError, ValueError):
+        raise GateInputError(
+            f"kernel_baseline.json is missing key {key!r}; regenerate it "
+            f"with: PYTHONPATH=src python benchmarks/baseline_capture.py "
+            f"--label <generation>"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -98,15 +145,18 @@ def evaluate(
     service_bench: Optional[Mapping[str, Any]] = None,
     tolerance: float = THROUGHPUT_TOLERANCE,
     latency_tolerance: float = LATENCY_TOLERANCE,
+    fastpath_tolerance: float = FASTPATH_TOLERANCE,
 ) -> List[Check]:
     """Pure gate logic: rescale baselines to the current clock and compare.
 
     *fresh* must carry ``ops_per_s``, ``campaign_per_wall_s``, and
     ``single_cell_per_wall_s``; ``hit_p50_ms`` is checked only when both
-    it and *service_bench* are present.
+    it and *service_bench* are present, and ``fastpath_speedup`` only
+    when *fresh* carries it (the fast-path ratio is self-normalized —
+    both sides measured on the same clock — so no rescaling applies).
     """
-    ops_at_bench = float(kernel_baseline["calibration_ops_per_s"]) * metric_value(
-        kernel_bench, "test_kernel_throughput", "clock_scale_vs_capture"
+    ops_at_bench = baseline_value(kernel_baseline, "calibration_ops_per_s") * (
+        metric_value(kernel_bench, "test_kernel_throughput", "clock_scale_vs_capture")
     )
     clock_ratio = float(fresh["ops_per_s"]) / ops_at_bench
     checks: List[Check] = []
@@ -133,6 +183,22 @@ def evaluate(
                 direction="higher-is-better",
             )
         )
+    if "fastpath_speedup" in fresh:
+        baseline = metric_value(
+            kernel_bench, "test_fastpath_campaign", "fastpath_campaign_speedup"
+        )
+        checks.append(
+            Check(
+                name="kernel.fastpath_speedup",
+                baseline=baseline,
+                # A wall ratio measured back-to-back on one clock: clock
+                # drift cancels, so expected == baseline, unrescaled.
+                expected=baseline,
+                fresh=float(fresh["fastpath_speedup"]),
+                tolerance=fastpath_tolerance,
+                direction="higher-is-better",
+            )
+        )
     if service_bench is not None and "hit_p50_ms" in fresh:
         baseline = metric_value(
             service_bench, "test_hit_miss_latency_over_http", "hit_latency_p50_ms"
@@ -150,9 +216,16 @@ def evaluate(
     return checks
 
 
-def capture_fresh(probe_service: bool = True) -> Dict[str, float]:
-    """Measure the current tree: clock probe, kernel runs, service probe."""
-    from baseline_capture import calibrate, time_campaign_serial, time_single_cell
+def capture_fresh(
+    probe_service: bool = True, probe_fastpath: bool = True
+) -> Dict[str, float]:
+    """Measure the current tree: clock probe, kernel runs, optional probes."""
+    from baseline_capture import (
+        calibrate,
+        time_campaign_serial,
+        time_fastpath_campaign,
+        time_single_cell,
+    )
 
     fresh: Dict[str, float] = {"ops_per_s": calibrate()}
     fresh["single_cell_per_wall_s"] = time_single_cell(record_trace=False)[
@@ -161,6 +234,16 @@ def capture_fresh(probe_service: bool = True) -> Dict[str, float]:
     fresh["campaign_per_wall_s"] = time_campaign_serial(record_trace=False)[
         "simulated_us_per_wall_s"
     ]
+    if probe_fastpath:
+        exact = time_fastpath_campaign("exact")
+        fast = time_fastpath_campaign("fast")
+        if fast["jobs_completed"] != exact["jobs_completed"]:
+            raise RuntimeError(
+                "fast-path probe diverged: "
+                f"{fast['jobs_completed']} jobs (fast) vs "
+                f"{exact['jobs_completed']} (exact)"
+            )
+        fresh["fastpath_speedup"] = exact["wall_s"] / fast["wall_s"]
     if probe_service:
         fresh["hit_p50_ms"] = probe_warm_hit_p50_ms()
     return fresh
@@ -213,6 +296,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip the HTTP warm-hit probe (kernel checks only)",
     )
     parser.add_argument(
+        "--skip-fastpath", action="store_true",
+        help="skip the fast-path speedup probe and its gate",
+    )
+    parser.add_argument(
         "--json", type=pathlib.Path, default=None,
         help="also write the verdicts to this JSON file",
     )
@@ -226,16 +313,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not args.skip_service and SERVICE_BENCH_PATH.exists()
         else None
     )
-    fresh = capture_fresh(probe_service=service_bench is not None)
-    checks = evaluate(
-        kernel_bench,
-        kernel_baseline,
-        fresh,
-        service_bench=service_bench,
-        tolerance=args.tolerance,
-        latency_tolerance=args.latency_tolerance,
+    probe_fastpath = not args.skip_fastpath and any(
+        metric.get("name") == "fastpath_campaign_speedup"
+        for metric in kernel_bench.get("tests", {})
+        .get("test_fastpath_campaign", {})
+        .get("metrics", ())
     )
-    print(f"clock probe: {fresh['ops_per_s']:.0f} ops/s")
+    fresh = capture_fresh(
+        probe_service=service_bench is not None, probe_fastpath=probe_fastpath
+    )
+    try:
+        checks = evaluate(
+            kernel_bench,
+            kernel_baseline,
+            fresh,
+            service_bench=service_bench,
+            tolerance=args.tolerance,
+            latency_tolerance=args.latency_tolerance,
+        )
+    except GateInputError as exc:
+        print(f"gate input error: {exc}", file=sys.stderr)
+        return 2
+
+    # Provenance: exactly which committed numbers this verdict rests on,
+    # and how the clock chain rescaled them.
+    ops_at_capture = float(kernel_baseline.get("calibration_ops_per_s", 0.0))
+    bench_scale = metric_value(
+        kernel_bench, "test_kernel_throughput", "clock_scale_vs_capture"
+    )
+    ops_at_bench = ops_at_capture * bench_scale
+    print(
+        "baseline: kernel_baseline.json "
+        f"label={kernel_baseline.get('label', '<unlabelled>')!r} "
+        f"commit={kernel_baseline.get('commit', 'unrecorded')}"
+    )
+    print(
+        f"clock chain: {ops_at_capture:.0f} ops/s at capture "
+        f"x {bench_scale:.4f} bench scale = {ops_at_bench:.0f} ops/s at bench; "
+        f"probe now {fresh['ops_per_s']:.0f} ops/s "
+        f"(ratio {fresh['ops_per_s'] / ops_at_bench:.3f})"
+    )
     for check in checks:
         print(check.render())
     if args.json is not None:

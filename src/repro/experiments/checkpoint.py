@@ -40,7 +40,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner ← checkpoin
 
 #: Bumped whenever the canonical payload layout or the journal record
 #: format changes, so stale journals can never alias a new fingerprint.
-JOURNAL_VERSION = 1
+#: v2: the payload gained the ``execution`` key (exact vs fast kernel
+#: path), so pre-fast-path journals can never satisfy a fast cell.
+JOURNAL_VERSION = 2
 
 #: Journal file name inside a checkpoint directory.
 JOURNAL_NAME = "journal.jsonl"
@@ -149,6 +151,7 @@ def canonical_spec_payload(spec: "RunSpec") -> Optional[Dict[str, Any]]:
         "scheduler_overhead": _num(spec.scheduler_overhead),
         "faults": faults,
         "record_trace": bool(spec.record_trace),
+        "execution": spec.execution,
     }
 
 

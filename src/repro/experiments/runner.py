@@ -72,6 +72,15 @@ class RunSpec:
     cells.  *faults*, when present, is likewise either a ready
     :class:`~repro.faults.layer.FaultLayer` or a zero-argument factory
     for one.
+
+    *execution* selects the kernel path: ``"exact"`` (default) runs the
+    event loop to the horizon; ``"fast"`` goes through
+    :func:`~repro.sim.fastpath.simulate_fast` with ``exact=False`` —
+    hyperperiod fast-forwarding under the audited float tolerance, with
+    automatic exact fallback for ineligible or non-converging cells.
+    Either way ``result.metadata["execution_path"]`` records which path
+    actually produced the cell, and the checkpoint fingerprint includes
+    *execution*, so one campaign journal never mixes paths.
     """
 
     taskset: TaskSet
@@ -84,7 +93,14 @@ class RunSpec:
     scheduler_overhead: float = 0.0
     faults: Union[None, FaultLayer, Callable[[], FaultLayer]] = None
     record_trace: bool = False
+    execution: str = "exact"
     extra: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.execution not in ("exact", "fast"):
+            raise ConfigurationError(
+                f"execution must be 'exact' or 'fast', got {self.execution!r}"
+            )
 
     def build_scheduler(self) -> Any:
         """Instantiate this cell's scheduler."""
@@ -100,9 +116,7 @@ class RunSpec:
         faults = self.faults
         if faults is not None and not isinstance(faults, FaultLayer):
             faults = faults()
-        return simulate(
-            self.taskset,
-            self.build_scheduler(),
+        kwargs = dict(
             spec=self.spec,
             execution_model=self.execution_model,
             duration=self.duration,
@@ -112,6 +126,15 @@ class RunSpec:
             faults=faults,
             record_trace=self.record_trace,
         )
+        if self.execution == "fast":
+            from ..sim.fastpath import simulate_fast
+
+            return simulate_fast(
+                self.taskset, self.build_scheduler(), exact=False, **kwargs
+            )
+        result = simulate(self.taskset, self.build_scheduler(), **kwargs)
+        result.metadata["execution_path"] = "exact"
+        return result
 
 
 @dataclass
@@ -231,6 +254,31 @@ def _run_spec_contained(spec: RunSpec) -> Union[SimulationResult, CellFailure]:
         return CellFailure.from_exception(spec, exc)
 
 
+def _run_spec_batch(specs: List[RunSpec]) -> List[SimulationResult]:
+    """Batch trampoline: run a chunk of cells in one worker round-trip.
+
+    Amortises pickle + IPC overhead over ``chunk`` cells — the win that
+    makes short fast-path cells worth pooling at all.  Results come back
+    aligned with *specs*.
+    """
+    return [_run_spec(spec) for spec in specs]
+
+
+def _run_spec_batch_contained(
+    specs: List[RunSpec],
+) -> List[Union[SimulationResult, CellFailure]]:
+    """Batch trampoline for ``failures="contain"`` campaigns."""
+    return [_run_spec_contained(spec) for spec in specs]
+
+
+def _chunked(indices: Sequence[int], chunk: int) -> List[List[int]]:
+    """Split *indices* into dispatch groups of at most *chunk* cells."""
+    return [
+        list(indices[start:start + chunk])
+        for start in range(0, len(indices), chunk)
+    ]
+
+
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Resolve a *jobs* knob to a concrete worker count.
 
@@ -330,15 +378,16 @@ def _pool_generation(
     fingerprints: Optional[List[Optional[str]]],
     stats: _CampaignStats,
     progress: Optional[Callable[[int, Any], None]] = None,
+    chunk: int = 1,
 ) -> Tuple[bool, List[int], List[int]]:
     """Run *indices* through one process pool until done or it breaks.
 
-    Dispatch is wave-based — at most *workers* cells are ever in flight
-    — so when the pool breaks, the set of cells that might have killed
-    it is bounded by the pool width, not the campaign size.  Returns
-    ``(broken, suspects, leftover)``: the cells in flight at the break
-    (one of them is probably the killer) and the cells never submitted
-    (innocent; re-dispatch freely).
+    Dispatch is wave-based — at most *workers* groups of at most *chunk*
+    cells are ever in flight — so when the pool breaks, the set of cells
+    that might have killed it is bounded by ``workers * chunk``, not the
+    campaign size.  Returns ``(broken, suspects, leftover)``: the cells
+    in flight at the break (one of them is probably the killer) and the
+    cells never submitted (innocent; re-dispatch freely).
 
     Raises :class:`_PoolUnavailable` when the pool cannot even be
     created (sandboxes without process spawning).
@@ -347,35 +396,40 @@ def _pool_generation(
         pool = ProcessPoolExecutor(max_workers=workers)
     except (OSError, PermissionError, NotImplementedError):
         raise _PoolUnavailable() from None
-    runner = _run_spec if failures == "raise" else _run_spec_contained
-    queue = deque(indices)
-    inflight: Dict[Any, int] = {}
+    runner = _run_spec_batch if failures == "raise" else _run_spec_batch_contained
+    queue: "deque[List[int]]" = deque(_chunked(indices, chunk))
+    inflight: Dict[Any, List[int]] = {}
     broken = False
     suspects: List[int] = []
     try:
         while queue or inflight:
             while queue and len(inflight) < workers:
-                i = queue.popleft()
+                group = queue.popleft()
                 try:
-                    inflight[pool.submit(runner, spec_list[i])] = i
+                    inflight[
+                        pool.submit(runner, [spec_list[i] for i in group])
+                    ] = group
                 except (BrokenProcessPool, RuntimeError):
-                    queue.appendleft(i)
+                    queue.appendleft(group)
                     broken = True
                     break
             if broken or not inflight:
                 break
             done, _ = wait(list(inflight), return_when=FIRST_COMPLETED)
             for future in done:
-                i = inflight.pop(future)
+                group = inflight.pop(future)
                 exc = future.exception()
                 if exc is None:
-                    _commit_result(
-                        results, i, future.result(), journal, fingerprints,
-                        stats, progress,
-                    )
+                    for i, cell in zip(group, future.result()):
+                        _commit_result(
+                            results, i, cell, journal, fingerprints,
+                            stats, progress,
+                        )
                 elif isinstance(exc, BrokenProcessPool):
+                    # Any cell in the dead worker's batch could be the
+                    # killer; quarantine re-runs them one at a time.
                     broken = True
-                    suspects.append(i)
+                    suspects.extend(group)
                 else:
                     # failures="raise": the cell's own exception
                     # propagates exactly as the serial path would raise
@@ -385,19 +439,20 @@ def _pool_generation(
                 break
         if broken and inflight:
             # The pool fails every remaining future promptly once broken;
-            # a worker may still have completed a cell in the same race.
+            # a worker may still have completed a batch in the same race.
             wait(list(inflight))
-            for future, i in inflight.items():
+            for future, group in inflight.items():
                 if future.exception() is None and not future.cancelled():
-                    _commit_result(
-                        results, i, future.result(), journal, fingerprints,
-                        stats, progress,
-                    )
+                    for i, cell in zip(group, future.result()):
+                        _commit_result(
+                            results, i, cell, journal, fingerprints,
+                            stats, progress,
+                        )
                 else:
-                    suspects.append(i)
+                    suspects.extend(group)
     finally:
         pool.shutdown(wait=True, cancel_futures=True)
-    return broken, suspects, list(queue)
+    return broken, suspects, [i for group in queue for i in group]
 
 
 def _run_pool_supervised(
@@ -411,6 +466,7 @@ def _run_pool_supervised(
     fingerprints: Optional[List[Optional[str]]],
     stats: _CampaignStats,
     progress: Optional[Callable[[int, Any], None]] = None,
+    chunk: int = 1,
 ) -> None:
     """Supervise pool execution across worker deaths.
 
@@ -420,7 +476,8 @@ def _run_pool_supervised(
     breaks only its own pool, so it is identified deterministically and
     charged against its retry budget, while innocent bystanders complete
     on their first quarantine run.  Everything never submitted continues
-    in a fresh full-width pool.
+    in a fresh full-width pool.  Quarantine always runs one cell per
+    batch regardless of *chunk* — attribution needs isolation.
     """
     attempts: Dict[int, int] = {i: 0 for i in indices}
     pending: List[int] = list(indices)
@@ -430,12 +487,14 @@ def _run_pool_supervised(
         if quarantine:
             batch: List[int] = [quarantine.popleft()]
             width = 1
+            batch_chunk = 1
         else:
             batch, pending = pending, []
             width = min(workers, len(batch))
+            batch_chunk = chunk
         broken, suspects, leftover = _pool_generation(
             spec_list, batch, width, failures, results, journal,
-            fingerprints, stats, progress,
+            fingerprints, stats, progress, batch_chunk,
         )
         pending.extend(leftover)
         completed_any = completed_any or any(
@@ -482,6 +541,7 @@ def run_many(
     retries: int = 2,
     checkpoint: Union[None, str, Path] = None,
     progress: Optional[Callable[[int, Any], None]] = None,
+    chunk: Optional[int] = None,
 ) -> List[Union[SimulationResult, CellFailure]]:
     """Execute a campaign of :class:`RunSpec` cells, optionally in parallel.
 
@@ -515,6 +575,13 @@ def run_many(
     supervisor side), in completion order, after the result is committed.
     Live observers (the service's campaign streaming) hang off this hook.
 
+    ``chunk``, when given, batches that many cells into each worker
+    round-trip instead of one — amortising pickle/IPC overhead, which
+    dominates once fast-path cells finish in milliseconds.  Chunking
+    never changes results (each cell is still seeded and independent),
+    only dispatch granularity; worker-death suspects grow to at most one
+    chunk per worker, and quarantine re-runs stay single-cell.
+
     The serial path is also the fallback: spec lists that cannot be
     pickled (e.g. closure-based scheduler factories) and environments
     where worker processes cannot start both degrade to in-process
@@ -536,6 +603,13 @@ def run_many(
         )
     if isinstance(retries, bool) or not isinstance(retries, int) or retries < 0:
         raise ConfigurationError(f"retries must be an integer >= 0, got {retries!r}")
+    if chunk is not None and (
+        isinstance(chunk, bool) or not isinstance(chunk, int) or chunk < 1
+    ):
+        raise ConfigurationError(
+            f"chunk must be an integer >= 1 or None, got {chunk!r}"
+        )
+    resolved_chunk = 1 if chunk is None else chunk
     resolved = min(resolve_jobs(jobs), os.cpu_count() or 1)
     t0 = perf_counter()
     stats = _CampaignStats()
@@ -585,6 +659,7 @@ def run_many(
                     _run_pool_supervised(
                         spec_list, pending, workers, failures, retries,
                         results, journal, fingerprints, stats, progress,
+                        resolved_chunk,
                     )
                     executor = "process-pool"
                 except _PoolUnavailable:
@@ -599,7 +674,8 @@ def run_many(
         if journal is not None:
             journal.close()
     _annotate_campaign(
-        results, jobs, resolved, workers, executor, perf_counter() - t0, stats
+        results, jobs, resolved, workers, executor, perf_counter() - t0, stats,
+        chunk=resolved_chunk,
     )
     return results
 
@@ -612,6 +688,7 @@ def _annotate_campaign(
     executor: str,
     wall_s: float,
     stats: Optional[_CampaignStats] = None,
+    chunk: int = 1,
 ) -> None:
     """Stamp execution provenance on *results* and gauge it into obs."""
     busy_s = 0.0
@@ -621,6 +698,7 @@ def _annotate_campaign(
         metadata["resolved_jobs"] = resolved_jobs
         metadata["workers"] = workers
         metadata["executor"] = executor
+        metadata["chunk"] = chunk
         busy_s += float(metadata.get("cell_wall_s", 0.0))
     obs = current()
     if not obs.enabled:

@@ -6,8 +6,10 @@ owns the event loop and job lifecycle; :mod:`~repro.sim.power_accounting`,
 :mod:`~repro.sim.recording` are its explicit components.
 """
 
+from .batchgen import HAVE_NUMPY, ReleaseTable
 from .engine import Simulator, simulate
 from .events import KEEP, NO_CHANGE, Decision, SchedEvent, SleepRequest
+from .fastpath import FLOAT_ATOL, FLOAT_RTOL, simulate_fast
 from .metrics import (
     DeadlineMiss,
     EnergyBreakdown,
@@ -17,7 +19,13 @@ from .metrics import (
 from .power_accounting import PowerAccountant
 from .profile import Ramp, constant_time_to_complete, constant_work
 from .queues import DelayQueue, RunQueue, deadline_key, priority_key
-from .recording import NULL_RECORDER, NullRecorder, Recorder, TraceBackedRecorder
+from .recording import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    TraceBackedRecorder,
+    digest_metrics,
+)
 from .sleep_control import SleepController
 from .speed_control import SpeedController
 from .trace import PointEvent, Segment, TraceRecorder
@@ -27,6 +35,12 @@ from .validate import Violation, assert_valid, validate_trace
 __all__ = [
     "Simulator",
     "simulate",
+    "simulate_fast",
+    "FLOAT_RTOL",
+    "FLOAT_ATOL",
+    "ReleaseTable",
+    "HAVE_NUMPY",
+    "digest_metrics",
     "PowerAccountant",
     "SpeedController",
     "SleepController",

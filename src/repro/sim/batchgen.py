@@ -1,0 +1,212 @@
+"""Struct-of-arrays batch release generation for the campaign fast path.
+
+The event loop materialises releases one :class:`~repro.tasks.job.Job`
+at a time; campaign-scale tooling wants the whole periodic release
+timeline at once.  :class:`ReleaseTable` builds it as parallel arrays —
+release times, task slots, per-task job indices — sorted exactly the way
+the kernel's delay queue drains simultaneous releases (time, then task
+priority, then insertion order), so the table can answer structural
+questions (releases per hyperperiod, releases in a window) without
+running the simulator.
+
+Two array backends share one construction recipe:
+
+* **numpy**, when importable: ``arange``/``concatenate``/``lexsort``
+  build the timeline vectorised.  numpy is the optional ``[fast]``
+  extra — never a hard dependency.
+* **pure Python** (:mod:`array` + :mod:`bisect`) otherwise, producing
+  the *same values in the same order*, so everything downstream —
+  the fast path's per-cycle release counts, the differential tests —
+  is backend-independent.
+
+The hyperperiod fast-forward (:mod:`repro.sim.fastpath`) leans on
+:meth:`ReleaseTable.counts` for its per-task index-shift arithmetic:
+skipping ``m`` hyperperiods advances task ``i``'s job index by
+``m * counts()[i]``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from array import array
+from typing import Dict, Iterator, List, Tuple
+
+from ..errors import ConfigurationError
+from ..tasks.task import TaskSet
+
+try:  # pragma: no cover - exercised via both CI tier-1 variants
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy-less environments
+    _np = None
+    HAVE_NUMPY = False
+
+#: One release row: (time, task name, per-task job index).
+Release = Tuple[float, str, int]
+
+
+def _release_count(phase: float, period: float, horizon: float) -> int:
+    """Number of releases of one task with ``phase + k*period < horizon``."""
+    if phase >= horizon:
+        return 0
+    span = (horizon - phase) / period
+    count = math.ceil(span)
+    # A release landing exactly on the horizon belongs to the next window.
+    if count > 0 and phase + (count - 1) * period >= horizon:
+        count -= 1
+    return max(count, 0 if span <= 0 else 1) if span > 0 else 0
+
+
+class ReleaseTable:
+    """Struct-of-arrays view of every periodic release in ``[0, horizon)``.
+
+    Rows are ordered by (release time, task priority, task position) —
+    the same deterministic order the kernel's delay queue yields
+    simultaneous releases in.
+    """
+
+    __slots__ = ("horizon", "names", "times", "slots", "indices", "backend")
+
+    def __init__(
+        self,
+        horizon: float,
+        names: Tuple[str, ...],
+        times,
+        slots,
+        indices,
+        backend: str,
+    ) -> None:
+        self.horizon = horizon
+        #: Task-slot id -> task name.
+        self.names = names
+        #: Sorted release instants (µs).
+        self.times = times
+        #: Task-slot id per release row.
+        self.slots = slots
+        #: Per-task job index per release row.
+        self.indices = indices
+        #: ``"numpy"`` or ``"python"`` — which array backend built this.
+        self.backend = backend
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_taskset(
+        cls, taskset: TaskSet, horizon: float, force_python: bool = False
+    ) -> "ReleaseTable":
+        """Build the release timeline of *taskset* over ``[0, horizon)``.
+
+        ``force_python=True`` selects the pure-Python backend even when
+        numpy is importable (the differential tests compare both).
+        """
+        if horizon <= 0 or not math.isfinite(horizon):
+            raise ConfigurationError(
+                f"release horizon must be finite and > 0, got {horizon}"
+            )
+        tasks = list(taskset)
+        names = tuple(task.name for task in tasks)
+        counts = [
+            _release_count(task.phase, task.period, horizon) for task in tasks
+        ]
+        # Simultaneous releases order by priority, then task position —
+        # the delay queue's (priority, insertion counter) tie-break.
+        ties = [
+            float(task.priority) if task.priority is not None else 0.0
+            for task in tasks
+        ]
+        if HAVE_NUMPY and not force_python:
+            return cls._build_numpy(horizon, names, tasks, counts, ties)
+        return cls._build_python(horizon, names, tasks, counts, ties)
+
+    @classmethod
+    def _build_numpy(cls, horizon, names, tasks, counts, ties) -> "ReleaseTable":
+        total = sum(counts)
+        if total == 0:
+            empty_f = _np.empty(0, dtype=_np.float64)
+            empty_i = _np.empty(0, dtype=_np.int64)
+            return cls(horizon, names, empty_f, empty_i, empty_i, "numpy")
+        times = _np.concatenate(
+            [
+                task.phase + _np.arange(n, dtype=_np.float64) * task.period
+                for task, n in zip(tasks, counts)
+                if n
+            ]
+        )
+        slots = _np.concatenate(
+            [
+                _np.full(n, slot, dtype=_np.int64)
+                for slot, n in enumerate(counts)
+                if n
+            ]
+        )
+        indices = _np.concatenate(
+            [_np.arange(n, dtype=_np.int64) for n in counts if n]
+        )
+        tie = _np.concatenate(
+            [
+                _np.full(n, ties[slot], dtype=_np.float64)
+                for slot, n in enumerate(counts)
+                if n
+            ]
+        )
+        # lexsort: last key is primary; stable, so equal (time, tie) rows
+        # keep task-position order — the insertion-counter tie-break.
+        order = _np.lexsort((tie, times))
+        return cls(
+            horizon, names, times[order], slots[order], indices[order], "numpy"
+        )
+
+    @classmethod
+    def _build_python(cls, horizon, names, tasks, counts, ties) -> "ReleaseTable":
+        rows: List[Tuple[float, float, int, int]] = []
+        for slot, (task, n) in enumerate(zip(tasks, counts)):
+            phase, period, tie = task.phase, task.period, ties[slot]
+            for k in range(n):
+                rows.append((phase + k * period, tie, slot, k))
+        rows.sort(key=lambda row: (row[0], row[1]))
+        times = array("d", (row[0] for row in rows))
+        slots = array("q", (row[2] for row in rows))
+        indices = array("q", (row[3] for row in rows))
+        return cls(horizon, names, times, slots, indices, "python")
+
+    # -- queries -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def counts(self) -> Dict[str, int]:
+        """Releases per task over the horizon (every task present)."""
+        totals = {name: 0 for name in self.names}
+        for slot in self.slots:
+            totals[self.names[slot]] += 1
+        return totals
+
+    def window(self, t0: float, t1: float) -> List[Release]:
+        """Release rows with ``t0 <= time < t1``, in timeline order."""
+        lo, hi = self._bounds(t0, t1)
+        return [self.row(i) for i in range(lo, hi)]
+
+    def count_in(self, t0: float, t1: float) -> int:
+        """Number of releases with ``t0 <= time < t1``."""
+        lo, hi = self._bounds(t0, t1)
+        return hi - lo
+
+    def row(self, i: int) -> Release:
+        """One release row as ``(time, task name, job index)``."""
+        return (
+            float(self.times[i]),
+            self.names[int(self.slots[i])],
+            int(self.indices[i]),
+        )
+
+    def __iter__(self) -> Iterator[Release]:
+        return (self.row(i) for i in range(len(self.times)))
+
+    def _bounds(self, t0: float, t1: float) -> Tuple[int, int]:
+        if self.backend == "numpy":
+            lo = int(_np.searchsorted(self.times, t0, side="left"))
+            hi = int(_np.searchsorted(self.times, t1, side="left"))
+        else:
+            lo = bisect.bisect_left(self.times, t0)
+            hi = bisect.bisect_left(self.times, t1)
+        return lo, hi

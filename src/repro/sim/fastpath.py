@@ -1,0 +1,500 @@
+"""Hyperperiod fast-forwarding — the no-trace campaign fast path.
+
+A synchronous periodic task set under a *deterministic* execution model
+drives the kernel into a periodic steady state: once transients (warm-up
+DVS ramps, streak saturation, first-cycle phasing) die out, every
+hyperperiod produces the same schedule shifted in time and the same
+energy/metric increments.  This module detects that steady state and
+extrapolates the remaining horizon analytically instead of re-simulating
+it cycle by cycle.
+
+Detection protocol
+------------------
+:func:`simulate_fast` installs a hook on the engine's event loop that
+fires at the first loop-top instant at or past each hyperperiod grid
+point ``k·H`` (the grid is computed by multiplication, never by
+accumulation, so it is float-exact for integer-µs hyperperiods).  At
+each crossing it captures:
+
+* a **state signature** — queue contents, active job, controller state,
+  and the scheduler's own :meth:`fastforward_signature`, all expressed
+  *relative* to the crossing instant (absolute timestamps never repeat);
+* a **counter snapshot** — energy buckets, speed residency, and every
+  integer counter the result reports.
+
+Convergence requires *two consecutive matching deltas over matching
+signatures*: crossings ``k-1``, ``k``, ``k+1`` must carry equal
+signatures and the per-cycle counter increments of ``[k-1, k)`` and
+``[k, k+1)`` must agree (integers exactly; floats within
+:data:`FLOAT_RTOL`/:data:`FLOAT_ATOL`).  Cycles that record deadline
+misses or guard activations never qualify — those carry per-event
+records that cannot be extrapolated, so such runs simply simulate
+exactly.
+
+Jump mechanics
+--------------
+On convergence the hook picks the largest ``m`` with
+``now + m·H < horizon``, adds ``m ×`` the per-cycle delta to every
+energy bucket, residency bin, and counter, shifts all absolute
+timestamps (queued releases, job fields, DVS/sleep/tick anchors, and
+scheduler-internal anchors via :meth:`Scheduler.fast_forward`) by
+``m·H``, advances job indices by ``m ×`` the per-task releases per
+hyperperiod (from :class:`~repro.sim.batchgen.ReleaseTable`), and sets
+``now += m·H``.  The loop then simulates the final partial cycle
+exactly, so horizon-edge effects (jobs pending at the cutoff) are
+handled by the ordinary code path.
+
+Exactness contract
+------------------
+``exact=True`` (the default) never fast-forwards: results are the plain
+event loop's, trivially bit-identical to :func:`repro.sim.simulate`.
+``exact=False`` authorises the jump under an audited float tolerance:
+all integer counters (jobs, misses, preemptions, switches) remain
+*exactly* equal to the sequential run's, while float accumulators
+(energy, residency, response-time sums) may differ by re-association —
+``base + m×delta`` versus ``m`` successive additions — which is bounded
+by the convergence tolerance itself.  Stochastic models, attached fault
+layers, enabled trace recorders, or observability registries make a run
+ineligible, and it falls back to the exact loop with the reason recorded
+in ``result.metadata["fastpath_fallback"]``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..tasks.task import TaskSet
+from .batchgen import ReleaseTable
+from .engine import Simulator
+from .metrics import SimulationResult
+from .profile import Ramp
+
+#: Audited tolerance of the ``exact=False`` contract: per-cycle float
+#: deltas must agree to this precision before a jump is allowed, and the
+#: extrapolation error is bounded by the same re-association slack.
+FLOAT_RTOL = 1e-9
+FLOAT_ATOL = 1e-12
+
+_ENERGY_FIELDS = ("active", "ramp", "idle", "sleep", "wakeup", "scheduler")
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=FLOAT_RTOL, abs_tol=FLOAT_ATOL)
+
+
+class _Snapshot:
+    """One hyperperiod crossing: comparable signature + counter levels."""
+
+    __slots__ = ("sig", "ints", "floats", "residency")
+
+    def __init__(
+        self,
+        sig: Tuple[Any, ...],
+        ints: Dict[str, int],
+        floats: Dict[str, float],
+        residency: Dict[float, float],
+    ) -> None:
+        self.sig = sig
+        self.ints = ints
+        self.floats = floats
+        self.residency = residency
+
+
+class _Delta:
+    """Per-cycle increments between two consecutive snapshots."""
+
+    __slots__ = ("ints", "floats", "residency")
+
+    def __init__(self, earlier: _Snapshot, later: _Snapshot) -> None:
+        self.ints = {
+            key: later.ints[key] - earlier.ints[key] for key in later.ints
+        }
+        self.floats = {
+            key: later.floats[key] - earlier.floats[key]
+            for key in later.floats
+        }
+        keys = set(earlier.residency) | set(later.residency)
+        self.residency = {
+            key: later.residency.get(key, 0.0) - earlier.residency.get(key, 0.0)
+            for key in keys
+        }
+
+    def extrapolatable(self) -> bool:
+        """Cycles with misses or guard activations carry per-event
+        records the jump cannot replicate; refuse them."""
+        return self.ints["misses"] == 0 and self.ints["guards"] == 0
+
+    def matches(self, other: "_Delta") -> bool:
+        if self.ints != other.ints:
+            return False
+        for key, value in self.floats.items():
+            if not _close(value, other.floats[key]):
+                return False
+        if set(self.residency) != set(other.residency):
+            return False
+        for key, value in self.residency.items():
+            if not _close(value, other.residency[key]):
+                return False
+        return True
+
+
+def _job_token(job, crossing: float, shifts: Dict[str, int]) -> Tuple:
+    """A job's cycle-relative identity: times offset by the crossing
+    instant, index reduced by the crossing's cumulative release count."""
+    return (
+        job.task.name,
+        repr(job.release_time - crossing),
+        repr(job.execution_time),
+        repr(job.executed),
+        None if job.start_time is None else repr(job.start_time - crossing),
+        job.preemptions,
+        job.index - shifts.get(job.task.name, 0),
+    )
+
+
+def _rel(value: Optional[float], crossing: float) -> Optional[str]:
+    return None if value is None else repr(value - crossing)
+
+
+def _capture(sim: Simulator, crossing: float, shifts: Dict[str, int]) -> _Snapshot:
+    """Fingerprint the kernel at a hyperperiod crossing."""
+    speed_ctrl = sim._speed_ctrl
+    sleep_ctrl = sim._sleep_ctrl
+    ramp = speed_ctrl.ramp
+    sig = (
+        repr(sim.now - crossing),
+        sim._mode.name,
+        None if sim.active_job is None else _job_token(
+            sim.active_job, crossing, shifts
+        ),
+        tuple(
+            _job_token(job, crossing, shifts) for job in sim.run_queue.jobs()
+        ),
+        tuple(
+            (
+                _rel(release_time, crossing),
+                tiebreak,
+                task.name,
+                index - shifts.get(task.name, 0),
+                _rel(nominal, crossing),
+            )
+            for release_time, tiebreak, _, task, index, nominal in sorted(
+                sim.delay_queue._heap
+            )
+        ),
+        (
+            repr(speed_ctrl.speed),
+            None
+            if ramp is None
+            else (
+                _rel(ramp.start_time, crossing),
+                _rel(ramp.end_time, crossing),
+                repr(ramp.from_speed),
+                repr(ramp.to_speed),
+            ),
+            _rel(speed_ctrl.restore_at, crossing),
+            repr(speed_ctrl.restore_target),
+        ),
+        (
+            _rel(sleep_ctrl.timer, crossing),
+            _rel(sleep_ctrl.intended, crossing),
+            _rel(sleep_ctrl.pending_at, crossing),
+            _rel(sleep_ctrl.pending_until, crossing),
+            _rel(sleep_ctrl.wake_end, crossing),
+        ),
+        _rel(sim._next_tick, crossing),
+        # Worst responses live in the signature, not the delta: they are
+        # running maxima, so any change between crossings (still-rising
+        # transient) must block the jump rather than be extrapolated.
+        tuple(
+            (name, repr(stats.worst_response))
+            for name, stats in sorted(sim._task_stats.items())
+        ),
+        repr(sim.scheduler.fastforward_signature(sim.now)),
+    )
+    ints = {
+        "context_switches": sim._context_switches,
+        "preemptions": sim._preemptions,
+        "jobs_completed": sim._jobs_completed,
+        "speed_changes": speed_ctrl.changes,
+        "sleep_entries": sleep_ctrl.entries,
+        "misses": len(sim._misses),
+        "guards": len(sim._guard_activations),
+    }
+    floats = {}
+    energy = sim._acct.energy
+    for field in _ENERGY_FIELDS:
+        floats["energy." + field] = getattr(energy, field)
+    for name, stats in sim._task_stats.items():
+        ints[name + ".jobs_released"] = stats.jobs_released
+        ints[name + ".jobs_completed"] = stats.jobs_completed
+        ints[name + ".preemptions"] = stats.preemptions
+        floats[name + ".total_response"] = stats.total_response
+    return _Snapshot(sig, ints, floats, dict(sim._acct.speed_residency))
+
+
+def _apply_jump(
+    sim: Simulator,
+    delta: _Delta,
+    cycles: int,
+    hyperperiod: float,
+    per_cycle: Dict[str, int],
+) -> None:
+    """Skip *cycles* whole hyperperiods: extrapolate counters, shift state."""
+    dt = cycles * hyperperiod
+    scale = float(cycles)
+
+    energy = sim._acct.energy
+    for field in _ENERGY_FIELDS:
+        increment = delta.floats["energy." + field]
+        if increment:
+            setattr(energy, field, getattr(energy, field) + scale * increment)
+    residency = sim._acct.speed_residency
+    for key, increment in delta.residency.items():
+        if increment:
+            residency[key] = residency.get(key, 0.0) + scale * increment
+    sim._context_switches += cycles * delta.ints["context_switches"]
+    sim._preemptions += cycles * delta.ints["preemptions"]
+    sim._jobs_completed += cycles * delta.ints["jobs_completed"]
+    sim._speed_ctrl.changes += cycles * delta.ints["speed_changes"]
+    sim._sleep_ctrl.entries += cycles * delta.ints["sleep_entries"]
+    for name, stats in sim._task_stats.items():
+        stats.jobs_released += cycles * delta.ints[name + ".jobs_released"]
+        stats.jobs_completed += cycles * delta.ints[name + ".jobs_completed"]
+        stats.preemptions += cycles * delta.ints[name + ".preemptions"]
+        increment = delta.floats[name + ".total_response"]
+        if increment:
+            stats.total_response += scale * increment
+
+    index_shift = {name: cycles * count for name, count in per_cycle.items()}
+    jobs = list(sim.run_queue.jobs())
+    if sim.active_job is not None:
+        jobs.append(sim.active_job)
+    for job in jobs:
+        job.release_time += dt
+        if job.start_time is not None:
+            job.start_time += dt
+        job.index += index_shift.get(job.task.name, 0)
+    sim.delay_queue.shift(dt, index_shift)
+
+    speed_ctrl = sim._speed_ctrl
+    if speed_ctrl.ramp is not None:
+        ramp = speed_ctrl.ramp
+        speed_ctrl.ramp = Ramp(
+            start_time=ramp.start_time + dt,
+            end_time=ramp.end_time + dt,
+            from_speed=ramp.from_speed,
+            to_speed=ramp.to_speed,
+        )
+    if speed_ctrl.restore_at is not None:
+        speed_ctrl.restore_at += dt
+    sleep_ctrl = sim._sleep_ctrl
+    for attr in ("timer", "intended", "pending_at", "pending_until", "wake_end"):
+        value = getattr(sleep_ctrl, attr)
+        if value is not None:
+            setattr(sleep_ctrl, attr, value + dt)
+    if sim._next_tick is not None:
+        sim._next_tick += dt
+
+    # Invalidate the move_due_releases memo: its "already moved at this
+    # instant" claim is about the pre-jump clock.
+    sim._moved_at = -1.0
+    # Scheduler-internal anchors shift before the run-queue re-key so a
+    # policy-owned run_queue_key (JCL) resolves the new job identities.
+    sim.scheduler.fast_forward(dt, index_shift)
+    sim.run_queue.rebuild()
+    sim.now += dt
+
+
+class _FastForwardHook:
+    """Loop-top steady-state detector installed on one Simulator run."""
+
+    __slots__ = (
+        "hyperperiod",
+        "per_cycle",
+        "next_at",
+        "max_cycles",
+        "jumped",
+        "cycles_skipped",
+        "jump_at",
+        "reason",
+        "_grid_index",
+        "_crossings",
+        "_previous",
+        "_previous_delta",
+    )
+
+    def __init__(
+        self,
+        hyperperiod: float,
+        per_cycle: Dict[str, int],
+        warmup_cycles: int,
+        max_cycles: int,
+    ) -> None:
+        self.hyperperiod = hyperperiod
+        self.per_cycle = per_cycle
+        self.max_cycles = max_cycles
+        self.jumped = False
+        self.cycles_skipped = 0
+        self.jump_at = 0.0
+        self.reason: Optional[str] = None
+        self._grid_index = warmup_cycles
+        self._crossings = 0
+        self._previous: Optional[_Snapshot] = None
+        self._previous_delta: Optional[_Delta] = None
+        self.next_at = warmup_cycles * hyperperiod
+
+    def boundary(self, sim: Simulator) -> bool:
+        """Called at the first loop-top at or past ``next_at``.
+
+        Returns ``True`` when the hook is finished (jumped or gave up)
+        so the engine stops consulting it.
+        """
+        hyperperiod = self.hyperperiod
+        crossing = self._grid_index * hyperperiod
+        shifts = {
+            name: self._grid_index * count
+            for name, count in self.per_cycle.items()
+        }
+        snapshot = _capture(sim, crossing, shifts)
+        previous = self._previous
+        self._previous = snapshot
+        if previous is not None and snapshot.sig == previous.sig:
+            delta = _Delta(previous, snapshot)
+            if not delta.extrapolatable():
+                self._previous_delta = None
+            elif (
+                self._previous_delta is not None
+                and delta.matches(self._previous_delta)
+            ):
+                remaining = sim.horizon - sim.now
+                cycles = int(remaining // hyperperiod)
+                while cycles > 0 and sim.now + cycles * hyperperiod >= sim.horizon:
+                    cycles -= 1
+                if cycles >= 1:
+                    _apply_jump(sim, delta, cycles, hyperperiod, self.per_cycle)
+                    self.jumped = True
+                    self.cycles_skipped = cycles
+                    self.jump_at = crossing
+                    return True
+                self.reason = "converged with no whole cycle left to skip"
+                return True
+            else:
+                self._previous_delta = delta
+        else:
+            self._previous_delta = None
+        self._crossings += 1
+        if self._crossings >= self.max_cycles:
+            self.reason = (
+                f"no steady state within {self.max_cycles} hyperperiod "
+                "crossings"
+            )
+            return True
+        self._grid_index += 1
+        self.next_at = self._grid_index * hyperperiod
+        if self.next_at + hyperperiod >= sim.horizon:
+            self.reason = "horizon reached before a steady state repeated"
+            return True
+        return False
+
+
+def fastpath_ineligible_reason(
+    sim: Simulator, warmup_cycles: int
+) -> Optional[str]:
+    """Why this run must take the exact path, or ``None`` if eligible."""
+    if sim._rec_on:
+        return "trace recording enabled"
+    if sim._faults is not None:
+        return "fault layer attached"
+    if sim._obs is not None:
+        return "observability registry attached"
+    model = sim._exec_model
+    if not getattr(model, "deterministic", False):
+        return f"stochastic execution model {model!r}"
+    if not sim.scheduler.fastforward_safe:
+        return f"scheduler {sim.scheduler.name!r} opted out of fast-forward"
+    hyperperiod = sim.taskset.hyperperiod
+    if not math.isfinite(hyperperiod) or hyperperiod <= 0:
+        return "task set has no finite hyperperiod"
+    if sim.horizon < (warmup_cycles + 3) * hyperperiod:
+        return (
+            "horizon too short: need warm-up + two matching cycles + one "
+            "skippable cycle"
+        )
+    return None
+
+
+def simulate_fast(
+    taskset: TaskSet,
+    scheduler,
+    *,
+    exact: bool = True,
+    warmup_cycles: int = 1,
+    max_detect_cycles: int = 64,
+    **kwargs,
+) -> SimulationResult:
+    """Run one simulation, fast-forwarding steady-state hyperperiods.
+
+    Parameters
+    ----------
+    exact:
+        ``True`` (default) refuses the jump entirely — the run is the
+        plain event loop, bit-identical to :func:`repro.sim.simulate`.
+        ``False`` authorises hyperperiod extrapolation under the audited
+        :data:`FLOAT_RTOL`/:data:`FLOAT_ATOL` tolerance (integer
+        counters stay exact either way).
+    warmup_cycles:
+        Hyperperiods to simulate before the first fingerprint, letting
+        start-up transients settle.
+    max_detect_cycles:
+        Crossings to examine before giving up and running exactly.
+
+    Remaining keyword arguments go to :class:`~repro.sim.engine.Simulator`.
+    Every result carries ``metadata["execution_path"]`` — one of
+    ``"exact"``, ``"fast-forward"``, or ``"exact-fallback"`` (the latter
+    with ``metadata["fastpath_fallback"]`` naming the reason).
+    """
+    if warmup_cycles < 1:
+        raise ConfigurationError(
+            f"warmup_cycles must be >= 1, got {warmup_cycles}"
+        )
+    if max_detect_cycles < 2:
+        raise ConfigurationError(
+            f"max_detect_cycles must be >= 2, got {max_detect_cycles}"
+        )
+    sim = Simulator(taskset, scheduler, **kwargs)
+    if exact:
+        result = sim.run()
+        result.metadata["execution_path"] = "exact"
+        return result
+    reason = fastpath_ineligible_reason(sim, warmup_cycles)
+    if reason is not None:
+        result = sim.run()
+        result.metadata["execution_path"] = "exact-fallback"
+        result.metadata["fastpath_fallback"] = reason
+        return result
+    hyperperiod = sim.taskset.hyperperiod
+    table = ReleaseTable.from_taskset(sim.taskset, hyperperiod)
+    hook = _FastForwardHook(
+        hyperperiod, table.counts(), warmup_cycles, max_detect_cycles
+    )
+    sim._ff_hook = hook
+    result = sim.run()
+    if hook.jumped:
+        result.metadata["execution_path"] = "fast-forward"
+        result.metadata["fastpath"] = {
+            "hyperperiod_us": hyperperiod,
+            "cycles_skipped": hook.cycles_skipped,
+            "converged_at_us": hook.jump_at,
+            "release_backend": table.backend,
+            "float_rtol": FLOAT_RTOL,
+            "float_atol": FLOAT_ATOL,
+        }
+    else:
+        result.metadata["execution_path"] = "exact-fallback"
+        result.metadata["fastpath_fallback"] = (
+            hook.reason or "no steady state detected before the horizon"
+        )
+    return result

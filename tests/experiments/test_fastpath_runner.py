@@ -1,0 +1,139 @@
+"""Campaign-level fast-path integration: RunSpec.execution + chunking.
+
+The runner is where the fast path meets provenance: every cell must
+record which kernel path actually produced it, checkpoint fingerprints
+must separate exact from fast campaigns (a resume may never silently mix
+paths), and chunked dispatch must change wall time only — never results.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.checkpoint import canonical_spec_payload, spec_fingerprint
+from repro.experiments.runner import RunSpec, run_many
+from repro.sim import digest_metrics
+from repro.tasks.generation import GaussianModel, WcetModel
+from repro.workloads.registry import get_workload
+
+
+def _spec(execution="exact", seed=1, policy="fps", workload="cnc", **kwargs):
+    taskset = get_workload(workload).prioritized().with_bcet_ratio(0.5)
+    kwargs.setdefault("execution_model", WcetModel())
+    kwargs.setdefault("duration", 72_000.0)
+    return RunSpec(
+        taskset=taskset,
+        scheduler=policy,
+        seed=seed,
+        on_miss="record",
+        execution=execution,
+        **kwargs,
+    )
+
+
+class TestExecutionField:
+    def test_default_is_exact(self):
+        assert _spec().execution == "exact"
+
+    def test_invalid_execution_rejected(self):
+        with pytest.raises(ConfigurationError, match="execution"):
+            _spec(execution="turbo")
+
+    def test_exact_path_is_stamped(self):
+        result = _spec("exact").run()
+        assert result.metadata["execution_path"] == "exact"
+
+    def test_fast_path_is_stamped(self):
+        result = _spec("fast").run()
+        assert result.metadata["execution_path"] == "fast-forward"
+        assert result.metadata["fastpath"]["cycles_skipped"] >= 1
+
+    def test_fallback_path_is_stamped(self):
+        # GaussianModel touches the RNG: ineligible, exact fallback.
+        result = _spec("fast", execution_model=GaussianModel()).run()
+        assert result.metadata["execution_path"] == "exact-fallback"
+        assert "fastpath_fallback" in result.metadata
+
+    def test_run_many_stamps_every_cell(self):
+        results = run_many([_spec("exact"), _spec("fast")])
+        assert results[0].metadata["execution_path"] == "exact"
+        assert results[1].metadata["execution_path"] == "fast-forward"
+
+
+class TestCheckpointSeparation:
+    def test_fingerprints_differ_by_execution(self):
+        assert spec_fingerprint(_spec("exact")) != spec_fingerprint(_spec("fast"))
+
+    def test_payload_carries_execution(self):
+        payload = canonical_spec_payload(_spec("fast"))
+        assert payload["execution"] == "fast"
+        assert payload["v"] >= 2
+
+    def test_resume_never_mixes_paths(self, tmp_path):
+        # A journal written by a fast campaign must not satisfy the same
+        # grid rerun exactly — every cell recomputes on the exact path.
+        fast_specs = [_spec("fast", seed=s) for s in (1, 2)]
+        exact_specs = [_spec("exact", seed=s) for s in (1, 2)]
+        first = run_many(fast_specs, checkpoint=tmp_path)
+        assert all(r.metadata["checkpoint"] == "stored" for r in first)
+        resumed = run_many(exact_specs, checkpoint=tmp_path)
+        assert all(r.metadata.get("checkpoint") != "hit" for r in resumed)
+        assert all(r.metadata["execution_path"] == "exact" for r in resumed)
+        # Same grid, same path: now the journal applies.
+        replay = run_many([_spec("fast", seed=s) for s in (1, 2)], checkpoint=tmp_path)
+        assert all(r.metadata["checkpoint"] == "hit" for r in replay)
+        assert all(
+            r.metadata["execution_path"] == "fast-forward" for r in replay
+        )
+
+
+class TestChunkedDispatch:
+    @pytest.fixture(autouse=True)
+    def _multicore(self, monkeypatch):
+        # run_many clamps to the CPU count; pretend to have cores so the
+        # chunked pool engages on any box.
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+
+    def test_invalid_chunk_rejected(self):
+        for bad in (0, -1, 1.5, True):
+            with pytest.raises(ConfigurationError, match="chunk"):
+                run_many([_spec()], jobs=2, chunk=bad)
+
+    def test_chunked_results_identical_to_serial(self):
+        specs = [_spec("fast", seed=s) for s in (1, 2, 3, 4, 5)]
+        serial = run_many([_spec("fast", seed=s) for s in (1, 2, 3, 4, 5)])
+        chunked = run_many(specs, jobs=2, chunk=2)
+        assert chunked[0].metadata["executor"] == "process-pool"
+        for a, b in zip(serial, chunked):
+            assert digest_metrics(a) == digest_metrics(b)
+
+    def test_chunk_is_stamped(self):
+        specs = [_spec(seed=s) for s in (1, 2, 3)]
+        results = run_many(specs, jobs=2, chunk=3)
+        assert all(r.metadata["chunk"] == 3 for r in results)
+        default = run_many([_spec()])
+        assert default[0].metadata["chunk"] == 1
+
+    def test_chunk_larger_than_campaign(self):
+        specs = [_spec(seed=s) for s in (1, 2)]
+        results = run_many(specs, jobs=2, chunk=64)
+        assert len(results) == 2
+        assert all(r.jobs_completed > 0 for r in results)
+
+    def test_contained_failures_work_chunked(self):
+        # fps on an unprioritized taskset raises inside the worker; its
+        # chunk-mates must still land as real results.
+        bad = RunSpec(
+            taskset=get_workload("cnc"),
+            scheduler="fps",
+            execution_model=WcetModel(),
+            duration=7_200.0,
+        )
+        results = run_many([bad, _spec(seed=2), _spec(seed=3)], jobs=2, chunk=2,
+                           failures="contain")
+        from repro.experiments.runner import CellFailure
+
+        assert isinstance(results[0], CellFailure)
+        assert results[1].jobs_completed > 0
+        assert results[2].jobs_completed > 0

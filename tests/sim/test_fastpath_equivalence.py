@@ -1,0 +1,295 @@
+"""Differential suite: the fast path must match the exact loop, provably.
+
+``simulate_fast`` carries a two-tier correctness contract:
+
+* ``exact=True`` (the default) never fast-forwards — its results are
+  bit-identical to ``simulate`` by construction, pinned here through the
+  full traced digest.
+* ``exact=False`` may extrapolate whole hyperperiods.  Integer counters
+  (jobs, misses, preemptions, context switches, speed/sleep transitions)
+  must still be *exactly* equal; float accumulators (energy buckets,
+  residency, response-time totals) are re-associated sums — ``base +
+  m x delta`` instead of event-by-event addition — and must agree within
+  the audited ``FLOAT_RTOL``/``FLOAT_ATOL``.
+
+Every registry scheduler runs against the bundled workloads through both
+paths.  Cells that cannot safely fast-forward — non-converging signatures
+(lpfps on example: ULP ramp drift), incommensurate tick grids (past),
+horizons too short for detection, nondeterministic execution models —
+must fall back to the exact loop and stay bit-identical.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.schedulers.registry import available_schedulers, make_scheduler
+from repro.sim import (
+    FLOAT_ATOL,
+    FLOAT_RTOL,
+    HAVE_NUMPY,
+    ReleaseTable,
+    digest_metrics,
+    simulate,
+    simulate_fast,
+)
+from repro.sim.recording import digest_result
+from repro.tasks.generation import GaussianModel, WcetModel
+from repro.workloads.registry import get_workload
+
+ALL_NAMES = available_schedulers()
+
+#: (workload, duration_us): long enough for detection on both bundled
+#: small-hyperperiod workloads (example H=400 µs, cnc H=7200 µs).
+GRIDS = [("example", 8_000.0), ("cnc", 144_000.0)]
+
+#: Integer-valued digest keys that must match exactly even when floats
+#: are allowed to differ within tolerance.
+INT_KEYS = (
+    "jobs_completed",
+    "deadline_misses",
+    "context_switches",
+    "preemptions",
+    "speed_changes",
+    "sleep_entries",
+)
+TASK_INT_KEYS = ("jobs_released", "jobs_completed", "deadline_misses", "preemptions")
+
+
+def _run_pair(name, workload, duration, **kwargs):
+    taskset = get_workload(workload).prioritized().with_bcet_ratio(0.5)
+    model = kwargs.pop("execution_model", WcetModel())
+    exact = simulate(
+        taskset,
+        make_scheduler(name),
+        execution_model=model,
+        duration=duration,
+        seed=1,
+        on_miss="record",
+    )
+    fast = simulate_fast(
+        taskset,
+        make_scheduler(name),
+        execution_model=model,
+        duration=duration,
+        seed=1,
+        on_miss="record",
+        **kwargs,
+    )
+    return exact, fast
+
+
+def _close(a: str, b: str) -> bool:
+    return math.isclose(float(a), float(b), rel_tol=FLOAT_RTOL, abs_tol=FLOAT_ATOL)
+
+
+def assert_equivalent(exact, fast):
+    """Ints exactly equal; floats within the audited tolerance."""
+    de, df = digest_metrics(exact), digest_metrics(fast)
+    for key in INT_KEYS:
+        assert de[key] == df[key], f"{key}: {de[key]} != {df[key]}"
+    for bucket in de["energy"]:
+        assert _close(de["energy"][bucket], df["energy"][bucket]), (
+            f"energy.{bucket}: {de['energy'][bucket]} vs {df['energy'][bucket]}"
+        )
+    assert _close(de["energy_total"], df["energy_total"])
+    assert set(de["speed_residency"]) == set(df["speed_residency"])
+    for speed in de["speed_residency"]:
+        assert _close(de["speed_residency"][speed], df["speed_residency"][speed])
+    assert set(de["task_stats"]) == set(df["task_stats"])
+    for task in de["task_stats"]:
+        se, sf = de["task_stats"][task], df["task_stats"][task]
+        for key in TASK_INT_KEYS:
+            assert se[key] == sf[key], f"{task}.{key}: {se[key]} != {sf[key]}"
+        # worst_response is a running max over completion - release
+        # subtractions whose ULP noise varies with the absolute time at
+        # which they happen; a skipped middle cycle can hold the exact
+        # run's max.  total_response is a re-associated accumulator.
+        # Both are float-tolerance territory, not bit-exact.
+        assert _close(se["worst_response"], sf["worst_response"])
+        assert _close(se["total_response"], sf["total_response"])
+
+
+class TestRegistryWideEquivalence:
+    """Every scheduler x every bundled small workload, both paths."""
+
+    @pytest.mark.parametrize("workload,duration", GRIDS)
+    @pytest.mark.parametrize("name", [n for n in ALL_NAMES if n != "yds"])
+    def test_fast_matches_exact(self, name, workload, duration):
+        exact, fast = _run_pair(name, workload, duration, exact=False)
+        assert fast.metadata["execution_path"] in (
+            "fast-forward",
+            "exact-fallback",
+        )
+        assert_equivalent(exact, fast)
+
+    @pytest.mark.parametrize("workload,duration", GRIDS)
+    def test_yds_parity(self, workload, duration):
+        # yds raises the same error through either path (it needs its
+        # offline schedule precomputed), or completes identically where
+        # it can run; either way the two paths must agree.
+        taskset = get_workload(workload).prioritized().with_bcet_ratio(0.5)
+        outcomes = []
+        for run in (simulate, simulate_fast):
+            try:
+                result = run(
+                    taskset,
+                    make_scheduler("yds"),
+                    execution_model=WcetModel(),
+                    duration=duration,
+                    seed=1,
+                    on_miss="record",
+                )
+                outcomes.append(("ok", result.jobs_completed))
+            except Exception as exc:  # noqa: BLE001 - parity check
+                outcomes.append(("error", type(exc).__name__))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestFastForwardEngages:
+    """The detector must actually skip cycles where it is supposed to."""
+
+    @pytest.mark.parametrize(
+        "name,workload,duration",
+        [
+            ("fps", "example", 8_000.0),
+            ("fps", "cnc", 144_000.0),
+            ("lpfps", "cnc", 144_000.0),
+            ("static-fps", "cnc", 144_000.0),
+            ("ccedf", "example", 8_000.0),
+            ("jcl", "example", 8_000.0),
+        ],
+    )
+    def test_cell_fast_forwards(self, name, workload, duration):
+        _, fast = _run_pair(name, workload, duration, exact=False)
+        assert fast.metadata["execution_path"] == "fast-forward"
+        info = fast.metadata["fastpath"]
+        assert info["cycles_skipped"] >= 1
+        assert info["hyperperiod_us"] > 0
+
+    def test_fps_is_bit_identical_through_the_jump(self):
+        # Pure fixed-priority with no DVS state: the jump is exact even
+        # for floats, so the full metrics digest matches bit-for-bit.
+        exact, fast = _run_pair("fps", "cnc", 144_000.0, exact=False)
+        assert fast.metadata["execution_path"] == "fast-forward"
+        assert digest_metrics(exact) == digest_metrics(fast)
+
+
+class TestExactFallback:
+    """Cells that cannot safely jump must run the exact loop, identically."""
+
+    def test_lpfps_example_never_converges(self):
+        # ULP-level ramp-time drift keeps the repr-exact signature from
+        # ever repeating: the detector must refuse, not jump wrongly.
+        exact, fast = _run_pair("lpfps", "example", 8_000.0, exact=False)
+        assert fast.metadata["execution_path"] == "exact-fallback"
+        assert "steady state" in fast.metadata["fastpath_fallback"]
+        assert digest_metrics(exact) == digest_metrics(fast)
+
+    def test_past_tick_grid_never_converges(self):
+        # PAST's 5000 µs tick is incommensurate with the hyperperiod
+        # grid, so its signature (tick phase) never repeats at crossings.
+        exact, fast = _run_pair("past", "cnc", 144_000.0, exact=False)
+        assert fast.metadata["execution_path"] == "exact-fallback"
+        assert digest_metrics(exact) == digest_metrics(fast)
+
+    def test_hyperperiod_boundary_horizon(self):
+        # Horizon an exact multiple of H: the converged detector must
+        # leave the final partial-cycle replay consistent (no cycle
+        # double-count, no boundary event loss).
+        exact, fast = _run_pair("fps", "cnc", 20 * 7_200.0, exact=False)
+        assert fast.metadata["execution_path"] == "fast-forward"
+        assert_equivalent(exact, fast)
+
+    def test_short_horizon_falls_back(self):
+        # Too few hyperperiods for warm-up + detection: ineligible, and
+        # trivially identical.
+        exact, fast = _run_pair("fps", "cnc", 2 * 7_200.0, exact=False)
+        assert fast.metadata["execution_path"] == "exact-fallback"
+        assert digest_metrics(exact) == digest_metrics(fast)
+
+    def test_big_hyperperiod_workload_falls_back(self):
+        # ins has a 5-second hyperperiod; a 100 ms horizon cannot hold
+        # a single cycle, let alone detection.
+        exact, fast = _run_pair("lpfps", "ins", 100_000.0, exact=False)
+        assert fast.metadata["execution_path"] == "exact-fallback"
+        assert digest_metrics(exact) == digest_metrics(fast)
+
+    def test_nondeterministic_model_is_ineligible(self):
+        # GaussianModel draws from the RNG: extrapolation would replay
+        # one cycle's draws forever.  Must refuse and stay identical.
+        exact, fast = _run_pair(
+            "lpfps",
+            "cnc",
+            144_000.0,
+            exact=False,
+            execution_model=GaussianModel(),
+        )
+        assert fast.metadata["execution_path"] == "exact-fallback"
+        assert digest_metrics(exact) == digest_metrics(fast)
+
+
+class TestExactModeNeverJumps:
+    """``exact=True`` (the default) must refuse to fast-forward at all."""
+
+    def test_default_is_exact(self):
+        _, fast = _run_pair("fps", "cnc", 144_000.0)
+        assert fast.metadata["execution_path"] == "exact"
+
+    def test_exact_traced_digest_is_bit_identical(self):
+        taskset = get_workload("example").prioritized().with_bcet_ratio(0.5)
+        kwargs = dict(
+            execution_model=WcetModel(),
+            duration=8_000.0,
+            seed=1,
+            on_miss="record",
+            record_trace=True,
+        )
+        reference = simulate(taskset, make_scheduler("lpfps"), **kwargs)
+        result = simulate_fast(taskset, make_scheduler("lpfps"), **kwargs)
+        assert digest_result(reference) == digest_result(result)
+
+    def test_bad_knobs_raise(self):
+        taskset = get_workload("example").prioritized()
+        with pytest.raises(ConfigurationError):
+            simulate_fast(taskset, make_scheduler("fps"), warmup_cycles=0)
+        with pytest.raises(ConfigurationError):
+            simulate_fast(taskset, make_scheduler("fps"), max_detect_cycles=1)
+
+
+class TestReleaseTable:
+    """The SoA batch release generator, both backends."""
+
+    def test_counts_match_analytic(self):
+        taskset = get_workload("cnc").prioritized()
+        table = ReleaseTable.from_taskset(taskset, 72_000.0)
+        counts = table.counts()
+        for task in taskset:
+            expected = math.ceil((72_000.0 - task.phase) / task.period)
+            assert counts[task.name] == max(0, expected)
+        assert len(table) == sum(counts.values())
+
+    def test_backends_agree(self):
+        taskset = get_workload("cnc").prioritized()
+        fast = ReleaseTable.from_taskset(taskset, 36_000.0)
+        slow = ReleaseTable.from_taskset(taskset, 36_000.0, force_python=True)
+        assert slow.backend == "python"
+        assert list(fast) == list(slow)
+        assert fast.counts() == slow.counts()
+
+    def test_backend_reflects_numpy_availability(self):
+        table = ReleaseTable.from_taskset(get_workload("example").prioritized(), 800.0)
+        assert table.backend == ("numpy" if HAVE_NUMPY else "python")
+
+    def test_window_and_count(self):
+        taskset = get_workload("example").prioritized()
+        table = ReleaseTable.from_taskset(taskset, 1_200.0)
+        window = table.window(400.0, 800.0)
+        assert all(400.0 <= t < 800.0 for t, _, _ in window)
+        assert len(window) == table.count_in(400.0, 800.0)
+
+    def test_non_finite_horizon_rejected(self):
+        taskset = get_workload("example").prioritized()
+        with pytest.raises(ConfigurationError):
+            ReleaseTable.from_taskset(taskset, float("inf"))

@@ -19,6 +19,8 @@ sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "benchmarks"))
 
 from check_regression import (  # noqa: E402
     Check,
+    GateInputError,
+    baseline_value,
     evaluate,
     metric_value,
 )
@@ -27,9 +29,10 @@ OPS = 1_000_000.0
 CAMPAIGN = 20_000_000.0
 SINGLE = 12_000_000.0
 HIT_P50_MS = 0.8
+FASTPATH = 150.0
 
 
-def kernel_bench(clock_scale=1.0):
+def kernel_bench(clock_scale=1.0, fastpath=FASTPATH):
     return {
         "benchmark": "bench_kernel",
         "schema": "bench-metrics/v1",
@@ -53,7 +56,17 @@ def kernel_bench(clock_scale=1.0):
                         "units": "ratio",
                     },
                 ],
-            }
+            },
+            "test_fastpath_campaign": {
+                "wall_time_s": 1.0,
+                "metrics": [
+                    {
+                        "name": "fastpath_campaign_speedup",
+                        "value": fastpath,
+                        "units": "x",
+                    }
+                ],
+            },
         },
     }
 
@@ -80,12 +93,14 @@ def service_bench():
 KERNEL_BASELINE = {"calibration_ops_per_s": OPS}
 
 
-def fresh(ops=OPS, campaign=CAMPAIGN, single=SINGLE, hit=HIT_P50_MS):
+def fresh(ops=OPS, campaign=CAMPAIGN, single=SINGLE, hit=HIT_P50_MS,
+          fastpath=FASTPATH):
     return {
         "ops_per_s": ops,
         "campaign_per_wall_s": campaign,
         "single_cell_per_wall_s": single,
         "hit_p50_ms": hit,
+        "fastpath_speedup": fastpath,
     }
 
 
@@ -105,17 +120,46 @@ class TestMetricValue:
             kernel_bench(), "test_kernel_throughput", "clock_scale_vs_capture"
         ) == 1.0
 
-    def test_missing_metric_raises(self):
-        with pytest.raises(KeyError, match="nope"):
+    def test_missing_metric_is_a_gate_input_error(self):
+        # Not a bare KeyError: the message must name the metric AND the
+        # command that regenerates the stale baseline.
+        with pytest.raises(GateInputError, match="nope") as excinfo:
             metric_value(kernel_bench(), "test_kernel_throughput", "nope")
+        assert "bench_kernel" in str(excinfo.value)
+        assert "pytest" in str(excinfo.value)
+
+    def test_missing_test_is_a_gate_input_error(self):
+        with pytest.raises(GateInputError, match="test_gone"):
+            metric_value(kernel_bench(), "test_gone", "anything")
+
+
+class TestBaselineValue:
+    def test_present_key_passes_through(self):
+        assert baseline_value(KERNEL_BASELINE, "calibration_ops_per_s") == OPS
+
+    def test_missing_key_names_the_regeneration_command(self):
+        with pytest.raises(GateInputError, match="calibration_ops_per_s") as excinfo:
+            baseline_value({}, "calibration_ops_per_s")
+        assert "baseline_capture.py" in str(excinfo.value)
+
+    def test_evaluate_surfaces_missing_baseline_key(self):
+        with pytest.raises(GateInputError, match="baseline_capture.py"):
+            evaluate(kernel_bench(), {"label": "stale"}, fresh())
 
 
 class TestIdentity:
     def test_unchanged_numbers_pass(self):
         checks = run(fresh())
-        assert len(checks) == 3
+        assert len(checks) == 4
         assert all(check.ok for check in checks)
         assert all(check.regression == pytest.approx(0.0) for check in checks)
+
+    def test_no_fastpath_probe_means_no_fastpath_check(self):
+        numbers = fresh()
+        numbers.pop("fastpath_speedup")
+        checks = run(numbers)
+        assert len(checks) == 3
+        assert not any(c.name == "kernel.fastpath_speedup" for c in checks)
 
     def test_small_jitter_within_tolerance_passes(self):
         checks = run(fresh(campaign=CAMPAIGN * 0.9, hit=HIT_P50_MS * 1.2))
@@ -141,6 +185,26 @@ class TestSyntheticSlowdown:
         failed = checks["service.warm_hit_p50_ms"]
         assert not failed.ok
         assert failed.regression == pytest.approx(1.0)
+
+    def test_fastpath_collapse_fails(self):
+        # Losing fast-forwarding collapses the speedup toward 1x — far
+        # beyond the wide tolerance.  The gate must trip.
+        checks = {c.name: c for c in run(fresh(fastpath=1.2))}
+        failed = checks["kernel.fastpath_speedup"]
+        assert not failed.ok
+        assert failed.regression > 0.9
+        # The untouched checks still pass: the gate points at the culprit.
+        assert checks["kernel.campaign_throughput"].ok
+
+    def test_fastpath_load_jitter_passes(self):
+        # A 2x swing is load noise on a ms-scale wall, not rot.
+        checks = {c.name: c for c in run(fresh(fastpath=FASTPATH / 2))}
+        assert checks["kernel.fastpath_speedup"].ok
+
+    def test_fastpath_is_not_clock_rescaled(self):
+        # Self-normalized ratio: a faster probe must NOT move expected.
+        checks = {c.name: c for c in run(fresh(ops=OPS * 2, fastpath=FASTPATH))}
+        assert checks["kernel.fastpath_speedup"].expected == FASTPATH
 
     def test_just_beyond_tolerance_fails(self):
         checks = run(fresh(campaign=CAMPAIGN * 0.75))  # 25% > 20% budget
