@@ -222,6 +222,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="SIGTERM drain budget: how long to let in-flight requests "
         "finish before the broker is torn down",
     )
+    srv.add_argument(
+        "--checkpoint-dir", default=None,
+        help="durable campaign journal: scenario campaigns survive a "
+        "crash of this process and resume (by fingerprint) on restart "
+        "from the same DIR",
+    )
 
     flt_srv = sub.add_parser(
         "fleet", help="supervise N serve replicas sharing one result cache"
@@ -259,6 +265,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-json", default=None,
         help="write the fleet's bench-metrics/v1 snapshot here on shutdown",
     )
+    flt_srv.add_argument(
+        "--checkpoint-dir", default=None,
+        help="shared durable campaign journal: any replica can resume "
+        "any campaign after a crash (content-addressed campaign ids)",
+    )
 
     ckpt = sub.add_parser(
         "checkpoint", help="checkpoint-journal maintenance"
@@ -273,6 +284,36 @@ def build_parser() -> argparse.ArgumentParser:
     ckpt_gc.add_argument(
         "--dry-run", action="store_true",
         help="report what would be dropped without rewriting the journal",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="result-cache and campaign-journal integrity"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_verify = cache_sub.add_parser(
+        "verify",
+        help="scrub on-disk cache entries and campaign journals for torn "
+        "writes, bit rot, and misfiled keys; --repair quarantines them "
+        "so readers see misses, never wrong hits",
+    )
+    cache_verify.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk result-cache tier to scrub (serve's --cache-dir)",
+    )
+    cache_verify.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="checkpoint directory to scrub: cell journal plus campaign "
+        "manifests and event logs",
+    )
+    cache_verify.add_argument(
+        "--repair", action="store_true",
+        help="quarantine corrupt cache entries and truncate torn "
+        "campaign logs (without it, verify only reports and exits 1 "
+        "on corruption)",
+    )
+    cache_verify.add_argument(
+        "--json", action="store_true",
+        help="machine-readable scrub reports",
     )
 
     sched_list = sub.add_parser(
@@ -508,6 +549,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_fleet(args)
     elif args.command == "checkpoint":
         return _run_checkpoint_gc(args)
+    elif args.command == "cache":
+        return _run_cache_verify(args)
     elif args.command == "schedulers":
         return _run_schedulers(args)
     elif args.command == "workloads":
@@ -561,7 +604,16 @@ def _run_serve(args) -> int:
         memory_items=args.memory_items,
         guards=guards,
         jobs=args.jobs,
+        checkpoint_dir=args.checkpoint_dir,
     )
+    if args.checkpoint_dir is not None:
+        resumed = service.resume_campaigns()
+        if resumed:
+            print(
+                f"resumed {len(resumed)} orphaned campaign(s): "
+                + " ".join(resumed),
+                flush=True,
+            )
     server = make_server(service, args.host, args.port)
     stop = threading.Event()
 
@@ -616,6 +668,7 @@ def _run_fleet(args) -> int:
         timeout_s=args.timeout_s,
         batch_window_ms=args.batch_window_ms,
         log_dir=args.log_dir,
+        checkpoint_dir=args.checkpoint_dir,
     )
     stop = threading.Event()
 
@@ -659,6 +712,80 @@ def _run_checkpoint_gc(args) -> int:
         return 1
     print(report.render())
     return 0
+
+
+def _run_cache_verify(args) -> int:
+    """``lpfps cache verify``: integrity-scrub caches and campaign journals.
+
+    Exit status is the contract CI leans on: 0 when everything scanned
+    is intact (or was just repaired), 1 when corruption was found and
+    ``--repair`` was not given — so a cron'd ``lpfps cache verify``
+    turns silent bit rot into a red job instead of a wrong answer.
+    """
+    import json
+
+    from .errors import ReproError
+    from .experiments.checkpoint import scrub_journal
+    from .service.cache import scrub_cache
+    from .service.durability import CampaignStore
+
+    if args.cache_dir is None and args.checkpoint is None:
+        print(
+            "error: nothing to verify; pass --cache-dir and/or --checkpoint",
+            file=sys.stderr,
+        )
+        return 2
+    reports = []
+    try:
+        if args.cache_dir is not None:
+            reports.append(scrub_cache(args.cache_dir, repair=args.repair))
+        if args.checkpoint is not None:
+            reports.append(scrub_journal(args.checkpoint, repair=args.repair))
+            store_report = CampaignStore(args.checkpoint).scrub(
+                repair=args.repair
+            )
+            reports.append(store_report)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    documents = [
+        report if isinstance(report, dict) else report.to_document()
+        for report in reports
+    ]
+    if args.json:
+        print(json.dumps(documents, indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            if isinstance(report, dict):
+                print(_render_campaign_scrub(report))
+            else:
+                print(report.render())
+    corrupt = sum(
+        document.get("corrupt", 0)
+        + document.get("manifests_corrupt", 0)
+        + document.get("events_corrupt", 0)
+        for document in documents
+    )
+    if corrupt and not args.repair:
+        return 1
+    return 0
+
+
+def _render_campaign_scrub(report) -> str:
+    """Human-readable summary of a :meth:`CampaignStore.scrub` report."""
+    lines = [
+        "campaign-store scrub"
+        + (" (repair)" if report.get("repair") else " (report only)"),
+        f"  manifests: {report.get('manifests', 0)} "
+        f"({report.get('manifests_corrupt', 0)} corrupt)",
+        f"  event logs: {report.get('event_logs', 0)} "
+        f"({report.get('logs_truncated', 0)} truncated)",
+        f"  events: {report.get('events', 0)} "
+        f"({report.get('events_corrupt', 0)} corrupt)",
+    ]
+    for problem in report.get("problems", []):
+        lines.append(f"  problem: {problem}")
+    return "\n".join(lines)
 
 
 def _run_schedulers(args) -> int:

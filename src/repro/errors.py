@@ -24,7 +24,9 @@ from typing import Optional
 #:   scheduler or analysis refuses this workload, and asking again gives
 #:   the same refusal (cacheable ``ok: false`` payloads);
 #: * ``internal``    — anything else; a bug, not a contract.
-ERROR_KINDS = ("bad-request", "overload", "timeout", "refusal", "internal")
+ERROR_KINDS = (
+    "bad-request", "overload", "timeout", "refusal", "internal", "gone",
+)
 
 
 def error_kind(exc: BaseException) -> str:

@@ -53,6 +53,30 @@ def _num(value: float) -> str:
     return repr(float(value))
 
 
+def _protocol_payload(obj: Any) -> Optional[Dict[str, Any]]:
+    """The ``checkpoint_payload()`` self-description of *obj*, if any.
+
+    The protocol is duck-typed: any callable slot (scheduler factory,
+    fault factory) may expose a zero-arg ``checkpoint_payload`` method
+    returning a JSON-ready dict that *fully determines* what the factory
+    builds.  The dict must carry a ``"factory"`` discriminator so it can
+    never alias a plain registry-name scheduler or a described
+    :class:`~repro.faults.layer.FaultLayer`.  Anything else — a missing
+    method, a non-dict return, a dict without the discriminator — means
+    the object stays opaque (``None``).
+    """
+    describe = getattr(obj, "checkpoint_payload", None)
+    if not callable(describe):
+        return None
+    try:
+        payload = describe()
+    except Exception:  # noqa: BLE001 - a broken self-description = opaque
+        return None
+    if not isinstance(payload, dict) or "factory" not in payload:
+        return None
+    return payload
+
+
 def _describe_faults(faults: Any) -> Optional[Dict[str, Any]]:
     """Canonical description of a cell's fault layer, or ``None`` if opaque.
 
@@ -60,8 +84,12 @@ def _describe_faults(faults: Any) -> Optional[Dict[str, Any]]:
     seed, its guard configuration, and each injector's type, intensity,
     and (for targeted injectors) task filter — the fields that fully
     determine the injected fault sequence under the PR-1 seeding
-    contract.  Factories and injectors carrying unrecognised state are
-    opaque: the cell still runs, just never from a journal.
+    contract.  A zero-arg *factory* is opaque **unless** it implements
+    the ``checkpoint_payload()`` protocol — a method returning the
+    JSON-ready dict that fully determines what it builds (the scenario
+    runner's fault factory does; see
+    :meth:`repro.scenarios.runner._FaultFactory.checkpoint_payload`).
+    Opaque cells still run, just never from a journal.
     """
     from ..faults.injector import Injector
     from ..faults.layer import FaultLayer
@@ -69,7 +97,7 @@ def _describe_faults(faults: Any) -> Optional[Dict[str, Any]]:
     if faults is None:
         return None
     if not isinstance(faults, FaultLayer):
-        return None  # zero-arg factory: not content-addressable
+        return _protocol_payload(faults)  # factory: addressable iff it says so
     injectors = []
     for injector in faults.injectors:
         if type(injector).perturb_demand is not Injector.perturb_demand and (
@@ -105,12 +133,21 @@ def _describe_faults(faults: Any) -> Optional[Dict[str, Any]]:
 def canonical_spec_payload(spec: "RunSpec") -> Optional[Dict[str, Any]]:
     """The canonical JSON-ready payload :func:`spec_fingerprint` hashes.
 
-    Returns ``None`` when the spec is not content-addressable (callable
-    scheduler factory, fault-layer factory, or an execution model whose
+    Returns ``None`` when the spec is not content-addressable (a
+    callable scheduler factory or fault-layer factory that does not
+    implement ``checkpoint_payload()``, or an execution model whose
     ``repr`` does not pin its parameters).
     """
-    if not isinstance(spec.scheduler, str):
-        return None
+    scheduler: Any
+    if isinstance(spec.scheduler, str):
+        scheduler = spec.scheduler
+    else:
+        # A factory slot (e.g. the scenario runner's per-cell jcl
+        # builder) is addressable iff it self-describes; the dict form
+        # cannot collide with a registry-name string in canonical JSON.
+        scheduler = _protocol_payload(spec.scheduler)
+        if scheduler is None:
+            return None
     if spec.faults is not None:
         faults = _describe_faults(spec.faults)
         if faults is None:
@@ -142,7 +179,7 @@ def canonical_spec_payload(spec: "RunSpec") -> Optional[Dict[str, Any]]:
         "v": JOURNAL_VERSION,
         "taskset": spec.taskset.name,
         "tasks": tasks,
-        "scheduler": spec.scheduler,
+        "scheduler": scheduler,
         "seed": int(spec.seed),
         "processor": None if spec_proc is None else repr(spec_proc),
         "execution_model": model_repr,
@@ -254,7 +291,16 @@ class CheckpointJournal:
         try:
             if self._handle is None:
                 self.directory.mkdir(parents=True, exist_ok=True)
-                self._handle = open(self.path, "ab")
+                self._handle = open(self.path, "a+b")
+                # A crash mid-append can leave a torn tail with no
+                # newline; appending straight after it would glue this
+                # record onto the torn bytes and lose both.  Terminate
+                # the tail so it becomes its own (skipped) line.
+                self._handle.seek(0, os.SEEK_END)
+                if self._handle.tell() > 0:
+                    self._handle.seek(-1, os.SEEK_END)
+                    if self._handle.read(1) != b"\n":
+                        self._handle.write(b"\n")
             self._handle.write(line.encode("utf-8"))
             self._handle.flush()
             os.fsync(self._handle.fileno())
@@ -397,12 +443,18 @@ def gc_journal(
     )
     if dry_run:
         return report
+    _atomic_rewrite(directory, path, compacted)
+    return report
+
+
+def _atomic_rewrite(directory: Path, path: Path, content: bytes) -> None:
+    """Replace *path* with *content* via temp file + fsync + rename."""
     fd, tmp = tempfile.mkstemp(
         prefix=".journal.gc.", suffix=".tmp", dir=str(directory)
     )
     try:
         with os.fdopen(fd, "wb") as handle:
-            handle.write(compacted)
+            handle.write(content)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
@@ -412,4 +464,98 @@ def gc_journal(
         except OSError:
             pass
         raise
-    return report
+
+
+@dataclass(frozen=True)
+class JournalScrubReport:
+    """What :func:`scrub_journal` found (and, with repair, dropped)."""
+
+    path: Path
+    repair: bool
+    records: int = 0      #: non-empty lines inspected
+    intact: int = 0       #: lines passing the full record checksum
+    corrupt: int = 0      #: torn / checksum-mismatched / alien lines
+    dropped: int = 0      #: corrupt lines physically removed (repair)
+
+    @property
+    def clean(self) -> bool:
+        return self.corrupt == 0
+
+    def to_document(self) -> Dict[str, Any]:
+        return {
+            "kind": "journal-scrub",
+            "path": str(self.path),
+            "repair": self.repair,
+            "records": self.records,
+            "intact": self.intact,
+            "corrupt": self.corrupt,
+            "dropped": self.dropped,
+        }
+
+    def render(self) -> str:
+        verdict = "clean" if self.clean else f"{self.corrupt} corrupt"
+        tail = f", dropped {self.dropped}" if self.repair else ""
+        return (
+            f"journal scrub: {self.path}\n"
+            f"  records {self.records}, intact {self.intact}{tail} — {verdict}"
+        )
+
+
+def scrub_journal(
+    directory: Union[str, Path],
+    repair: bool = False,
+    obs: Any = None,
+) -> JournalScrubReport:
+    """Verify every record of a checkpoint journal.
+
+    Applies the exact acceptance rules of :meth:`CheckpointJournal.load`
+    line by line (version, field shapes, blob checksum) and reports the
+    torn/corrupt remainder.  With ``repair=True`` the journal is
+    rewritten **atomically** keeping only intact lines, verbatim and in
+    order — unlike :func:`gc_journal` it never drops an intact record,
+    superseded or not, so scrubbing commutes with compaction.  A missing
+    journal is a clean no-op.  Like GC, repair must not race a live
+    appender.
+
+    Counters (when *obs* is an obs registry):
+    ``cache.scrub_journal_records``, ``cache.scrub_journal_intact``,
+    ``cache.scrub_journal_corrupt``, ``cache.scrub_journal_dropped``.
+    """
+    from ..obs.registry import DISABLED
+
+    sink = obs if obs is not None else DISABLED
+    directory = Path(directory)
+    path = directory / JOURNAL_NAME
+    try:
+        raw = path.read_bytes()
+    except (FileNotFoundError, OSError):
+        return JournalScrubReport(path=path, repair=repair)
+    records = intact = corrupt = 0
+    survivors = []
+    for line in raw.splitlines():
+        if not line.strip():
+            continue
+        records += 1
+        sink.count("cache.scrub_journal_records")
+        if _intact_record_key(line) is None:
+            corrupt += 1
+            sink.count("cache.scrub_journal_corrupt")
+            continue
+        intact += 1
+        sink.count("cache.scrub_journal_intact")
+        survivors.append(line)
+    dropped = 0
+    if repair and corrupt:
+        _atomic_rewrite(
+            directory, path, b"".join(line + b"\n" for line in survivors)
+        )
+        dropped = corrupt
+        sink.count("cache.scrub_journal_dropped", corrupt)
+    return JournalScrubReport(
+        path=path,
+        repair=repair,
+        records=records,
+        intact=intact,
+        corrupt=corrupt,
+        dropped=dropped,
+    )

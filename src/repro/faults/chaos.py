@@ -29,10 +29,12 @@ executes the cell, wherever the supervisor dispatched it:
 * ``slow_cell(delay_s)`` — the cell stalls before simulating (an
   overloaded-machine fault; exercises timeout paths, never corrupts).
 
-File-level chaos models torn writes — a crash midway through a cache
-shard or journal append: :func:`tear_file` truncates a file at a seeded
-offset so crash-consistency tests can assert *corrupt reads degrade to
-misses, never to wrong hits*.
+File-level chaos models disk corruption — :func:`tear_file` truncates a
+file at a seeded offset (a crash midway through a cache shard or journal
+append) and :func:`flip_bytes` XORs seeded interior bytes in place
+(silent bit rot that only a content checksum catches) — so
+crash-consistency tests can assert *corrupt reads degrade to misses,
+never to wrong hits*.
 
 Transport-level chaos wraps a load-generator ``send`` callable:
 :func:`flaky_transport` makes a deterministic, seeded fraction of calls
@@ -140,6 +142,34 @@ def tear_file(path: Union[str, Path], seed: int = 0) -> int:
     with open(target, "r+b") as handle:
         handle.truncate(cut)
     return cut
+
+
+def flip_bytes(path: Union[str, Path], count: int = 1, seed: int = 0) -> int:
+    """Simulate silent bit rot: XOR *count* seeded interior bytes in place.
+
+    Unlike :func:`tear_file` the length is preserved and the result may
+    still parse as JSON — the failure class only a content checksum can
+    catch.  Each chosen byte is XORed with a non-zero seeded mask, so
+    every flip is a real change.  Returns the number of bytes flipped
+    (0 for an empty file).
+    """
+    if count < 1:
+        raise ConfigurationError(f"flip count must be >= 1, got {count}")
+    target = Path(path)
+    size = target.stat().st_size
+    if size == 0:
+        return 0
+    rng = random.Random(seed)
+    offsets = sorted(rng.sample(range(size), min(count, size)))
+    with open(target, "r+b") as handle:
+        for offset in offsets:
+            handle.seek(offset)
+            byte = handle.read(1)[0]
+            handle.seek(offset)
+            handle.write(bytes([byte ^ rng.randint(1, 255)]))
+        handle.flush()
+        os.fsync(handle.fileno())
+    return len(offsets)
 
 
 # -- transport-level chaos ---------------------------------------------------

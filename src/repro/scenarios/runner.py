@@ -18,7 +18,8 @@ falls straight out of the table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..analysis.weakly_hard import WeaklyHard, check_result
 from ..experiments.runner import CellFailure, RunSpec, run_many
@@ -48,6 +49,21 @@ class _JclFactory:
 
         return JclScheduler(constraints=self.constraints)
 
+    def checkpoint_payload(self) -> Dict[str, Any]:
+        """Content-address this factory for the checkpoint journal.
+
+        The constraint map fully determines the scheduler built, so a
+        scenario cell carrying a jcl factory is journalable — the
+        ``"factory"`` discriminator keeps the dict from ever aliasing a
+        plain registry scheduler name.
+        """
+        return {
+            "factory": "scenario-jcl",
+            "constraints": sorted(
+                [name, m, k] for name, (m, k) in self.constraints.items()
+            ),
+        }
+
 
 class _FaultFactory:
     """Picklable zero-arg factory for a scenario's fault layer.
@@ -62,9 +78,26 @@ class _FaultFactory:
     def __call__(self) -> FaultLayer:
         return self.faults.build()
 
+    def checkpoint_payload(self) -> Dict[str, Any]:
+        """Content-address this factory for the checkpoint journal.
 
-def scenario_specs(scenario: Scenario) -> List[RunSpec]:
-    """The scenario's campaign grid as executor cells, scheduler-major."""
+        The normalised :class:`ScenarioFaults` document (injector,
+        intensity, seed, guards) fully determines the layer each cell
+        builds, under the PR-1 seeding contract.
+        """
+        return {"factory": "scenario-faults", **self.faults.as_document()}
+
+
+def scenario_specs(
+    scenario: Scenario, execution: str = "exact"
+) -> List[RunSpec]:
+    """The scenario's campaign grid as executor cells, scheduler-major.
+
+    *execution* selects the kernel path per cell (``"exact"`` or
+    ``"fast"``); the fast path demotes itself to exact for any cell the
+    eligibility gate rejects (attached faults, stochastic models), so
+    the knob is always safe to pass through.
+    """
     from ..schedulers.registry import WEAKLY_HARD_SCHEDULERS
 
     fault_factory = _FaultFactory(scenario.faults)
@@ -85,6 +118,7 @@ def scenario_specs(scenario: Scenario) -> List[RunSpec]:
                     duration=scenario.campaign.duration,
                     on_miss="record",
                     faults=fault_factory,
+                    execution=execution,
                     extra={"scenario": scenario.name, "scheduler_name": scheduler},
                 )
             )
@@ -171,14 +205,25 @@ def run_scenario(
     *,
     failures: str = "contain",
     progress: Optional[Callable[[ProgressEvent], None]] = None,
+    execution: str = "exact",
+    checkpoint: Union[None, str, "Path"] = None,
 ) -> ScenarioReport:
     """Run the whole campaign grid and judge every cell's (m,k) windows.
 
     *progress*, when given, receives one JSON-ready event per finished
     cell (supervisor-side, completion order) — the payload the service's
     ``/v1/stream`` endpoint forwards verbatim.
+
+    *checkpoint* threads the campaign through the executor's durable
+    journal: every finished cell is committed (fsynced) before its
+    progress event fires, and a re-run of the identical scenario
+    prefills committed cells instead of recomputing them — prefill
+    events fire too, in cell order, flagged ``"checkpoint": "hit"``.
+    Scenario cells are content-addressable because both factory slots
+    (jcl constraints, fault plan) self-describe via
+    ``checkpoint_payload()``.
     """
-    specs = scenario_specs(scenario)
+    specs = scenario_specs(scenario, execution=execution)
     labels = [
         (spec.extra["scheduler_name"], spec.seed) for spec in specs
     ]
@@ -228,12 +273,23 @@ def run_scenario(
             event["deadline_misses"] = len(outcome.result.deadline_misses)
             event["average_power"] = outcome.result.average_power
             event["preemptions"] = outcome.result.preemptions
+            metadata = outcome.result.metadata
+            if "execution_path" in metadata:
+                event["execution_path"] = metadata["execution_path"]
+            if "checkpoint" in metadata:
+                event["checkpoint"] = metadata["checkpoint"]
             if scenario.constraints:
                 event["weakly_hard_ok"] = bool(outcome.satisfied)
                 event["violations"] = dict(outcome.violations)
         progress(event)
 
-    results = run_many(specs, jobs=jobs, failures=failures, progress=observe)
+    results = run_many(
+        specs,
+        jobs=jobs,
+        failures=failures,
+        progress=observe,
+        checkpoint=checkpoint,
+    )
     cells = tuple(
         outcomes.get(index, judge(index, result))
         for index, result in enumerate(results)

@@ -19,19 +19,75 @@ the tiers may be shared between processes and across service restarts.
   disk hit is promoted back into the memory tier.  Unreadable entries
   are treated as misses and removed — the cache degrades to recomputing,
   never to failing.
+
+Disk entries are wrapped in a **checksum envelope**
+``{"v": 1, "key": <fingerprint>, "sha": <sha256 of canonical payload>,
+"payload": {...}}`` so the reader can distinguish three failure classes
+a bare payload cannot: torn writes (invalid JSON), misfiled entries
+(``key`` disagrees with the filename), and silent bit rot (``sha``
+disagrees with the payload).  All three degrade to a miss, counted as
+``cache.disk_corrupt``.  :func:`scrub_cache` walks every shard offline
+and verifies the same envelope — ``repair=True`` quarantines broken
+entries under ``quarantine/`` so they can never serve again, and the
+``cache.scrub_*`` counters surface the sweep on ``/v1/metrics``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 import threading
 from collections import OrderedDict
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..obs.registry import DISABLED, Registry
+
+#: Version of the on-disk entry envelope.
+ENVELOPE_VERSION = 1
+
+#: Directory (under the cache root) where the scrubber parks corrupt entries.
+QUARANTINE_DIR = "quarantine"
+
+
+def payload_checksum(payload: Dict[str, Any]) -> str:
+    """sha256 over the canonical JSON encoding of *payload*."""
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+def wrap_entry(key: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The checksum envelope written to disk for *payload* under *key*."""
+    return {
+        "v": ENVELOPE_VERSION,
+        "key": key,
+        "sha": payload_checksum(payload),
+        "payload": payload,
+    }
+
+
+def open_entry(key: str, document: Any) -> Tuple[Optional[Dict[str, Any]], str]:
+    """Verify an on-disk *document* against *key*.
+
+    Returns ``(payload, "ok")`` when the envelope is intact and
+    ``(None, reason)`` otherwise — the reason strings feed both the
+    reader's corruption counter and the scrubber's report.
+    """
+    if not isinstance(document, dict):
+        return None, "not-an-envelope"
+    if document.get("v") != ENVELOPE_VERSION or "payload" not in document:
+        return None, "not-an-envelope"
+    if document.get("key") != key:
+        return None, "key-mismatch"
+    payload = document["payload"]
+    if not isinstance(payload, dict):
+        return None, "not-an-envelope"
+    if document.get("sha") != payload_checksum(payload):
+        return None, "checksum-mismatch"
+    return payload, "ok"
 
 
 class ResultCache:
@@ -115,17 +171,29 @@ class ResultCache:
             return None
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
+                document = json.load(handle)
         except FileNotFoundError:
             return None
         except (OSError, ValueError):
             # Torn or corrupt entry: drop it and recompute.
+            self._obs.count("cache.disk_corrupt")
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
-        return payload if isinstance(payload, dict) else None
+        payload, _ = open_entry(key, document)
+        if payload is None:
+            # Checksum or identity failure: a wrong hit is the one
+            # outcome the cache must never produce, so the entry is
+            # swept and the lookup degrades to a miss.
+            self._obs.count("cache.disk_corrupt")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return payload
 
     def _disk_write(self, key: str, payload: Dict[str, Any]) -> None:
         path = self._disk_path(key)
@@ -138,7 +206,7 @@ class ResultCache:
             )
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(payload, handle, sort_keys=True)
+                    json.dump(wrap_entry(key, payload), handle, sort_keys=True)
                     # fsync *before* rename: os.replace promises readers
                     # never see a torn entry, but only a flushed temp
                     # file makes the promise hold across a crash — an
@@ -174,3 +242,122 @@ class ResultCache:
                 "cache_evictions": self.evictions,
                 "cache_memory_entries": len(self._memory),
             }
+
+
+# -- integrity scrubber ------------------------------------------------------
+@dataclass
+class CacheScrubReport:
+    """Outcome of one :func:`scrub_cache` sweep."""
+
+    directory: str
+    repair: bool
+    scanned: int = 0
+    intact: int = 0
+    corrupt: int = 0
+    quarantined: int = 0
+    #: One ``{"path": ..., "reason": ...}`` record per broken entry.
+    problems: List[Dict[str, str]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.corrupt == 0
+
+    def to_document(self) -> Dict[str, Any]:
+        return {
+            "kind": "cache-scrub",
+            "directory": self.directory,
+            "repair": self.repair,
+            "scanned": self.scanned,
+            "intact": self.intact,
+            "corrupt": self.corrupt,
+            "quarantined": self.quarantined,
+            "problems": list(self.problems),
+        }
+
+    def render(self) -> str:
+        verdict = "clean" if self.clean else f"{self.corrupt} corrupt"
+        lines = [
+            f"cache scrub: {self.directory}",
+            f"  scanned {self.scanned}, intact {self.intact}, "
+            f"quarantined {self.quarantined} — {verdict}",
+        ]
+        for problem in self.problems:
+            lines.append(f"  {problem['reason']:<18} {problem['path']}")
+        return "\n".join(lines)
+
+
+def _classify_entry(path: Path) -> str:
+    """The envelope verdict for one shard file ("ok" or a defect reason)."""
+    key = path.stem
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError:
+        return "unreadable"
+    except ValueError:
+        return "torn-or-corrupt-json"
+    _, verdict = open_entry(key, document)
+    return verdict
+
+
+def _quarantine(root: Path, path: Path) -> bool:
+    """Move *path* under ``<root>/quarantine/``; True on success."""
+    pen = root / QUARANTINE_DIR
+    try:
+        pen.mkdir(parents=True, exist_ok=True)
+        target = pen / path.name
+        n = 0
+        while target.exists():
+            n += 1
+            target = pen / f"{path.name}.{n}"
+        os.replace(path, target)
+    except OSError:
+        return False
+    return True
+
+
+def scrub_cache(
+    disk_dir: Union[str, Path],
+    repair: bool = False,
+    obs: Optional["Registry"] = None,
+) -> CacheScrubReport:
+    """Verify every disk-tier entry under *disk_dir*.
+
+    Each shard file is re-validated against the checksum envelope; torn
+    JSON, misfiled keys, and checksum mismatches are all reported.  With
+    ``repair=True`` broken entries are *quarantined* — moved aside, so a
+    later reader sees a miss (never a wrong hit) while the evidence
+    survives for inspection.  An absent directory is a clean no-op scrub
+    (a cold cache has nothing to verify).
+
+    Counters (when *obs* is given): ``cache.scrub_scanned``,
+    ``cache.scrub_intact``, ``cache.scrub_corrupt``,
+    ``cache.scrub_quarantined``.
+    """
+    sink = obs if obs is not None else DISABLED
+    root = Path(disk_dir)
+    report = CacheScrubReport(directory=str(root), repair=repair)
+    if not root.is_dir():
+        return report
+    for shard in sorted(root.iterdir()):
+        # Shard dirs are the first two hex digits of the key; anything
+        # else (quarantine/, stray files) is not cache payload.
+        if not shard.is_dir() or shard.name == QUARANTINE_DIR:
+            continue
+        for path in sorted(shard.glob("*.json")):
+            report.scanned += 1
+            sink.count("cache.scrub_scanned")
+            verdict = _classify_entry(path)
+            if verdict == "ok" and not path.stem.startswith(shard.name):
+                verdict = "misfiled-shard"
+            if verdict == "ok":
+                report.intact += 1
+                sink.count("cache.scrub_intact")
+                continue
+            report.corrupt += 1
+            sink.count("cache.scrub_corrupt")
+            report.problems.append({"path": str(path), "reason": verdict})
+            if repair and _quarantine(root, path):
+                report.quarantined += 1
+                sink.count("cache.scrub_quarantined")
+    return report

@@ -16,6 +16,7 @@ harness measures the HTTP stack end-to-end or the broker in-process:
 
 from __future__ import annotations
 
+import http.client
 import json
 import threading
 import time
@@ -24,11 +25,17 @@ import urllib.request
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple
 
+from ..errors import ServiceError
 from .stats import percentile
-from .stream import parse_sse
+from .stream import TERMINAL_KINDS, parse_sse
 
 #: A transport: JSON request dict in, (HTTP-like status, payload) out.
 SendFn = Callable[[Dict[str, Any]], Tuple[int, Dict[str, Any]]]
+
+#: Failure classes a dropped stream or dead server produces at this
+#: layer: socket-level errors (``urllib``'s ``URLError`` is an
+#: ``OSError``) plus protocol-level carnage from a SIGKILL mid-response.
+STREAM_TRANSPORT_ERRORS = (OSError, http.client.HTTPException)
 
 
 class ServiceClient:
@@ -110,6 +117,68 @@ class ServiceClient:
                 yield event
         finally:
             response.close()
+
+    def resume_scenario(
+        self,
+        request: Dict[str, Any],
+        after: int = 0,
+        max_reconnects: int = 8,
+        reconnect_delay_s: float = 0.5,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> Iterator[Dict[str, Any]]:
+        """Submit a scenario and stream it to completion, crash or not.
+
+        The resume-by-fingerprint loop: (re-)POST the scenario — which
+        is idempotent when the server runs with a checkpoint dir, so a
+        re-submission attaches to the running campaign, returns the
+        finished one, or resumes a crashed one — then follow its stream
+        from the last event this generator has already yielded.  A
+        dropped connection or a dead/restarting server costs one
+        reconnect from the budget (any successfully yielded event
+        refills it); events are deduplicated by sequence number, so the
+        caller sees one gapless, duplicate-free sequence ending in the
+        terminal ``done``/``error`` event no matter how many times the
+        server died along the way.
+
+        *after* starts past events already consumed (e.g. by an earlier
+        process).  Raises :class:`~repro.errors.ServiceError` on a
+        non-200 submission (a malformed scenario never resolves itself)
+        or when the reconnect budget is exhausted.
+        """
+        last_seen = int(after)
+        failures = 0
+        while True:
+            campaign_id = None
+            try:
+                status, payload = self.submit_scenario(request)
+                if status != 200:
+                    raise ServiceError(
+                        f"scenario submission failed ({status}): "
+                        f"{payload.get('error', payload)}"
+                    )
+                campaign_id = payload["campaign_id"]
+                for event in self.stream(campaign_id, after=last_seen):
+                    seq = event.get("seq")
+                    if isinstance(seq, int):
+                        if seq <= last_seen:
+                            continue  # duplicate from an overlapping replay
+                        last_seen = seq
+                    failures = 0
+                    yield event
+                    if event.get("kind") in TERMINAL_KINDS:
+                        return
+                # Stream closed without a terminal event: the server is
+                # draining or the subscriber idled out — reconnect.
+            except STREAM_TRANSPORT_ERRORS:
+                pass
+            failures += 1
+            if failures > max_reconnects:
+                what = campaign_id if campaign_id is not None else "scenario"
+                raise ServiceError(
+                    f"stream for {what!r} lost after "
+                    f"{max_reconnects} reconnects"
+                )
+            sleep(reconnect_delay_s)
 
 
 def _body_of(exc: urllib.error.HTTPError) -> Dict[str, Any]:

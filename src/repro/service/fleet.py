@@ -40,9 +40,10 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ServiceError
 from ..obs.registry import Registry, current
 from .client import SendFn, ServiceClient
+from .stream import TERMINAL_KINDS
 from .retry import (
     TRANSPORT_ERRORS,
     CircuitBreaker,
@@ -106,6 +107,7 @@ class FleetClient:
         transport_factory: Optional[Callable[[str], SendFn]] = None,
         breaker_factory: Optional[Callable[[], CircuitBreaker]] = None,
         obs: Optional[Registry] = None,
+        scenario_client_factory: Optional[Callable[[str], Any]] = None,
     ):
         if not endpoints:
             raise ConfigurationError("endpoints must name at least one replica")
@@ -113,6 +115,12 @@ class FleetClient:
             transport_factory = (
                 lambda url: ServiceClient(url, timeout_s=timeout_s).query
             )
+        if scenario_client_factory is None:
+            scenario_client_factory = (
+                lambda url: ServiceClient(url, timeout_s=timeout_s)
+            )
+        self._scenario_client_factory = scenario_client_factory
+        self._scenario_clients: Dict[str, Any] = {}
         if breaker_factory is None:
             breaker_factory = lambda: CircuitBreaker(
                 failure_threshold=3, reset_timeout_s=2.0
@@ -210,3 +218,118 @@ class FleetClient:
 
     # SendFn / ServiceClient name parity
     query = __call__
+
+    # -- streamed campaigns ---------------------------------------------------
+    def _scenario_client(self, url: str) -> Any:
+        client = self._scenario_clients.get(url)
+        if client is None:
+            client = self._scenario_client_factory(url)
+            self._scenario_clients[url] = client
+        return client
+
+    def submit_scenario(
+        self, request: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """POST a scenario to the first healthy replica (ring walk).
+
+        Transport failures fail over to the next replica — safe because
+        submission is idempotent whenever the fleet shares a checkpoint
+        dir (the campaign id is content-addressed from the scenario
+        fingerprint).  Raises the last transport error if every replica
+        refused.
+        """
+        obs = self._registry()
+        last_error: Optional[BaseException] = None
+        for target in self._ring():
+            if not target.breaker.allow():
+                continue
+            self.attempts += 1
+            obs.count("fleet.attempts")
+            try:
+                status, payload = self._scenario_client(
+                    target.url
+                ).submit_scenario(request)
+            except FLEET_TRANSPORT_ERRORS as exc:
+                target.breaker.record_failure()
+                self.failovers += 1
+                obs.count("fleet.failovers")
+                last_error = exc
+                continue
+            target.breaker.record_success()
+            return status, payload
+        if last_error is not None:
+            raise last_error
+        raise CircuitOpenError(
+            "every replica breaker is open; no endpoint to try"
+        )
+
+    def resume_scenario(
+        self,
+        request: Dict[str, Any],
+        after: int = 0,
+        max_reconnects: int = 16,
+        reconnect_delay_s: float = 0.5,
+    ) -> "Any":
+        """Stream a scenario campaign to completion across replica deaths.
+
+        The fleet edition of :meth:`ServiceClient.resume_scenario`: each
+        (re)attachment walks the ring for a healthy replica, re-submits
+        the scenario there (idempotent under a shared checkpoint dir —
+        any replica can resume any campaign), and follows the stream
+        from the last yielded event.  A replica dying mid-stream costs
+        one reconnect and one ``fleet.scenario_failovers`` count; the
+        merged sequence stays gapless and duplicate-free.  Raises
+        :class:`~repro.errors.ServiceError` on a non-200 submission or
+        an exhausted reconnect budget.
+        """
+        obs = self._registry()
+        last_seen = int(after)
+        failures = 0
+        while True:
+            streamed_from: Optional[str] = None
+            for target in self._ring():
+                if not target.breaker.allow():
+                    continue
+                client = self._scenario_client(target.url)
+                self.attempts += 1
+                obs.count("fleet.attempts")
+                try:
+                    status, payload = client.submit_scenario(request)
+                except FLEET_TRANSPORT_ERRORS:
+                    target.breaker.record_failure()
+                    self.failovers += 1
+                    obs.count("fleet.failovers")
+                    continue
+                target.breaker.record_success()
+                if status != 200:
+                    raise ServiceError(
+                        f"scenario submission failed ({status}): "
+                        f"{payload.get('error', payload)}"
+                    )
+                streamed_from = target.url
+                try:
+                    for event in client.stream(
+                        payload["campaign_id"], after=last_seen
+                    ):
+                        seq = event.get("seq")
+                        if isinstance(seq, int):
+                            if seq <= last_seen:
+                                continue
+                            last_seen = seq
+                        failures = 0
+                        yield event
+                        if event.get("kind") in TERMINAL_KINDS:
+                            return
+                except FLEET_TRANSPORT_ERRORS:
+                    target.breaker.record_failure()
+                    obs.count("fleet.scenario_failovers")
+                break  # stream dropped: re-attach through a fresh ring
+            failures += 1
+            if failures > max_reconnects:
+                raise ServiceError(
+                    f"campaign stream lost after {max_reconnects} "
+                    f"reconnects (last replica: {streamed_from})"
+                )
+            delay = reconnect_delay_s
+            self.slept_s += delay
+            self._sleep(delay)

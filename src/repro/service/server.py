@@ -43,10 +43,14 @@ from urllib.parse import parse_qs, urlparse
 from ..errors import ConfigurationError, ServiceError, error_kind
 from ..obs.registry import Registry, install
 from .broker import AdmissionError, Broker, RequestTimeout, ServiceGuards
-from .cache import ResultCache
+from .cache import ResultCache, scrub_cache
+from .durability import CampaignStore, campaign_key
 from .query import Query, QueryError, parse_query
 from .stats import ServiceStats
-from .stream import CampaignHub, sse_render
+from .stream import CampaignEvicted, CampaignHub, TERMINAL_KINDS, sse_render
+
+#: Kernel paths a scenario campaign may request.
+EXECUTION_MODES = ("exact", "fast")
 
 #: Largest accepted request body, bytes — queries are small; anything
 #: bigger is a mistake or abuse.
@@ -58,6 +62,7 @@ MAX_BODY_BYTES = 1_000_000
 _STATUS_KINDS = {
     400: "bad-request",
     404: "bad-request",
+    410: "gone",
     503: "overload",
     504: "timeout",
     500: "internal",
@@ -73,11 +78,18 @@ class ScheduleService:
         memory_items: int = 1024,
         guards: Optional[ServiceGuards] = None,
         jobs: Optional[int] = 0,
+        checkpoint_dir: Union[None, str, Path] = None,
+        scrub_on_start: bool = True,
     ):
         self.stats = ServiceStats()
         #: Long-lived stage spans + campaign gauges for the whole stack,
         #: surfaced by ``GET /v1/metrics`` next to the counters.
         self.obs = Registry()
+        if scrub_on_start and cache_dir is not None:
+            # Quarantine anything a crash or bit rot left behind before
+            # the first request can ask for it; the scrub counters land
+            # on /v1/metrics through the same registry.
+            scrub_cache(cache_dir, repair=True, obs=self.obs)
         self.cache = ResultCache(
             memory_items=memory_items, disk_dir=cache_dir, obs=self.obs
         )
@@ -88,8 +100,31 @@ class ScheduleService:
             stats=self.stats,
             obs=self.obs,
         )
+        #: Checkpoint directory shared by the cell journal and the
+        #: campaign store; None keeps campaigns memory-only (pre-PR 10).
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        store: Optional[CampaignStore] = None
+        if self.checkpoint_dir is not None:
+            store = CampaignStore(self.checkpoint_dir)
+            if scrub_on_start:
+                # Truncating torn event-log suffixes *before* replay is
+                # what keeps post-restart appends gapless: new events
+                # must land directly after the intact prefix.  The cell
+                # journal only gets a report-only pass — its reader is
+                # already corruption-tolerant — so the scrub counters
+                # still reach /v1/metrics.
+                from ..experiments.checkpoint import scrub_journal
+
+                store.scrub(repair=True, obs=self.obs)
+                scrub_journal(self.checkpoint_dir, repair=False, obs=self.obs)
         #: Live scenario-campaign event logs, served by ``/v1/stream``.
-        self.campaigns = CampaignHub(obs=self.obs)
+        self.campaigns = CampaignHub(obs=self.obs, store=store)
+        self.campaigns.load_persisted()
+        self._campaign_lock = threading.Lock()
+        #: Campaign ids with a runner thread alive in *this* process.
+        self._active_campaigns: set = set()
 
     def query(self, query: Query, timeout: Optional[float] = None) -> Dict[str, Any]:
         """Answer one parsed :class:`Query`."""
@@ -116,28 +151,40 @@ class ScheduleService:
         return self.query(parse_query(request), timeout=timeout)
 
     def submit_scenario(self, request: Mapping[str, Any]) -> Dict[str, Any]:
-        """Validate a scenario request and launch its campaign.
+        """Validate a scenario request and launch (or resume) its campaign.
 
         The body names a bundled pack (``{"pack": "cnc"}``) or inlines a
-        document (``{"scenario": {...}}``), plus an optional ``jobs``
-        worker count.  Validation is synchronous — a malformed scenario
-        is rejected here with a field-level error — but the campaign
-        itself runs on a daemon thread, publishing one ``cell`` event
-        per finished cell into :attr:`campaigns` and a terminal ``done``
-        (or ``error``) event, so ``GET /v1/stream/{campaign_id}`` can
-        follow it live.
+        document (``{"scenario": {...}}``), plus optional ``jobs`` and
+        ``execution`` (``"exact"``/``"fast"``) knobs.  Validation is
+        synchronous — a malformed scenario is rejected here with a
+        field-level error — but the campaign itself runs on a daemon
+        thread, publishing one ``cell`` event per finished cell into
+        :attr:`campaigns` and a terminal ``done`` (or ``error``) event,
+        so ``GET /v1/stream/{campaign_id}`` can follow it live.
+
+        With a checkpoint dir the submission is **idempotent**: the
+        campaign id is content-addressed from the scenario fingerprint
+        and the execution mode, the campaign intent is persisted in a
+        write-ahead manifest before any cell runs, and re-submitting the
+        identical document attaches to the running campaign, returns the
+        finished one, or *resumes* a crashed one — prefilling every
+        journaled cell and recomputing only the tail.
         """
         from ..scenarios import load_pack, parse_scenario
-        from ..scenarios.runner import run_scenario
 
         request = dict(request)
         pack = request.pop("pack", None)
         document = request.pop("scenario", None)
         jobs = request.pop("jobs", 1)
+        execution = request.pop("execution", "exact")
         if request:
             raise QueryError(f"unknown fields: {sorted(request)}")
         if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1:
             raise QueryError(f"jobs must be an integer >= 1, got {jobs!r}")
+        if execution not in EXECUTION_MODES:
+            raise QueryError(
+                f"execution must be one of {EXECUTION_MODES}, got {execution!r}"
+            )
         if (pack is None) == (document is None):
             raise QueryError("give exactly one of 'pack' or 'scenario'")
         if pack is not None:
@@ -150,10 +197,80 @@ class ScheduleService:
             scenario = parse_scenario(document)
         cells = len(scenario.campaign.schedulers) * len(scenario.campaign.seeds)
         fingerprint = scenario.fingerprint()
-        campaign_id = self.campaigns.create(
-            {"scenario": scenario.name, "fingerprint": fingerprint, "cells": cells}
+        meta = {
+            "scenario": scenario.name,
+            "fingerprint": fingerprint,
+            "cells": cells,
+            "execution": execution,
+        }
+        payload = {
+            "ok": True,
+            "scenario": scenario.name,
+            "fingerprint": fingerprint,
+            "cells": cells,
+            "execution": execution,
+        }
+        store = self.campaigns.store
+        if store is None:
+            campaign_id = self.campaigns.create(meta)
+            with self._campaign_lock:
+                self._active_campaigns.add(campaign_id)
+            self._launch_campaign(scenario, jobs, execution, campaign_id)
+            payload.update(
+                campaign_id=campaign_id,
+                stream=f"/v1/stream/{campaign_id}",
+                state="running",
+            )
+            return payload
+        campaign_id = campaign_key(fingerprint, execution)
+        payload.update(
+            campaign_id=campaign_id, stream=f"/v1/stream/{campaign_id}"
         )
+        with self._campaign_lock:
+            try:
+                snapshot = self.campaigns.snapshot(campaign_id)
+            except KeyError:
+                snapshot = None
+            if snapshot is not None and snapshot["state"] in TERMINAL_KINDS:
+                # Finished: the event log *is* the answer, idempotently.
+                payload.update(
+                    state=snapshot["state"], events=snapshot["events"]
+                )
+                return payload
+            if campaign_id in self._active_campaigns:
+                # Running here: attach, never start a second runner.
+                payload.update(state="running", attached=True)
+                return payload
+            resumed = snapshot is not None
+            # Write-ahead: intent is durable before the campaign exists
+            # anywhere else, so a crash at any later instant leaves a
+            # resumable manifest, never a half-registered campaign.
+            store.write_manifest(
+                campaign_id,
+                {
+                    "meta": meta,
+                    "scenario_document": scenario.canonical_document(),
+                    "fingerprint": fingerprint,
+                    "jobs": jobs,
+                    "execution": execution,
+                    "created_s": time.time(),
+                },
+            )
+            if snapshot is None:
+                self.campaigns.create(meta, campaign_id=campaign_id)
+            self._active_campaigns.add(campaign_id)
+        self._launch_campaign(scenario, jobs, execution, campaign_id)
+        payload.update(state="running", resumed=resumed)
+        return payload
+
+    def _launch_campaign(
+        self, scenario: Any, jobs: int, execution: str, campaign_id: str
+    ) -> None:
+        """Run one campaign on a daemon thread, streaming into the hub."""
+        from ..scenarios.runner import run_scenario
+
         hub, obs = self.campaigns, self.obs
+        checkpoint = self.checkpoint_dir
 
         def work() -> None:
             install(obs)  # campaign gauges land in /v1/metrics, like queries
@@ -161,6 +278,8 @@ class ScheduleService:
                 report = run_scenario(
                     scenario,
                     jobs=jobs,
+                    execution=execution,
+                    checkpoint=checkpoint,
                     progress=lambda event: hub.publish(campaign_id, "cell", event),
                 )
                 summary: Dict[str, Any] = {
@@ -173,19 +292,71 @@ class ScheduleService:
                     summary["weakly_hard"] = report.satisfied_by_scheduler()
                 hub.finish(campaign_id, summary)
             except Exception as exc:  # terminal event, never a dead stream
-                hub.fail(campaign_id, str(exc))
+                try:
+                    hub.fail(campaign_id, str(exc))
+                except Exception:
+                    pass
+            finally:
+                with self._campaign_lock:
+                    self._active_campaigns.discard(campaign_id)
 
         threading.Thread(
             target=work, name=f"lpfps-campaign-{campaign_id}", daemon=True
         ).start()
-        return {
-            "ok": True,
-            "campaign_id": campaign_id,
-            "scenario": scenario.name,
-            "fingerprint": fingerprint,
-            "cells": cells,
-            "stream": f"/v1/stream/{campaign_id}",
-        }
+
+    def resume_campaigns(self) -> list:
+        """Relaunch every orphaned campaign found in the checkpoint dir.
+
+        An orphan is a persisted manifest whose replayed event log has
+        no terminal event and no runner in this process — exactly what a
+        crashed (or supervisor-restarted) replica leaves behind.  Each
+        one is re-parsed from its manifest's canonical scenario document
+        and resumed through the checkpoint journal, so committed cells
+        prefill and the stream continues gaplessly.  Returns the resumed
+        campaign ids; without a checkpoint dir this is a no-op.
+        """
+        from ..scenarios import parse_scenario
+
+        store = self.campaigns.store
+        if store is None:
+            return []
+        self.campaigns.load_persisted()
+        resumed = []
+        for campaign_id, manifest in store.list_manifests().items():
+            with self._campaign_lock:
+                try:
+                    snapshot = self.campaigns.snapshot(campaign_id)
+                except KeyError:
+                    continue
+                if (
+                    snapshot["state"] in TERMINAL_KINDS
+                    or campaign_id in self._active_campaigns
+                ):
+                    continue
+                document = manifest.get("scenario_document")
+                jobs = manifest.get("jobs", 1)
+                execution = manifest.get("execution", "exact")
+                try:
+                    scenario = parse_scenario(document)
+                    if not isinstance(jobs, int) or isinstance(jobs, bool):
+                        raise ConfigurationError(f"bad jobs {jobs!r}")
+                    if execution not in EXECUTION_MODES:
+                        raise ConfigurationError(f"bad execution {execution!r}")
+                except Exception as exc:
+                    # An unresumable manifest must not strand subscribers
+                    # on a forever-running stream: close it loudly.
+                    try:
+                        self.campaigns.fail(
+                            campaign_id, f"unresumable manifest: {exc}"
+                        )
+                    except Exception:
+                        pass
+                    continue
+                self._active_campaigns.add(campaign_id)
+            self._launch_campaign(scenario, jobs, execution, campaign_id)
+            self.obs.count("stream.campaigns_resumed")
+            resumed.append(campaign_id)
+        return resumed
 
     def metrics(self) -> Dict[str, Any]:
         """bench-metrics/v1 snapshot of the whole stack.
@@ -287,6 +458,16 @@ class _Handler(BaseHTTPRequestHandler):
         hub = self.server.service.campaigns
         try:
             hub.snapshot(campaign_id)
+        except CampaignEvicted as exc:
+            # The id was real; its events aged out of memory.  410 with
+            # a resume hint: re-POST the scenario (idempotent whenever
+            # the server has a checkpoint dir) and re-attach.
+            self._error(
+                410,
+                f"campaign {campaign_id!r} evicted",
+                resume=exc.hint,
+            )
+            return
         except KeyError:
             self._error(404, f"unknown campaign {campaign_id!r}")
             return

@@ -11,6 +11,24 @@ The hub is deliberately transport-free: it knows nothing about HTTP.
 ``/v1/stream/{campaign_id}`` renders its events as Server-Sent Events;
 anything else (a CLI follower, a test) iterates :meth:`CampaignHub.subscribe`
 directly.
+
+Two orthogonal hardening layers (this PR):
+
+* **Durability** — with a :class:`~repro.service.durability.CampaignStore`
+  attached, every event is fsynced to the campaign's on-disk log
+  *before* subscribers see it, and :meth:`CampaignHub.load_persisted`
+  replays the logs after a restart, so ``?after=N`` reconnects across a
+  server crash are gapless and duplicate-free.  Cell events deduplicate
+  by cell index: when a resumed campaign's checkpoint prefill re-fires
+  cells that already streamed before the crash, the hub drops the
+  duplicates instead of re-sequencing them.
+* **Bounded retention** — finished campaigns are evicted after
+  ``finished_ttl_s`` seconds or beyond ``max_finished`` entries
+  (oldest-finished first), counted as ``stream.evictions``.  An evicted
+  id raises :class:`CampaignEvicted` (the HTTP layer's 410) carrying a
+  resume hint; with a store attached the hub transparently reloads the
+  campaign from disk instead, so eviction only ever forgets the fast
+  copy.
 """
 
 from __future__ import annotations
@@ -18,10 +36,14 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..obs.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .durability import CampaignStore
 
 #: Terminal event kinds: once one is published, a campaign is closed and
 #: subscribers drain and stop.
@@ -30,11 +52,33 @@ TERMINAL_KINDS = ("done", "error")
 #: Finished campaigns kept for replay before the oldest is evicted.
 MAX_FINISHED = 64
 
+#: Default seconds a finished campaign is retained in memory.
+FINISHED_TTL_S = 3600.0
+
+#: Evicted ids remembered for 410-with-resume-hint responses.
+MAX_EVICTED_HINTS = 256
+
+
+class CampaignEvicted(KeyError):
+    """The campaign id was valid but its events have been evicted.
+
+    Carries a JSON-ready *hint* so the HTTP layer can answer 410 Gone
+    with everything a client needs to resume: the scenario fingerprint
+    to re-submit (idempotent when the server has a checkpoint dir) and
+    the endpoint to re-submit it to.
+    """
+
+    def __init__(self, campaign_id: str, hint: Dict[str, Any]):
+        super().__init__(campaign_id)
+        self.campaign_id = campaign_id
+        self.hint = hint
+
 
 class _Campaign:
     """One campaign's ordered event log plus its lifecycle state."""
 
-    __slots__ = ("id", "meta", "events", "state", "created_s")
+    __slots__ = ("id", "meta", "events", "state", "created_s", "finished_s",
+                 "seen_cells")
 
     def __init__(self, campaign_id: str, meta: Dict[str, Any]):
         self.id = campaign_id
@@ -42,10 +86,25 @@ class _Campaign:
         self.events: List[Dict[str, Any]] = []
         self.state = "running"
         self.created_s = time.time()
+        self.finished_s: Optional[float] = None
+        #: cell index -> seq of the event that first reported it; the
+        #: dedupe map that makes checkpoint-prefill replays idempotent.
+        self.seen_cells: Dict[int, int] = {}
 
     @property
     def done(self) -> bool:
         return self.state != "running"
+
+    def append(self, kind: str, data: Dict[str, Any]) -> Dict[str, Any]:
+        seq = len(self.events) + 1
+        event = {"seq": seq, "kind": kind, "data": dict(data)}
+        self.events.append(event)
+        if kind == "cell" and isinstance(data.get("cell"), int):
+            self.seen_cells.setdefault(data["cell"], seq)
+        if kind in TERMINAL_KINDS:
+            self.state = kind
+            self.finished_s = time.time()
+        return event
 
 
 class CampaignHub:
@@ -56,37 +115,109 @@ class CampaignHub:
     so the whole log is kept for replay (``?after=N`` resumption).
     """
 
-    def __init__(self, obs: Optional[Registry] = None):
+    def __init__(
+        self,
+        obs: Optional[Registry] = None,
+        store: Optional["CampaignStore"] = None,
+        max_finished: int = MAX_FINISHED,
+        finished_ttl_s: Optional[float] = FINISHED_TTL_S,
+    ):
         self._lock = threading.Condition()
         self._campaigns: Dict[str, _Campaign] = {}
+        self._evicted: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._ids = itertools.count(1)
         self._obs = obs if obs is not None else Registry()
+        self._store = store
+        self._max_finished = max_finished
+        self._finished_ttl_s = finished_ttl_s
+
+    @property
+    def store(self) -> Optional["CampaignStore"]:
+        return self._store
 
     # -- lifecycle -----------------------------------------------------------
-    def create(self, meta: Dict[str, Any]) -> str:
-        """Register a new campaign; returns its id (``c1``, ``c2``, ...)."""
+    def create(
+        self, meta: Dict[str, Any], campaign_id: Optional[str] = None
+    ) -> str:
+        """Register a new campaign; returns its id.
+
+        Ids default to the sequential ``c1``, ``c2``, ... scheme; a
+        caller with a durable identity (the server's content-addressed
+        :func:`~repro.service.durability.campaign_key`) passes it
+        explicitly so the id survives restarts.
+        """
         with self._lock:
-            campaign_id = f"c{next(self._ids)}"
+            if campaign_id is None:
+                campaign_id = f"c{next(self._ids)}"
+            elif campaign_id in self._campaigns:
+                raise ConfigurationError(
+                    f"campaign {campaign_id!r} already exists"
+                )
             self._campaigns[campaign_id] = _Campaign(campaign_id, dict(meta))
+            self._evicted.pop(campaign_id, None)
             self._evict_finished()
             self._obs.count("stream.campaigns")
         return campaign_id
 
-    def publish(self, campaign_id: str, kind: str, data: Dict[str, Any]) -> int:
-        """Append one event; returns its sequence number (1-based)."""
+    def load_persisted(self) -> List[str]:
+        """Recover every persisted campaign from the attached store.
+
+        Replays each on-disk event log into a fresh in-memory campaign
+        (state follows the last replayed event), so subscribers can
+        resume with ``?after=N`` exactly where the crashed process left
+        them.  Returns the recovered ids; campaigns already resident are
+        left untouched.  A no-op without a store.
+        """
+        if self._store is None:
+            return []
+        recovered: List[str] = []
+        for campaign_id, manifest in self._store.list_manifests().items():
+            with self._lock:
+                if campaign_id in self._campaigns:
+                    continue
+                meta = manifest.get("meta")
+                campaign = _Campaign(
+                    campaign_id,
+                    dict(meta) if isinstance(meta, dict) else {},
+                )
+                for event in self._store.load_events(campaign_id):
+                    campaign.append(event["kind"], event["data"])
+                self._campaigns[campaign_id] = campaign
+                self._evicted.pop(campaign_id, None)
+                self._obs.count("stream.campaigns_recovered")
+                recovered.append(campaign_id)
+        return recovered
+
+    def publish(
+        self, campaign_id: str, kind: str, data: Dict[str, Any]
+    ) -> int:
+        """Append one event; returns its sequence number (1-based).
+
+        With a store attached the event is durably journaled *before*
+        it becomes visible.  A ``cell`` event whose cell index has
+        already been published (a checkpoint-prefill replay after
+        resume) is dropped as a duplicate: the original sequence number
+        is returned and no new event appears.
+        """
         with self._lock:
             campaign = self._require(campaign_id)
             if campaign.done:
                 raise ConfigurationError(
                     f"campaign {campaign_id!r} is already {campaign.state}"
                 )
-            seq = len(campaign.events) + 1
-            campaign.events.append({"seq": seq, "kind": kind, "data": dict(data)})
-            if kind in TERMINAL_KINDS:
-                campaign.state = kind
+            if kind == "cell" and isinstance(data.get("cell"), int):
+                seen = campaign.seen_cells.get(data["cell"])
+                if seen is not None:
+                    self._obs.count("stream.duplicates_skipped")
+                    return seen
+            event = campaign.append(kind, data)
+            if self._store is not None:
+                self._store.append_event(campaign_id, event)
+                if campaign.done:
+                    self._store.close(campaign_id)
             self._obs.count("stream.events")
             self._lock.notify_all()
-            return seq
+            return event["seq"]
 
     def finish(self, campaign_id: str, summary: Optional[Dict[str, Any]] = None) -> None:
         """Publish the terminal ``done`` event."""
@@ -163,17 +294,72 @@ class CampaignHub:
             if time.monotonic() > deadline:
                 return
 
+    # -- retention -----------------------------------------------------------
+    def reap(self) -> int:
+        """Evict finished campaigns past the TTL; returns how many."""
+        with self._lock:
+            before = len(self._campaigns)
+            self._evict_finished()
+            return before - len(self._campaigns)
+
+    def evicted_hint(self, campaign_id: str) -> Optional[Dict[str, Any]]:
+        """The 410 resume hint for an evicted id, or ``None``."""
+        with self._lock:
+            hint = self._evicted.get(campaign_id)
+            return dict(hint) if hint is not None else None
+
     # -- internals -----------------------------------------------------------
     def _require(self, campaign_id: str) -> _Campaign:
         campaign = self._campaigns.get(campaign_id)
-        if campaign is None:
-            raise KeyError(campaign_id)
-        return campaign
+        if campaign is not None:
+            return campaign
+        if self._store is not None:
+            # Eviction with a store only forgot the fast copy: rebuild
+            # the campaign from its manifest + event log transparently.
+            manifest = self._store.load_manifest(campaign_id)
+            if manifest is not None:
+                meta = manifest.get("meta")
+                campaign = _Campaign(
+                    campaign_id,
+                    dict(meta) if isinstance(meta, dict) else {},
+                )
+                for event in self._store.load_events(campaign_id):
+                    campaign.append(event["kind"], event["data"])
+                self._campaigns[campaign_id] = campaign
+                self._evicted.pop(campaign_id, None)
+                self._obs.count("stream.campaigns_reloaded")
+                return campaign
+        if campaign_id in self._evicted:
+            raise CampaignEvicted(campaign_id, dict(self._evicted[campaign_id]))
+        raise KeyError(campaign_id)
 
     def _evict_finished(self) -> None:
-        finished = [c.id for c in self._campaigns.values() if c.done]
-        while len(finished) > MAX_FINISHED:
-            del self._campaigns[finished.pop(0)]
+        """Apply both retention bounds; callers hold the lock."""
+        now = time.time()
+        finished = sorted(
+            (c for c in self._campaigns.values() if c.done),
+            key=lambda c: c.finished_s or c.created_s,
+        )
+        doomed: Dict[str, _Campaign] = {}
+        if self._finished_ttl_s is not None:
+            for campaign in finished:
+                age = now - (campaign.finished_s or campaign.created_s)
+                if age > self._finished_ttl_s:
+                    doomed[campaign.id] = campaign
+        survivors = [c for c in finished if c.id not in doomed]
+        for campaign in survivors[: max(0, len(survivors) - self._max_finished)]:
+            doomed[campaign.id] = campaign
+        for campaign in doomed.values():
+            self._campaigns.pop(campaign.id, None)
+            hint: Dict[str, Any] = {"campaign_id": campaign.id}
+            for key in ("scenario", "fingerprint", "execution"):
+                if key in campaign.meta:
+                    hint[key] = campaign.meta[key]
+            hint["resume"] = "POST /v1/scenario re-creates this campaign"
+            self._evicted[campaign.id] = hint
+            while len(self._evicted) > MAX_EVICTED_HINTS:
+                self._evicted.popitem(last=False)
+            self._obs.count("stream.evictions")
 
 
 def sse_render(event: Dict[str, Any]) -> bytes:

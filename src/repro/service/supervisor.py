@@ -215,6 +215,7 @@ class FleetSupervisor:
         host: str = "127.0.0.1",
         ports: Optional[Sequence[int]] = None,
         cache_dir: Union[None, str, Path] = None,
+        checkpoint_dir: Union[None, str, Path] = None,
         jobs: int = 1,
         max_pending: int = 256,
         timeout_s: float = 60.0,
@@ -242,6 +243,12 @@ class FleetSupervisor:
             )
         self.host = host
         self.cache_dir = None if cache_dir is None else Path(cache_dir)
+        #: Shared checkpoint dir: every replica journals cells and
+        #: campaign manifests here, so a restarted replica resumes the
+        #: orphaned campaigns its predecessor (or any sibling) left.
+        self.checkpoint_dir = (
+            None if checkpoint_dir is None else Path(checkpoint_dir)
+        )
         self.jobs = jobs
         self.max_pending = max_pending
         self.timeout_s = timeout_s
@@ -280,6 +287,8 @@ class FleetSupervisor:
         ]
         if self.cache_dir is not None:
             command += ["--cache-dir", str(self.cache_dir)]
+        if self.checkpoint_dir is not None:
+            command += ["--checkpoint-dir", str(self.checkpoint_dir)]
         return command
 
     def _environment(self) -> Dict[str, str]:

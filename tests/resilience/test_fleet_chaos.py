@@ -65,6 +65,15 @@ class TestReplicaKillUnderLoad:
                 seen = by_seed.setdefault(i % 4, payload)
                 assert payload == seen
             assert client.failovers >= 1
+            # The post-kill requests are warm cache hits and can drain
+            # faster than one monitor tick: give the poll loop time to
+            # observe the death before asserting it was recorded.
+            deadline = time.monotonic() + 30.0
+            while (
+                supervisor.counter("fleet.deaths") < 1
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
             assert supervisor.counter("fleet.deaths") >= 1
             assert supervisor.wait_serving(3, timeout_s=30.0)
             assert supervisor.counter("fleet.restarts") >= 1

@@ -1,0 +1,64 @@
+"""Fast-path x faults differential safety (ISSUE 10 satellite S2).
+
+The fast-forward kernel skips steady-state hyperperiods, which is only
+sound for deterministic, fault-free cells.  Every bundled scenario pack
+attaches a fault layer (even an inert one carries guards) and most use
+stochastic execution models — so under ``execution="fast"`` every pack
+cell must demote itself to the exact path and stamp its provenance.
+A positive control proves the gate is selective, not broken-open.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import RunSpec
+from repro.scenarios import available_packs, load_pack
+from repro.scenarios.runner import run_scenario
+from repro.tasks.generation import WcetModel
+from repro.workloads.registry import get_workload
+
+
+@pytest.mark.parametrize("pack", available_packs())
+def test_pack_cells_never_fast_forward(pack):
+    scenario = load_pack(pack)
+    events = []
+    report = run_scenario(
+        scenario, jobs=1, progress=events.append, execution="fast"
+    )
+    assert len(events) == len(report.cells)
+    for event in events:
+        assert event["ok"], event
+        # Demoted, with provenance: the fault layer (and for stochastic
+        # packs the RNG model too) makes fast-forwarding unsound.
+        assert event["execution_path"] == "exact-fallback", event
+
+
+def test_eligible_cell_does_fast_forward():
+    # Positive control: without the scenario fault layer the same knob
+    # genuinely fast-forwards — the pack test above is not vacuous.
+    taskset = get_workload("cnc").prioritized().with_bcet_ratio(0.5)
+    result = RunSpec(
+        taskset=taskset,
+        scheduler="fps",
+        seed=1,
+        execution_model=WcetModel(),
+        duration=72_000.0,
+        on_miss="record",
+        execution="fast",
+    ).run()
+    assert result.metadata["execution_path"] == "fast-forward"
+
+
+def test_fast_campaign_matches_exact_verdicts():
+    # Differential leg: for every pack the fast knob must change only
+    # the kernel path provenance, never a verdict (it demoted itself).
+    for pack in available_packs():
+        scenario = load_pack(pack)
+        exact = run_scenario(scenario, jobs=1, execution="exact")
+        fast = run_scenario(scenario, jobs=1, execution="fast")
+        for a, b in zip(exact.cells, fast.cells):
+            assert a.failed == b.failed
+            if not a.failed:
+                assert a.result.average_power == b.result.average_power
+            assert a.violations == b.violations

@@ -5,7 +5,7 @@ from __future__ import annotations
 import json
 
 from repro.obs.registry import Registry
-from repro.service.cache import ResultCache
+from repro.service.cache import ENVELOPE_VERSION, ResultCache, payload_checksum
 
 PAYLOAD = {"ok": True, "kind": "energy", "average_power": 0.5}
 
@@ -78,13 +78,42 @@ class TestDiskTier:
         assert cache.get(_key(3)) is None
         assert not path.exists(), "corrupt entries are removed"
 
-    def test_entries_are_sharded_and_valid_json(self, tmp_path):
+    def test_entries_are_sharded_checksummed_envelopes(self, tmp_path):
         cache = ResultCache(disk_dir=tmp_path / "cache")
         key = _key(0xAB)
         cache.put(key, PAYLOAD)
         path = tmp_path / "cache" / key[:2] / f"{key}.json"
         assert path.exists()
-        assert json.loads(path.read_text()) == PAYLOAD
+        document = json.loads(path.read_text())
+        assert document["v"] == ENVELOPE_VERSION
+        assert document["key"] == key
+        assert document["sha"] == payload_checksum(PAYLOAD)
+        assert document["payload"] == PAYLOAD
+
+    def test_checksum_mismatch_is_a_miss(self, tmp_path):
+        # A syntactically valid envelope whose payload was silently
+        # altered on disk: only the checksum can catch this one.
+        cache = ResultCache(memory_items=0, disk_dir=tmp_path / "cache")
+        key = _key(4)
+        cache.put(key, PAYLOAD)
+        path = tmp_path / "cache" / key[:2] / f"{key}.json"
+        document = json.loads(path.read_text())
+        document["payload"]["average_power"] = 99.0
+        path.write_text(json.dumps(document))
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_misfiled_key_is_a_miss(self, tmp_path):
+        # An envelope copied to the wrong fingerprint's slot must not
+        # serve as that fingerprint's answer.
+        cache = ResultCache(memory_items=0, disk_dir=tmp_path / "cache")
+        donor, victim = _key(1), _key(2)
+        cache.put(donor, PAYLOAD)
+        donor_path = tmp_path / "cache" / donor[:2] / f"{donor}.json"
+        victim_path = tmp_path / "cache" / victim[:2] / f"{victim}.json"
+        victim_path.parent.mkdir(parents=True, exist_ok=True)
+        victim_path.write_text(donor_path.read_text())
+        assert cache.get(victim) is None
 
     def test_unwritable_disk_dir_degrades_to_memory_only(self, tmp_path):
         blocker = tmp_path / "blocked"

@@ -13,7 +13,7 @@ import random
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ServiceError
 from repro.obs.registry import Registry, installed
 from repro.service.fleet import FleetClient
 from repro.service.retry import CircuitBreaker, CircuitOpenError, RetryPolicy
@@ -262,3 +262,104 @@ class TestRestartBudget:
             RestartBudget(max_restarts=0)
         with pytest.raises(ConfigurationError):
             RestartBudget(window_s=0.0)
+
+
+class _ScriptedScenarioClient:
+    """A fake scenario client: scripted submit answer + event stream."""
+
+    def __init__(self, name, events, submit=(200, None), die_after=None):
+        self.name = name
+        self.events = events
+        self.submit_answer = submit
+        self.die_after = die_after  # yield this many, then drop the stream
+        self.submits = 0
+        self.streams = 0
+
+    def submit_scenario(self, request):
+        self.submits += 1
+        status, payload = self.submit_answer
+        if payload is None:
+            payload = {"ok": True, "campaign_id": "cabc"}
+        return status, payload
+
+    def stream(self, campaign_id, after=0):
+        self.streams += 1
+        yielded = 0
+        for event in self.events:
+            if event["seq"] <= after:
+                continue
+            if self.die_after is not None and yielded >= self.die_after:
+                raise ConnectionError(f"{self.name} died mid-stream")
+            yielded += 1
+            yield event
+
+
+def _events(*seqs, terminal="done"):
+    out = [{"seq": s, "kind": "cell", "data": {"cell": s - 1}} for s in seqs]
+    out.append({"seq": seqs[-1] + 1 if seqs else 1, "kind": terminal, "data": {}})
+    return out
+
+
+def _scenario_fleet(clients, **kwargs):
+    by_url = {f"http://{c.name}": c for c in clients}
+    sleeps = []
+    fleet = FleetClient(
+        list(by_url),
+        scenario_client_factory=by_url.__getitem__,
+        sleep=sleeps.append,
+        **kwargs,
+    )
+    return fleet, sleeps
+
+
+class TestFleetResumeScenario:
+    def test_replica_death_mid_stream_fails_over_gapless(self):
+        full = _events(1, 2, 3)
+        a = _ScriptedScenarioClient("a", full, die_after=2)
+        b = _ScriptedScenarioClient("b", full)
+        registry = Registry()
+        fleet, sleeps = _scenario_fleet([a, b], obs=registry)
+        events = list(fleet.resume_scenario({"pack": "weakly_hard"}))
+        # Gapless and duplicate-free across the failover.
+        assert [e["seq"] for e in events] == [1, 2, 3, 4]
+        assert events[-1]["kind"] == "done"
+        assert a.streams == 1 and b.streams == 1
+        # The resumed attachment asked only for the unseen tail.
+        assert registry.counter_value("fleet.scenario_failovers") == 1
+        assert len(sleeps) == 1
+
+    def test_healthy_replica_streams_in_one_attachment(self):
+        a = _ScriptedScenarioClient("a", _events(1, 2))
+        fleet, sleeps = _scenario_fleet([a])
+        events = list(fleet.resume_scenario({"pack": "weakly_hard"}))
+        assert [e["seq"] for e in events] == [1, 2, 3]
+        assert sleeps == []
+
+    def test_non_200_submission_raises(self):
+        a = _ScriptedScenarioClient(
+            "a", [], submit=(400, {"ok": False, "error": "bad scenario"})
+        )
+        fleet, _ = _scenario_fleet([a])
+        with pytest.raises(ServiceError, match="bad scenario"):
+            list(fleet.resume_scenario({"pack": "nope"}))
+
+    def test_reconnect_budget_exhaustion_raises(self):
+        a = _ScriptedScenarioClient("a", _events(1, 2), die_after=0)
+        b = _ScriptedScenarioClient("b", _events(1, 2), die_after=0)
+        fleet, _ = _scenario_fleet([a, b])
+        with pytest.raises(ServiceError, match="reconnects"):
+            list(fleet.resume_scenario({"pack": "weakly_hard"}, max_reconnects=3))
+
+    def test_submit_scenario_fails_over_dead_replica(self):
+        class _DeadScenarioClient:
+            def submit_scenario(self, request):
+                raise ConnectionError("dead")
+
+        alive = _ScriptedScenarioClient("b", [])
+        clients = {"http://a": _DeadScenarioClient(), "http://b": alive}
+        fleet = FleetClient(
+            list(clients), scenario_client_factory=clients.__getitem__
+        )
+        status, payload = fleet.submit_scenario({"pack": "weakly_hard"})
+        assert status == 200 and payload["campaign_id"] == "cabc"
+        assert fleet.failovers == 1

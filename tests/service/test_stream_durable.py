@@ -1,0 +1,313 @@
+"""Durable campaigns: store, hub replay, idempotent HTTP, 410 + resume.
+
+The tentpole contract of ISSUE 10, bottom-up: the on-disk
+:class:`CampaignStore` persists exactly what was published (and only
+intact prefixes of it), the hub replays it after a "restart" (a fresh
+hub over the same directory), re-submitting an identical scenario is
+idempotent, and an evicted campaign answers 410 with everything a
+client needs to resume.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import Registry
+from repro.service.client import ServiceClient
+from repro.service.durability import CampaignStore, campaign_key
+from repro.service.server import ScheduleService, running_server
+from repro.service.stream import CampaignEvicted, CampaignHub
+
+
+class TestCampaignKey:
+    def test_is_deterministic_and_content_addressed(self):
+        assert campaign_key("f" * 64) == campaign_key("f" * 64)
+        assert campaign_key("f" * 64) != campaign_key("e" * 64)
+
+    def test_execution_mode_changes_the_key(self):
+        assert campaign_key("f" * 64, "exact") != campaign_key("f" * 64, "fast")
+
+    def test_shape_is_c_plus_16_hex(self):
+        key = campaign_key("f" * 64)
+        assert key.startswith("c") and len(key) == 17
+        int(key[1:], 16)  # hex or raise
+
+
+class TestCampaignStore:
+    def test_manifest_round_trips(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        assert store.write_manifest("c1", {"meta": {"scenario": "x"}})
+        manifest = store.load_manifest("c1")
+        assert manifest["meta"] == {"scenario": "x"}
+        assert manifest["campaign_id"] == "c1"
+        assert list(store.list_manifests()) == ["c1"]
+
+    def test_missing_manifest_is_none(self, tmp_path):
+        assert CampaignStore(tmp_path).load_manifest("c404") is None
+
+    def test_events_append_and_load_in_order(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        for seq in (1, 2, 3):
+            assert store.append_event(
+                "c1", {"seq": seq, "kind": "cell", "data": {"cell": seq - 1}}
+            )
+        store.close()
+        events = store.load_events("c1")
+        assert [event["seq"] for event in events] == [1, 2, 3]
+        assert events[0]["data"] == {"cell": 0}
+
+    def test_torn_suffix_is_ignored_not_replayed(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append_event("c1", {"seq": 1, "kind": "cell", "data": {}})
+        store.append_event("c1", {"seq": 2, "kind": "done", "data": {}})
+        store.close()
+        with open(store.events_path("c1"), "ab") as handle:
+            handle.write(b'{"v": 1, "seq": 3, "kind": "cel')  # torn write
+        assert [e["seq"] for e in store.load_events("c1")] == [1, 2]
+
+    def test_corrupt_interior_truncates_to_intact_prefix(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        for seq in (1, 2, 3):
+            store.append_event("c1", {"seq": seq, "kind": "cell", "data": {}})
+        store.close()
+        path = store.events_path("c1")
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = lines[1][:10] + b"X" + lines[1][11:]  # flip a byte
+        path.write_bytes(b"".join(lines))
+        # Prefix-exact read: everything after the first bad record is
+        # suspect (its durability ordering is gone), so only seq 1 loads.
+        assert [e["seq"] for e in store.load_events("c1")] == [1]
+
+    def test_scrub_repair_truncates_event_logs(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.write_manifest("c1", {"meta": {}})
+        store.append_event("c1", {"seq": 1, "kind": "cell", "data": {}})
+        store.close()
+        with open(store.events_path("c1"), "ab") as handle:
+            handle.write(b"garbage\n")
+        obs = Registry()
+        report = store.scrub(repair=True, obs=obs)
+        assert report["events_corrupt"] == 1
+        assert report["logs_truncated"] == 1
+        assert obs.counter_value("cache.scrub_events_truncated") == 1
+        # The log is now fully intact: a re-scrub finds nothing.
+        assert store.scrub()["events_corrupt"] == 0
+        assert [e["seq"] for e in store.load_events("c1")] == [1]
+
+    def test_scrub_repair_quarantines_corrupt_manifest(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.write_manifest("c1", {"meta": {}})
+        store.manifest_path("c1").write_text("{not json")
+        report = store.scrub(repair=True)
+        assert report["manifests_corrupt"] == 1
+        assert store.load_manifest("c1") is None
+        assert store.scrub()["manifests"] == 0
+
+
+def _durable_hub(tmp_path, **kwargs):
+    obs = Registry()
+    hub = CampaignHub(obs=obs, store=CampaignStore(tmp_path), **kwargs)
+    return hub, obs
+
+
+class TestDurableHub:
+    def test_restart_replays_events_and_state(self, tmp_path):
+        hub, _ = _durable_hub(tmp_path)
+        hub.store.write_manifest("cabc", {"meta": {"scenario": "x"}})
+        cid = hub.create({"scenario": "x"}, campaign_id="cabc")
+        hub.publish(cid, "cell", {"cell": 0, "ok": True})
+        hub.publish(cid, "cell", {"cell": 1, "ok": True})
+        hub.finish(cid, {"failed": 0})
+
+        reborn, obs = _durable_hub(tmp_path)
+        assert reborn.load_persisted() == ["cabc"]
+        events, done = reborn.events_since("cabc")
+        assert done is True
+        assert [e["seq"] for e in events] == [1, 2, 3]
+        assert events[-1]["kind"] == "done"
+        assert reborn.snapshot("cabc")["state"] == "done"
+        assert obs.counter_value("stream.campaigns_recovered") == 1
+
+    def test_duplicate_cell_events_are_dropped(self, tmp_path):
+        hub, obs = _durable_hub(tmp_path)
+        hub.store.write_manifest("cabc", {"meta": {}})
+        cid = hub.create({}, campaign_id="cabc")
+        first = hub.publish(cid, "cell", {"cell": 0, "ok": True})
+        again = hub.publish(cid, "cell", {"cell": 0, "ok": True})
+        assert again == first  # original seq, no new event
+        events, _ = hub.events_since(cid)
+        assert len(events) == 1
+        assert obs.counter_value("stream.duplicates_skipped") == 1
+
+    def test_resume_prefill_after_restart_stays_gapless(self, tmp_path):
+        # Crash after cell 0; the resumed runner's checkpoint prefill
+        # re-fires cell 0 before computing cell 1.  The merged log must
+        # be gapless and duplicate-free.
+        hub, _ = _durable_hub(tmp_path)
+        hub.store.write_manifest("cabc", {"meta": {}})
+        cid = hub.create({}, campaign_id="cabc")
+        hub.publish(cid, "cell", {"cell": 0, "ok": True})
+
+        reborn, _ = _durable_hub(tmp_path)
+        reborn.load_persisted()
+        assert reborn.publish(cid, "cell", {"cell": 0, "ok": True}) == 1
+        assert reborn.publish(cid, "cell", {"cell": 1, "ok": True}) == 2
+        reborn.finish(cid)
+        events, _ = reborn.events_since(cid)
+        assert [e["seq"] for e in events] == [1, 2, 3]
+        assert [e["data"].get("cell") for e in events[:-1]] == [0, 1]
+
+    def test_eviction_with_store_reloads_transparently(self, tmp_path):
+        hub, obs = _durable_hub(tmp_path, max_finished=0, finished_ttl_s=None)
+        hub.store.write_manifest("cabc", {"meta": {}})
+        cid = hub.create({}, campaign_id="cabc")
+        hub.publish(cid, "cell", {"cell": 0})
+        hub.finish(cid)
+        assert hub.reap() == 1
+        assert obs.counter_value("stream.evictions") == 1
+        # Eviction only forgot the fast copy: reads rebuild from disk.
+        events, done = hub.events_since(cid)
+        assert done and [e["seq"] for e in events] == [1, 2]
+        assert obs.counter_value("stream.campaigns_reloaded") == 1
+
+    def test_eviction_without_store_raises_410_hint(self):
+        obs = Registry()
+        hub = CampaignHub(obs=obs, max_finished=0, finished_ttl_s=None)
+        cid = hub.create(
+            {"scenario": "weakly_hard", "fingerprint": "f" * 64}
+        )
+        hub.finish(cid)
+        assert hub.reap() == 1
+        with pytest.raises(CampaignEvicted) as excinfo:
+            hub.events_since(cid)
+        hint = excinfo.value.hint
+        assert hint["campaign_id"] == cid
+        assert hint["scenario"] == "weakly_hard"
+        assert hint["fingerprint"] == "f" * 64
+        assert "resume" in hint
+        assert hub.evicted_hint(cid) == hint
+
+    def test_duplicate_explicit_id_is_rejected(self, tmp_path):
+        hub, _ = _durable_hub(tmp_path)
+        hub.create({}, campaign_id="cabc")
+        with pytest.raises(ConfigurationError, match="already exists"):
+            hub.create({}, campaign_id="cabc")
+
+
+@pytest.fixture(scope="module")
+def durable_run(tmp_path_factory):
+    """One campaign taken through submit → done → resubmit → restart.
+
+    All the expensive choreography happens once; the tests below assert
+    on the collected artifacts.
+    """
+    checkpoint = tmp_path_factory.mktemp("durable-ckpt")
+    artifacts = {}
+
+    service = ScheduleService(jobs=1, checkpoint_dir=checkpoint)
+    with running_server(service) as server:
+        client = ServiceClient(server.url, timeout_s=60.0)
+        status, first = client.submit_scenario({"pack": "weakly_hard"})
+        assert status == 200, first
+        artifacts["first"] = first
+        artifacts["events"] = list(client.stream(first["campaign_id"]))
+        status, again = client.submit_scenario({"pack": "weakly_hard"})
+        assert status == 200, again
+        artifacts["resubmit"] = again
+        artifacts["resumed"] = list(
+            client.resume_scenario({"pack": "weakly_hard"}, max_reconnects=1)
+        )
+    service.close()
+
+    # The crash-restart: a brand-new service over the same directory.
+    reborn = ScheduleService(jobs=1, checkpoint_dir=checkpoint)
+    artifacts["orphans"] = reborn.resume_campaigns()
+    with running_server(reborn) as server:
+        client = ServiceClient(server.url, timeout_s=60.0)
+        artifacts["replay"] = list(
+            client.stream(artifacts["first"]["campaign_id"])
+        )
+        artifacts["tail"] = list(
+            client.stream(artifacts["first"]["campaign_id"], after=1)
+        )
+        status, after_restart = client.submit_scenario({"pack": "weakly_hard"})
+        assert status == 200, after_restart
+        artifacts["post_restart_submit"] = after_restart
+        artifacts["metrics"] = client.metrics()[1]
+    reborn.close()
+    return artifacts
+
+
+class TestDurableHttp:
+    def test_campaign_id_is_content_addressed(self, durable_run):
+        first = durable_run["first"]
+        assert first["campaign_id"] == campaign_key(
+            first["fingerprint"], "exact"
+        )
+
+    def test_stream_runs_to_done(self, durable_run):
+        events = durable_run["events"]
+        assert [e["kind"] for e in events] == ["cell", "cell", "done"]
+        assert [e["seq"] for e in events] == [1, 2, 3]
+
+    def test_resubmission_is_idempotent(self, durable_run):
+        again = durable_run["resubmit"]
+        assert again["campaign_id"] == durable_run["first"]["campaign_id"]
+        assert again["state"] == "done"
+        assert again["events"] == 3
+
+    def test_resume_scenario_replays_the_finished_campaign(self, durable_run):
+        resumed = durable_run["resumed"]
+        assert [e["seq"] for e in resumed] == [1, 2, 3]
+        assert resumed[-1]["kind"] == "done"
+
+    def test_restart_replays_the_full_event_log(self, durable_run):
+        assert durable_run["replay"] == durable_run["events"]
+
+    def test_after_cursor_survives_the_restart(self, durable_run):
+        assert durable_run["tail"] == durable_run["events"][1:]
+
+    def test_finished_campaign_is_not_an_orphan(self, durable_run):
+        assert durable_run["orphans"] == []
+
+    def test_submit_after_restart_returns_the_done_state(self, durable_run):
+        payload = durable_run["post_restart_submit"]
+        assert payload["campaign_id"] == durable_run["first"]["campaign_id"]
+        assert payload["state"] == "done"
+
+    def test_recovery_counter_is_exported(self, durable_run):
+        metrics = durable_run["metrics"]["tests"]["obs"]["metrics"]
+        values = {row["name"]: row["value"] for row in metrics}
+        assert values.get("stream.campaigns_recovered", 0) >= 1
+
+
+class TestHttpEviction:
+    def test_evicted_campaign_answers_410_with_resume_hint(self):
+        service = ScheduleService(jobs=1)
+        # Store-less retention bound of zero: every finished campaign is
+        # evicted at the next reap, which is the only way to see a 410
+        # (with a store the hub transparently reloads instead).
+        service.campaigns = CampaignHub(
+            obs=service.obs, max_finished=0, finished_ttl_s=None
+        )
+        with running_server(service) as server:
+            client = ServiceClient(server.url, timeout_s=60.0)
+            status, payload = client.submit_scenario({"pack": "weakly_hard"})
+            assert status == 200, payload
+            events = list(client.stream(payload["campaign_id"]))
+            assert events[-1]["kind"] == "done"
+            assert service.campaigns.reap() == 1
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                list(client.stream(payload["campaign_id"]))
+            assert excinfo.value.code == 410
+            body = json.loads(excinfo.value.read().decode("utf-8"))
+            assert body["error_kind"] == "gone"
+            hint = body["resume"]
+            assert hint["campaign_id"] == payload["campaign_id"]
+            assert hint["fingerprint"] == payload["fingerprint"]
+        service.close()
