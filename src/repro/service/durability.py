@@ -34,6 +34,14 @@ Campaign identity is content-addressed: :func:`campaign_key` hashes the
 scenario fingerprint plus the execution mode, so re-submitting the same
 scenario document reuses the same id — the idempotence that makes
 resume-by-fingerprint work across restarts and replicas.
+
+A checkpoint directory may be shared by a whole fleet of replicas, so
+campaign *ownership* is cross-process: one ``flock``-ed sidecar lease
+file per campaign (:meth:`CampaignStore.acquire_lease`).  Only the
+lease holder may run a campaign's executor, append to its event log, or
+rewrite/delete its files; a lease evaporates with its owner's process
+(SIGKILL included), which is exactly the crash-recovery hand-off the
+resume path needs.
 """
 
 from __future__ import annotations
@@ -42,8 +50,14 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import IO, Any, Dict, List, Optional, Union
+
+try:  # pragma: no cover - absent only on non-POSIX platforms
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
 
 from ..obs.registry import DISABLED
 
@@ -54,8 +68,18 @@ EVENT_VERSION = 1
 #: Subdirectory of the checkpoint dir holding campaign state.
 CAMPAIGNS_DIR = "campaigns"
 
+#: Event kinds that close a campaign.  The hub re-exports this; it lives
+#: here so the store can recognise finished campaigns without importing
+#: the (higher-layer) hub.
+TERMINAL_KINDS = ("done", "error")
+
+#: Seconds a finished campaign's on-disk log outlives its terminal
+#: event before :meth:`CampaignStore.gc` may collect it.
+GC_RETENTION_S = 7 * 86_400.0
+
 _MANIFEST_SUFFIX = ".manifest.json"
 _EVENTS_SUFFIX = ".events.jsonl"
+_LEASE_SUFFIX = ".lease"
 
 
 def campaign_key(fingerprint: str, execution: str = "exact") -> str:
@@ -107,6 +131,7 @@ class CampaignStore:
         self.directory = Path(directory)
         self.campaigns_dir = self.directory / CAMPAIGNS_DIR
         self._handles: Dict[str, IO[bytes]] = {}
+        self._leases: Dict[str, IO[bytes]] = {}
 
     # -- manifests -----------------------------------------------------------
     def manifest_path(self, campaign_id: str) -> Path:
@@ -114,6 +139,53 @@ class CampaignStore:
 
     def events_path(self, campaign_id: str) -> Path:
         return self.campaigns_dir / f"{campaign_id}{_EVENTS_SUFFIX}"
+
+    def lease_path(self, campaign_id: str) -> Path:
+        return self.campaigns_dir / f"{campaign_id}{_LEASE_SUFFIX}"
+
+    # -- cross-process ownership --------------------------------------------
+    def acquire_lease(self, campaign_id: str) -> bool:
+        """Take exclusive ownership of one campaign; False if owned elsewhere.
+
+        Ownership is a non-blocking ``flock`` on a sidecar lease file.
+        It conflicts across processes *and* across descriptors within
+        one process (two stores over one directory behave like two
+        replicas), and the kernel drops it the instant the owning
+        process dies — so a SIGKILLed replica's campaigns become
+        adoptable with no timeout dance.  Idempotent per store: a store
+        that already holds the lease keeps it and answers True.
+        """
+        if campaign_id in self._leases:
+            return True
+        try:
+            self.campaigns_dir.mkdir(parents=True, exist_ok=True)
+            handle = open(self.lease_path(campaign_id), "ab")
+        except OSError:
+            return False
+        if fcntl is not None:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                handle.close()
+                return False
+        self._leases[campaign_id] = handle
+        return True
+
+    def release_lease(self, campaign_id: str) -> None:
+        """Give up ownership of one campaign; idempotent."""
+        handle = self._leases.pop(campaign_id, None)
+        if handle is None:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            handle.close()
+        except OSError:
+            pass
+
+    def owns_lease(self, campaign_id: str) -> bool:
+        """Whether *this store* currently holds the campaign's lease."""
+        return campaign_id in self._leases
 
     def write_manifest(
         self, campaign_id: str, manifest: Dict[str, Any]
@@ -164,9 +236,17 @@ class CampaignStore:
         manifests: Dict[str, Dict[str, Any]] = {}
         if not self.campaigns_dir.is_dir():
             return manifests
+
+        def mtime(path: Path) -> float:
+            # A sibling replica may GC the file between glob and stat.
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return 0.0
+
         paths = sorted(
             self.campaigns_dir.glob(f"*{_MANIFEST_SUFFIX}"),
-            key=lambda p: (p.stat().st_mtime, p.name),
+            key=lambda p: (mtime(p), p.name),
         )
         for path in paths:
             campaign_id = path.name[: -len(_MANIFEST_SUFFIX)]
@@ -220,6 +300,55 @@ class CampaignStore:
             events.append(record)
         return events
 
+    def repair_log(self, campaign_id: str) -> List[Dict[str, Any]]:
+        """Truncate one event log to its intact gapless prefix.
+
+        Returns the intact prefix.  The adoption step: before a process
+        that just took over a campaign (restart *or* live fleet
+        hand-off) may append, any torn tail the previous owner's crash
+        left behind must go — appending after a corrupt line would put
+        every later event beyond the readable prefix.  The caller must
+        own the campaign's lease (or be single-process); the rewrite is
+        atomic and fsynced like the manifest writer's.
+        """
+        intact = self.load_events(campaign_id)
+        try:
+            raw = self.events_path(campaign_id).read_bytes()
+        except FileNotFoundError:
+            return intact
+        except OSError:
+            return intact
+        raw_lines = [line for line in raw.splitlines() if line.strip()]
+        if len(raw_lines) == len(intact):
+            return intact
+        self.close(campaign_id)
+        content = b"".join(
+            json.dumps(
+                event_record(event), sort_keys=True, separators=(",", ":")
+            ).encode("utf-8") + b"\n"
+            for event in intact
+        )
+        try:
+            fd, tmp = tempfile.mkstemp(
+                prefix=f".{campaign_id}.", suffix=".tmp",
+                dir=str(self.campaigns_dir),
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(content)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, self.events_path(campaign_id))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass
+        return intact
+
     def close(self, campaign_id: Optional[str] = None) -> None:
         """Close append handles (one campaign, or all); idempotent."""
         ids = [campaign_id] if campaign_id is not None else list(self._handles)
@@ -239,14 +368,21 @@ class CampaignStore:
         ``repair=True`` each log is truncated (atomically rewritten) to
         its intact prefix and corrupt manifests are quarantined by
         rename (``.corrupt`` suffix), so a later reader can never
-        replay a broken record.  Counters: ``cache.scrub_manifests``,
-        ``cache.scrub_manifest_corrupt``, ``cache.scrub_events``,
-        ``cache.scrub_event_corrupt``, ``cache.scrub_events_truncated``.
+        replay a broken record.  Rewrites are **lease-guarded**: a log
+        whose campaign is owned by a live sibling process is never
+        rewritten from under its open append handle — the repair is
+        skipped and recorded as a problem instead (the owner terminates
+        torn tails itself on its next append).  One unreadable file is
+        one report entry, never an aborted scrub.  Counters:
+        ``cache.scrub_manifests``, ``cache.scrub_manifest_corrupt``,
+        ``cache.scrub_events``, ``cache.scrub_event_corrupt``,
+        ``cache.scrub_events_truncated``.
         """
         sink = obs if obs is not None else DISABLED
         report = {
             "kind": "campaign-scrub",
             "directory": str(self.campaigns_dir),
+            "repair": bool(repair),
             "manifests": 0,
             "manifests_corrupt": 0,
             "event_logs": 0,
@@ -275,51 +411,123 @@ class CampaignStore:
         for path in sorted(self.campaigns_dir.glob(f"*{_EVENTS_SUFFIX}")):
             campaign_id = path.name[: -len(_EVENTS_SUFFIX)]
             report["event_logs"] += 1
-            raw_lines = [
-                line
-                for line in path.read_bytes().splitlines()
-                if line.strip()
-            ]
+            try:
+                raw = path.read_bytes()
+            except OSError as exc:
+                report["problems"].append(
+                    {
+                        "path": str(path),
+                        "reason": f"unreadable:{type(exc).__name__}",
+                    }
+                )
+                continue
+            raw_lines = [line for line in raw.splitlines() if line.strip()]
             intact = self.load_events(campaign_id)
             report["events"] += len(raw_lines)
             for _ in raw_lines:
                 sink.count("cache.scrub_events")
             corrupt = len(raw_lines) - len(intact)
-            if corrupt:
-                report["events_corrupt"] += corrupt
-                sink.count("cache.scrub_event_corrupt", corrupt)
+            if not corrupt:
+                continue
+            report["events_corrupt"] += corrupt
+            sink.count("cache.scrub_event_corrupt", corrupt)
+            report["problems"].append(
+                {
+                    "path": str(path),
+                    "reason": f"torn-suffix:{corrupt}-records",
+                }
+            )
+            if not repair:
+                continue
+            owned = self.owns_lease(campaign_id)
+            if not owned and not self.acquire_lease(campaign_id):
                 report["problems"].append(
-                    {
-                        "path": str(path),
-                        "reason": f"torn-suffix:{corrupt}-records",
-                    }
+                    {"path": str(path), "reason": "repair-skipped:lease-held"}
                 )
-                if repair:
-                    self.close(campaign_id)
-                    content = b"".join(
-                        json.dumps(
-                            event_record(e), sort_keys=True,
-                            separators=(",", ":"),
-                        ).encode("utf-8") + b"\n"
-                        for e in intact
-                    )
-                    fd, tmp = tempfile.mkstemp(
-                        prefix=f".{campaign_id}.", suffix=".tmp",
-                        dir=str(self.campaigns_dir),
-                    )
+                continue
+            try:
+                repaired = self.repair_log(campaign_id)
+                try:
+                    still = [
+                        line
+                        for line in path.read_bytes().splitlines()
+                        if line.strip()
+                    ]
+                except OSError:
+                    still = None
+                if still is not None and len(still) == len(repaired):
+                    report["logs_truncated"] += 1
+                    sink.count("cache.scrub_events_truncated")
+            finally:
+                if not owned:
+                    self.release_lease(campaign_id)
+        return report
+
+    # -- retention -----------------------------------------------------------
+    def gc(
+        self,
+        retention_s: float = GC_RETENTION_S,
+        now: Optional[float] = None,
+        obs: Any = None,
+    ) -> Dict[str, Any]:
+        """Collect finished campaigns older than *retention_s* seconds.
+
+        A campaign is collectable when its event log ends in a terminal
+        event and the log has not been appended to for *retention_s*
+        seconds; its manifest, event log, and lease file are then
+        deleted.  Running campaigns, recent ones, and anything whose
+        lease a live process holds are left alone — GC can only ever
+        reclaim state that a resubmission would regenerate from the
+        cell journal anyway.  Counter: ``cache.gc_campaigns``.
+        """
+        sink = obs if obs is not None else DISABLED
+        report = {
+            "kind": "campaign-gc",
+            "directory": str(self.campaigns_dir),
+            "retention_s": retention_s,
+            "scanned": 0,
+            "removed": 0,
+            "kept": 0,
+        }
+        if not self.campaigns_dir.is_dir():
+            return report
+        moment = time.time() if now is None else now
+        ids = set()
+        for suffix in (_MANIFEST_SUFFIX, _EVENTS_SUFFIX):
+            for path in self.campaigns_dir.glob(f"*{suffix}"):
+                ids.add(path.name[: -len(suffix)])
+        for campaign_id in sorted(ids):
+            report["scanned"] += 1
+            events = self.load_events(campaign_id)
+            terminal = bool(events) and events[-1]["kind"] in TERMINAL_KINDS
+            try:
+                age = moment - self.events_path(campaign_id).stat().st_mtime
+            except OSError:
+                age = None
+            if (
+                not terminal
+                or age is None
+                or age < retention_s
+                or self.owns_lease(campaign_id)
+                or not self.acquire_lease(campaign_id)
+            ):
+                report["kept"] += 1
+                continue
+            try:
+                self.close(campaign_id)
+                for path in (
+                    self.events_path(campaign_id),
+                    self.manifest_path(campaign_id),
+                    self.lease_path(campaign_id),
+                ):
                     try:
-                        with os.fdopen(fd, "wb") as handle:
-                            handle.write(content)
-                            handle.flush()
-                            os.fsync(handle.fileno())
-                        os.replace(tmp, path)
-                        report["logs_truncated"] += 1
-                        sink.count("cache.scrub_events_truncated")
+                        os.unlink(path)
                     except OSError:
-                        try:
-                            os.unlink(tmp)
-                        except OSError:
-                            pass
+                        pass
+            finally:
+                self.release_lease(campaign_id)
+            report["removed"] += 1
+            sink.count("cache.gc_campaigns")
         return report
 
 

@@ -119,6 +119,11 @@ class ScheduleService:
 
                 store.scrub(repair=True, obs=self.obs)
                 scrub_journal(self.checkpoint_dir, repair=False, obs=self.obs)
+                # Startup GC keeps a long-lived deployment's campaign
+                # state (and therefore restart replay cost) bounded:
+                # long-finished logs are reclaimed, running siblings'
+                # are lease-protected.
+                store.gc(obs=self.obs)
         #: Live scenario-campaign event logs, served by ``/v1/stream``.
         self.campaigns = CampaignHub(obs=self.obs, store=store)
         self.campaigns.load_persisted()
@@ -241,6 +246,32 @@ class ScheduleService:
                 # Running here: attach, never start a second runner.
                 payload.update(state="running", attached=True)
                 return payload
+            if not store.acquire_lease(campaign_id):
+                # Running on a sibling replica over the same checkpoint
+                # dir: two writers on one event log would interleave
+                # conflicting seq numbers, so attach instead — the
+                # sibling's events are durable and readable from here.
+                payload.update(state="running", attached=True)
+                return payload
+            # Adoption: we now own whatever the previous owner durably
+            # wrote.  Truncate any crash-torn tail *before* we ever
+            # append (appending after a corrupt line would strand every
+            # later event beyond the readable prefix) and fold the
+            # durable tail into our possibly-stale fast copy so new seq
+            # numbers continue the on-disk log, not our replay of it.
+            store.repair_log(campaign_id)
+            self.campaigns.refresh(campaign_id)
+            try:
+                snapshot = self.campaigns.snapshot(campaign_id)
+            except KeyError:
+                snapshot = None
+            if snapshot is not None and snapshot["state"] in TERMINAL_KINDS:
+                # The previous owner had in fact finished it.
+                store.release_lease(campaign_id)
+                payload.update(
+                    state=snapshot["state"], events=snapshot["events"]
+                )
+                return payload
             resumed = snapshot is not None
             # Write-ahead: intent is durable before the campaign exists
             # anywhere else, so a crash at any later instant leaves a
@@ -299,6 +330,10 @@ class ScheduleService:
             finally:
                 with self._campaign_lock:
                     self._active_campaigns.discard(campaign_id)
+                if hub.store is not None:
+                    # Hand the campaign's cross-process lease back so a
+                    # sibling (or a later resubmission) can own it.
+                    hub.store.release_lease(campaign_id)
 
         threading.Thread(
             target=work, name=f"lpfps-campaign-{campaign_id}", daemon=True
@@ -333,6 +368,27 @@ class ScheduleService:
                     or campaign_id in self._active_campaigns
                 ):
                     continue
+                if not store.acquire_lease(campaign_id):
+                    # Not an orphan: a live sibling replica owns this
+                    # campaign and is (still) running it.  Adopting it
+                    # here would put two writers on one event log.
+                    continue
+                # Same adoption step as submit_scenario: repair the torn
+                # tail before appending, re-sync the fast copy, and
+                # re-check — the durable tail may contain the terminal
+                # event our startup replay predated.
+                store.repair_log(campaign_id)
+                self.campaigns.refresh(campaign_id)
+                try:
+                    snapshot = self.campaigns.snapshot(campaign_id)
+                except KeyError:
+                    snapshot = None
+                if (
+                    snapshot is None
+                    or snapshot["state"] in TERMINAL_KINDS
+                ):
+                    store.release_lease(campaign_id)
+                    continue
                 document = manifest.get("scenario_document")
                 jobs = manifest.get("jobs", 1)
                 execution = manifest.get("execution", "exact")
@@ -344,13 +400,16 @@ class ScheduleService:
                         raise ConfigurationError(f"bad execution {execution!r}")
                 except Exception as exc:
                     # An unresumable manifest must not strand subscribers
-                    # on a forever-running stream: close it loudly.
+                    # on a forever-running stream: close it loudly (while
+                    # still holding the lease, so the error event is ours
+                    # to append), then hand the lease back.
                     try:
                         self.campaigns.fail(
                             campaign_id, f"unresumable manifest: {exc}"
                         )
                     except Exception:
                         pass
+                    store.release_lease(campaign_id)
                     continue
                 self._active_campaigns.add(campaign_id)
             self._launch_campaign(scenario, jobs, execution, campaign_id)

@@ -21,14 +21,22 @@ Two orthogonal hardening layers (this PR):
   server crash are gapless and duplicate-free.  Cell events deduplicate
   by cell index: when a resumed campaign's checkpoint prefill re-fires
   cells that already streamed before the crash, the hub drops the
-  duplicates instead of re-sequencing them.
+  duplicates instead of re-sequencing them.  The contract is honest
+  about failure, too: if the disk rejects an append, the event is
+  *never* shown to subscribers — the campaign fails loudly
+  (``stream.durability_degraded``) rather than stream state a crash
+  would silently erase.
 * **Bounded retention** — finished campaigns are evicted after
   ``finished_ttl_s`` seconds or beyond ``max_finished`` entries
   (oldest-finished first), counted as ``stream.evictions``.  An evicted
   id raises :class:`CampaignEvicted` (the HTTP layer's 410) carrying a
   resume hint; with a store attached the hub transparently reloads the
   campaign from disk instead, so eviction only ever forgets the fast
-  copy.
+  copy.  Disk retention is bounded separately: :meth:`CampaignHub.reap`
+  also garbage-collects long-finished on-disk logs through
+  :meth:`CampaignStore.gc`, and :meth:`CampaignHub.load_persisted`
+  skips terminal campaigns already past the in-memory TTL, so restart
+  replay cost does not grow with deployment age.
 """
 
 from __future__ import annotations
@@ -39,15 +47,15 @@ import time
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ServiceError
 from ..obs.registry import Registry
+
+#: Terminal event kinds (re-exported from the store layer): once one is
+#: published, a campaign is closed and subscribers drain and stop.
+from .durability import TERMINAL_KINDS
 
 if TYPE_CHECKING:  # pragma: no cover
     from .durability import CampaignStore
-
-#: Terminal event kinds: once one is published, a campaign is closed and
-#: subscribers drain and stop.
-TERMINAL_KINDS = ("done", "error")
 
 #: Finished campaigns kept for replay before the oldest is evicted.
 MAX_FINISHED = 64
@@ -171,6 +179,7 @@ class CampaignHub:
         if self._store is None:
             return []
         recovered: List[str] = []
+        now = time.time()
         for campaign_id, manifest in self._store.list_manifests().items():
             with self._lock:
                 if campaign_id in self._campaigns:
@@ -182,11 +191,53 @@ class CampaignHub:
                 )
                 for event in self._store.load_events(campaign_id):
                     campaign.append(event["kind"], event["data"])
+                if campaign.done and self._finished_ttl_s is not None:
+                    # A finished campaign already past the in-memory TTL
+                    # would be evicted on the next reap anyway; leave it
+                    # on disk (reads reload it on demand) instead of
+                    # paying restart replay memory for it.
+                    try:
+                        age = now - (
+                            self._store.events_path(campaign_id)
+                            .stat().st_mtime
+                        )
+                    except OSError:
+                        age = 0.0
+                    if age > self._finished_ttl_s:
+                        continue
                 self._campaigns[campaign_id] = campaign
                 self._evicted.pop(campaign_id, None)
                 self._obs.count("stream.campaigns_recovered")
                 recovered.append(campaign_id)
+        with self._lock:
+            self._evict_finished()
         return recovered
+
+    def refresh(self, campaign_id: str) -> None:
+        """Re-sync one campaign's in-memory copy from the durable log.
+
+        The adoption step for a live fleet hand-off: a replica that just
+        took a campaign's lease may hold a *stale* fast copy replayed at
+        its own startup, while the previous owner kept appending durably
+        until it died.  Disk events beyond the in-memory log are
+        appended (waking subscribers); the in-memory copy is never
+        truncated — it can only be ahead of disk when this process is
+        itself the writer, in which case disk is the stale side.  A
+        no-op without a store or for an unknown id.
+        """
+        if self._store is None:
+            return
+        with self._lock:
+            campaign = self._campaigns.get(campaign_id)
+            if campaign is None or campaign.done:
+                return
+            events = self._store.load_events(campaign_id)
+            fresh = events[len(campaign.events):]
+            for event in fresh:
+                campaign.append(event["kind"], event["data"])
+            if fresh:
+                self._obs.count("stream.campaigns_refreshed")
+                self._lock.notify_all()
 
     def publish(
         self, campaign_id: str, kind: str, data: Dict[str, Any]
@@ -198,6 +249,17 @@ class CampaignHub:
         already been published (a checkpoint-prefill replay after
         resume) is dropped as a duplicate: the original sequence number
         is returned and no new event appears.
+
+        If the store rejects the append (disk full, I/O error), the
+        durable-before-visible contract is enforced rather than quietly
+        abandoned: the event never becomes visible, the campaign is
+        failed with a terminal ``error`` event, the
+        ``stream.durability_degraded`` counter fires, and
+        :class:`~repro.errors.ServiceError` is raised so the runner
+        stops computing cells nobody could ever resume.  A *terminal*
+        event that cannot be journaled still becomes visible (clients
+        need closure) but the campaign is marked ``durable: false`` in
+        its meta — a restart will resume and re-finish it durably.
         """
         with self._lock:
             campaign = self._require(campaign_id)
@@ -210,14 +272,42 @@ class CampaignHub:
                 if seen is not None:
                     self._obs.count("stream.duplicates_skipped")
                     return seen
-            event = campaign.append(kind, data)
             if self._store is not None:
-                self._store.append_event(campaign_id, event)
-                if campaign.done:
-                    self._store.close(campaign_id)
+                pending = {
+                    "seq": len(campaign.events) + 1,
+                    "kind": kind,
+                    "data": dict(data),
+                }
+                if not self._store.append_event(campaign_id, pending):
+                    return self._lose_durability(campaign, kind, data)
+            event = campaign.append(kind, data)
+            if self._store is not None and campaign.done:
+                self._store.close(campaign_id)
             self._obs.count("stream.events")
             self._lock.notify_all()
             return event["seq"]
+
+    def _lose_durability(
+        self, campaign: _Campaign, kind: str, data: Dict[str, Any]
+    ) -> int:
+        """Handle a rejected store append; callers hold the lock."""
+        self._obs.count("stream.durability_degraded")
+        campaign.meta["durable"] = False
+        if kind in TERMINAL_KINDS:
+            event = campaign.append(kind, data)
+            self._store.close(campaign.id)
+            self._lock.notify_all()
+            return event["seq"]
+        message = (
+            f"durability lost: could not journal a {kind!r} event for "
+            f"campaign {campaign.id!r}"
+        )
+        error = campaign.append("error", {"error": message})
+        self._store.append_event(campaign.id, error)  # best effort
+        self._store.close(campaign.id)
+        self._obs.count("stream.events")
+        self._lock.notify_all()
+        raise ServiceError(message)
 
     def finish(self, campaign_id: str, summary: Optional[Dict[str, Any]] = None) -> None:
         """Publish the terminal ``done`` event."""
@@ -296,11 +386,20 @@ class CampaignHub:
 
     # -- retention -----------------------------------------------------------
     def reap(self) -> int:
-        """Evict finished campaigns past the TTL; returns how many."""
+        """Evict finished campaigns past the TTL; returns how many.
+
+        With a store attached this is also the disk-retention hook:
+        long-finished campaign logs past the store's GC window are
+        deleted (lease-guarded, so a sibling's live campaign is never
+        touched), bounding on-disk growth alongside in-memory growth.
+        """
         with self._lock:
             before = len(self._campaigns)
             self._evict_finished()
-            return before - len(self._campaigns)
+            evicted = before - len(self._campaigns)
+        if self._store is not None:
+            self._store.gc(obs=self._obs)
+        return evicted
 
     def evicted_hint(self, campaign_id: str) -> Optional[Dict[str, Any]]:
         """The 410 resume hint for an evicted id, or ``None``."""
